@@ -1,0 +1,134 @@
+// Command mdhfadvisor implements the data allocation guidelines of
+// Section 4.7 as a tool: it prints Table 2 (fragmentation options under
+// size constraints) and ranks admissible fragmentations for a query mix by
+// total analytical I/O work.
+//
+// Usage:
+//
+//	mdhfadvisor -table2
+//	mdhfadvisor -mix "1MONTH1GROUP:0.5,1STORE:0.3,1CODE1QUARTER:0.2" -top 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/cost"
+	"repro/internal/experiments"
+	"repro/internal/frag"
+	"repro/internal/schema"
+	"repro/internal/workload"
+)
+
+func main() {
+	table2 := flag.Bool("table2", false, "print Table 2 (fragmentation options under size constraints)")
+	mix := flag.String("mix", "", "query mix as NAME:WEIGHT,... (e.g. 1STORE:0.5,1MONTH:0.5)")
+	top := flag.Int("top", 10, "number of candidates to print")
+	minPages := flag.Float64("minpages", 1, "threshold (i): minimal bitmap fragment size in pages")
+	maxFrags := flag.Int64("maxfrags", 0, "threshold (ii): maximal number of fragments (0 = nmax for prefetch 1)")
+	maxBitmaps := flag.Int("maxbitmaps", 0, "threshold (iii): maximal number of bitmaps (0 = off)")
+	disks := flag.Int64("disks", 100, "minimal fragments = number of disks")
+	seed := flag.Int64("seed", 1, "query parameter seed")
+	flag.Parse()
+
+	if *table2 {
+		printTable2()
+		if *mix == "" {
+			return
+		}
+		fmt.Println()
+	}
+	if *mix == "" {
+		*mix = "1MONTH1GROUP:0.4,1STORE:0.3,1CODE1QUARTER:0.3"
+		fmt.Printf("(no -mix given; using %s)\n\n", *mix)
+	}
+	if err := advise(*mix, *top, *minPages, *maxFrags, *maxBitmaps, *disks, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func printTable2() {
+	fmt.Println("Table 2: Number of fragmentation options under size constraints")
+	fmt.Printf("%-8s %10s %12s %12s %12s\n", "#dims", "any", ">=1 page", ">=4 pages", ">=8 pages")
+	cells := experiments.Table2()
+	byDims := map[int][]experiments.Table2Cell{}
+	for _, c := range cells {
+		byDims[c.Dims] = append(byDims[c.Dims], c)
+	}
+	for dims := 1; dims <= 4; dims++ {
+		row := byDims[dims]
+		fmt.Printf("%-8d", dims)
+		for _, c := range row {
+			fmt.Printf(" %5d (%3d)", c.Count, c.Paper)
+		}
+		fmt.Println()
+	}
+	fmt.Println("(values in parentheses: paper's Table 2)")
+}
+
+func advise(mixText string, top int, minPages float64, maxFrags int64, maxBitmaps int, disks, seed int64) error {
+	star := schema.APB1()
+	icfg := frag.APB1Indexes(star)
+	gen := workload.NewGenerator(star, seed)
+
+	var mix []cost.WeightedQuery
+	for _, part := range strings.Split(mixText, ",") {
+		nw := strings.SplitN(strings.TrimSpace(part), ":", 2)
+		if len(nw) != 2 {
+			return fmt.Errorf("malformed mix entry %q (want NAME:WEIGHT)", part)
+		}
+		qt, err := workload.ByName(nw[0])
+		if err != nil {
+			return err
+		}
+		w, err := strconv.ParseFloat(nw[1], 64)
+		if err != nil {
+			return fmt.Errorf("bad weight in %q: %v", part, err)
+		}
+		q, err := gen.Next(qt)
+		if err != nil {
+			return err
+		}
+		mix = append(mix, cost.WeightedQuery{Name: qt.Name, Query: q, Weight: w})
+	}
+
+	if maxFrags == 0 {
+		maxFrags = frag.MaxFragments(star, 1)
+	}
+	th := frag.Thresholds{
+		MinBitmapFragPages: minPages,
+		MaxFragments:       maxFrags,
+		MaxBitmaps:         maxBitmaps,
+		MinFragments:       disks,
+	}
+	ranked := cost.Advise(star, icfg, mix, th, cost.DefaultParams())
+	fmt.Printf("Admissible fragmentations: %d of %d (thresholds: bitmap frag >= %.1f pages, <= %d fragments, >= %d fragments",
+		len(ranked), len(frag.Enumerate(star)), minPages, maxFrags, disks)
+	if maxBitmaps > 0 {
+		fmt.Printf(", <= %d bitmaps", maxBitmaps)
+	}
+	fmt.Println(")")
+	fmt.Println()
+	fmt.Printf("%-4s %-55s %12s %9s %12s\n", "rank", "fragmentation", "fragments", "bitmaps", "work [MB]")
+	for i, r := range ranked {
+		if i >= top {
+			break
+		}
+		fmt.Printf("%-4d %-55s %12d %9d %12.0f\n",
+			i+1, r.Spec.String(), r.Fragments, r.Bitmaps, r.Work/(1<<20))
+	}
+	if len(ranked) > 0 {
+		fmt.Println("\nPer-query I/O of the best candidate:")
+		best := ranked[0]
+		for i, wq := range mix {
+			c := best.PerQuery[i]
+			fmt.Printf("  %-16s weight %.2f: %s, %d fragments, %.1f MB\n",
+				wq.Name, wq.Weight, c.Class, c.Fragments, c.TotalMB())
+		}
+	}
+	return nil
+}

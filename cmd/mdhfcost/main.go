@@ -1,0 +1,128 @@
+// Command mdhfcost prints the analytical results of the MDHF study:
+// Table 1 (hierarchical encoding), Table 3 (I/O characteristics of 1STORE),
+// Table 6 (fragmentation parameters), the bitmap inventory, and ad-hoc cost
+// estimates for arbitrary fragmentation/query pairs.
+//
+// Usage:
+//
+//	mdhfcost -table all
+//	mdhfcost -frag "time::month, product::group" -query "customer::store=7"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cost"
+	"repro/internal/experiments"
+	"repro/internal/frag"
+	"repro/internal/schema"
+)
+
+func main() {
+	table := flag.String("table", "", "table to print: 1, 3, 6, bitmaps, or all")
+	fragText := flag.String("frag", "", "fragmentation, e.g. \"time::month, product::group\"")
+	queryText := flag.String("query", "", "query, e.g. \"customer::store=7\"")
+	flag.Parse()
+
+	if *table == "" && *fragText == "" {
+		*table = "all"
+	}
+	switch *table {
+	case "1":
+		printTable1()
+	case "3":
+		printTable3()
+	case "6":
+		printTable6()
+	case "bitmaps":
+		printBitmaps()
+	case "all":
+		printTable1()
+		fmt.Println()
+		printTable3()
+		fmt.Println()
+		printTable6()
+		fmt.Println()
+		printBitmaps()
+	case "":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
+		os.Exit(2)
+	}
+
+	if *fragText != "" {
+		if err := printEstimate(*fragText, *queryText); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func printTable1() {
+	rows, pattern := experiments.Table1()
+	fmt.Println("Table 1: Hierarchy representation in encoded bitmap join indices (PRODUCT)")
+	fmt.Printf("%-10s %15s %16s %6s %6s\n", "level", "#total elements", "#within parent", "bits", "paper")
+	for _, r := range rows {
+		fmt.Printf("%-10s %15d %16d %6d %6d\n", r.Level, r.TotalElements, r.WithinParent, r.Bits, r.PaperBits)
+	}
+	fmt.Printf("sample bit pattern: %s\n", pattern)
+}
+
+func printTable3() {
+	cols := experiments.Table3()
+	fmt.Println("Table 3: I/O characteristics for query 1STORE")
+	fmt.Printf("%-28s %16s %16s\n", "", cols[0].Label, cols[1].Label)
+	fmt.Printf("%-28s %16s %16s\n", "fragmentation", cols[0].Fragmentation, cols[1].Fragmentation)
+	fmt.Printf("%-28s %16d %16d\n", "#fragments to process", cols[0].Cost.Fragments, cols[1].Cost.Fragments)
+	fmt.Printf("%-28s %16d %16d\n", "  paper", cols[0].PaperFragments, cols[1].PaperFragments)
+	fmt.Printf("%-28s %16d %16d\n", "#fact table I/O [pages]", cols[0].Cost.FactPages, cols[1].Cost.FactPages)
+	fmt.Printf("%-28s %16d %16d\n", "  paper", cols[0].PaperFactIO, cols[1].PaperFactIO)
+	fmt.Printf("%-28s %16d %16d\n", "#bitmap I/O [pages]", cols[0].Cost.BitmapPages, cols[1].Cost.BitmapPages)
+	fmt.Printf("%-28s %16d %16d\n", "  paper", cols[0].PaperBitmapIO, cols[1].PaperBitmapIO)
+	fmt.Printf("%-28s %16.0f %16.0f\n", "total I/O size [MB]", cols[0].Cost.TotalMB(), cols[1].Cost.TotalMB())
+	fmt.Printf("%-28s %16.0f %16.0f\n", "  paper", cols[0].PaperTotalMB, cols[1].PaperTotalMB)
+}
+
+func printTable6() {
+	fmt.Println("Table 6: Fragmentation parameters for experiment 3")
+	fmt.Printf("%-35s %12s %22s\n", "fragmentation", "#fragments", "bitmap frag [pages]")
+	for _, r := range experiments.Table6() {
+		fmt.Printf("%-35s %12d %12.2f (paper %.2f)\n", r.Fragmentation, r.Fragments, r.BitmapFragPages, r.PaperBitmapFragPages)
+	}
+}
+
+func printBitmaps() {
+	inv := experiments.Bitmaps()
+	fmt.Println("Bitmap inventory (Sections 3.2, 4.2)")
+	fmt.Printf("maximum bitmaps:                 %d (paper 76)\n", inv.MaxBitmaps)
+	fmt.Printf("surviving under FMonthGroup:     %d (paper 32)\n", inv.SurvivingUnderFMonthGroup)
+}
+
+func printEstimate(fragText, queryText string) error {
+	s := schema.APB1()
+	spec, err := frag.Parse(s, fragText)
+	if err != nil {
+		return err
+	}
+	if queryText == "" {
+		fmt.Printf("%s: %d fragments, %.2f-page bitmap fragments\n",
+			spec, spec.NumFragments(), spec.BitmapFragmentPages())
+		return nil
+	}
+	q, err := frag.ParseQuery(s, queryText)
+	if err != nil {
+		return err
+	}
+	cfg := frag.APB1Indexes(s)
+	c := cost.Estimate(spec, cfg, q, cost.DefaultParams())
+	fmt.Printf("fragmentation:  %s\n", spec)
+	fmt.Printf("query:          %s  (class %s, %s)\n", queryText, spec.Classify(q), c.Class)
+	fmt.Printf("fragments:      %d of %d\n", c.Fragments, spec.NumFragments())
+	fmt.Printf("bitmaps/frag:   %d\n", c.BitmapsPerFragment)
+	fmt.Printf("fact I/O:       %d pages in %d ops\n", c.FactPages, c.FactIOs)
+	fmt.Printf("bitmap I/O:     %d pages in %d ops\n", c.BitmapPages, c.BitmapIOs)
+	fmt.Printf("total:          %.1f MB\n", c.TotalMB())
+	return nil
+}

@@ -1,0 +1,137 @@
+// Command mdhfsim runs the SIMPAD simulation experiments of the MDHF study
+// and prints the series behind Figures 3-6, the Table 4 parameter settings,
+// or a single custom simulation run.
+//
+// Usage:
+//
+//	mdhfsim -fig 3          # 1STORE speed-up over disks
+//	mdhfsim -fig 4          # 1MONTH speed-up over processors
+//	mdhfsim -fig 5          # parallel vs non-parallel bitmap I/O
+//	mdhfsim -fig 6          # fragmentation comparison (both panels)
+//	mdhfsim -params         # Table 4 settings
+//	mdhfsim -frag "time::month, product::group" -qt 1STORE -d 100 -p 20 -t 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/alloc"
+	"repro/internal/experiments"
+	"repro/internal/frag"
+	"repro/internal/schema"
+	"repro/internal/simpad"
+	"repro/internal/workload"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to reproduce: 3, 4, 5 or 6")
+	params := flag.Bool("params", false, "print the Table 4 simulation parameters")
+	queries := flag.Int("queries", 1, "queries averaged per data point")
+	seed := flag.Int64("seed", 1, "random seed")
+
+	fragText := flag.String("frag", "", "custom run: fragmentation")
+	qtName := flag.String("qt", "1STORE", "custom run: query type")
+	d := flag.Int("d", 100, "custom run: disks")
+	p := flag.Int("p", 20, "custom run: processing nodes")
+	t := flag.Int("t", 5, "custom run: subqueries per node")
+	noParIO := flag.Bool("no-parallel-bitmap-io", false, "custom run: disable parallel bitmap I/O")
+	sharedNothing := flag.Bool("shared-nothing", false, "custom run: Shared Nothing architecture (footnote 3)")
+	cluster := flag.Int("cluster", 1, "custom run: fragments per clustering granule (Section 6.3)")
+	flag.Parse()
+
+	opt := experiments.Options{Queries: *queries, Seed: *seed}
+	switch {
+	case *params:
+		printParams()
+	case *fig == 3:
+		printFigure(experiments.Figure3(opt))
+	case *fig == 4:
+		printFigure(experiments.Figure4(opt))
+	case *fig == 5:
+		printFigure(experiments.Figure5(opt))
+	case *fig == 6:
+		printFigure(experiments.Figure6CodeQuarter(opt))
+		fmt.Println()
+		printFigure(experiments.Figure6Store(opt))
+	case *fragText != "":
+		if err := custom(*fragText, *qtName, *d, *p, *t, !*noParIO, *sharedNothing, *cluster, *queries, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func printParams() {
+	c := simpad.DefaultConfig()
+	fmt.Println("Table 4: Parameter settings used in simulations")
+	fmt.Printf("disks (d):                      %d\n", c.Disks)
+	fmt.Printf("processing nodes (p):           %d\n", c.Nodes)
+	fmt.Printf("CPU speed:                      %.0f MIPS\n", c.MIPS)
+	fmt.Printf("avg. seek time:                 %.0f ms\n", c.AvgSeekMs)
+	fmt.Printf("settle + controller delay:      %.0f ms/access + %.0f ms/page\n", c.SettleMs, c.TransferMsPerPage)
+	fmt.Printf("page size:                      %d B\n", c.PageSize)
+	fmt.Printf("buffer fact/bitmap:             %d / %d pages\n", c.BufferFactPages, c.BufferBitmapPages)
+	fmt.Printf("prefetch fact/bitmap:           %d / %d pages\n", c.PrefetchFact, c.PrefetchBitmap)
+	fmt.Printf("network:                        %.0f Mbit/s, msgs %d B / %d B\n", c.NetMbps, c.SmallMsgBytes, c.LargeMsgBytes)
+	fmt.Printf("instructions: init/term query   %d / %d\n", c.InstrInitQuery, c.InstrTerminateQuery)
+	fmt.Printf("  init/term subquery            %d / %d\n", c.InstrInitSubquery, c.InstrTerminateSubquery)
+	fmt.Printf("  read page / bitmap page       %d / %d\n", c.InstrReadPage, c.InstrProcessBitmapPage)
+	fmt.Printf("  extract / aggregate row       %d / %d\n", c.InstrExtractRow, c.InstrAggregateRow)
+	fmt.Printf("  message                       %d + #bytes\n", c.InstrMsgBase)
+}
+
+func printFigure(f experiments.Figure) {
+	fmt.Println(f.Name)
+	for _, s := range f.Series {
+		fmt.Printf("  %s:\n", s.Label)
+		for _, pt := range s.Points {
+			fmt.Printf("    %-22s %4.0f   response %10.1f s   speed-up %6.2f\n", f.XLabel, pt.X, pt.ResponseTime, pt.Speedup)
+		}
+	}
+}
+
+func custom(fragText, qtName string, d, p, t int, parIO, sharedNothing bool, cluster, queries int, seed int64) error {
+	star := schema.APB1()
+	spec, err := frag.Parse(star, fragText)
+	if err != nil {
+		return err
+	}
+	qt, err := workload.ByName(qtName)
+	if err != nil {
+		return err
+	}
+	icfg := frag.APB1Indexes(star)
+	cfg := simpad.DefaultConfig()
+	cfg.Disks, cfg.Nodes, cfg.TasksPerNode, cfg.ParallelBitmapIO = d, p, t, parIO
+	if sharedNothing {
+		cfg.Architecture = simpad.SharedNothing
+	}
+	placement := alloc.Placement{Disks: d, Scheme: alloc.RoundRobin, Staggered: true, Cluster: cluster}
+	sys, err := simpad.NewSystem(cfg, icfg, placement, seed)
+	if err != nil {
+		return err
+	}
+	gen := workload.NewGenerator(star, seed)
+	var plans []*simpad.Plan
+	for i := 0; i < queries; i++ {
+		q, err := gen.Next(qt)
+		if err != nil {
+			return err
+		}
+		plans = append(plans, simpad.NewPlan(spec, icfg, q, cfg).Clustered(cluster))
+	}
+	rs := sys.Run(plans)
+	fmt.Printf("fragmentation %s, query %s, d=%d p=%d t=%d parallel-bitmap-io=%v arch=%v cluster=%d\n",
+		spec, qtName, d, p, t, parIO, cfg.Architecture, cluster)
+	for i, r := range rs {
+		fmt.Printf("  query %d: %8.1f s  (%d subqueries, %d disk ops, %d pages, mean disk util %.2f, buffer hit %.2f)\n",
+			i+1, r.ResponseTime, r.Subqueries, r.DiskOps, r.DiskPages, r.MeanDiskUtil, r.BufferHitRate)
+	}
+	fmt.Printf("mean response time: %.1f s\n", simpad.MeanResponseTime(rs))
+	return nil
+}

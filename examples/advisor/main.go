@@ -1,0 +1,66 @@
+// Advisor: apply the Section 4.7 data allocation guidelines to a workload —
+// enumerate all fragmentation options of the full APB-1 schema, filter by
+// the three thresholds, and rank the survivors by analytical I/O work.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mdhf "repro"
+)
+
+func main() {
+	star := mdhf.APB1()
+	icfg := mdhf.APB1Indexes(star)
+	gen := mdhf.NewQueryGenerator(star, 1)
+
+	// A marketing-analysis mix: mostly month/group roll-ups, some store
+	// drill-downs and code/quarter lookups.
+	var mix []mdhf.WeightedQuery
+	for _, e := range []struct {
+		qt mdhf.QueryType
+		w  float64
+	}{
+		{mdhf.OneMonthOneGroup, 0.4},
+		{mdhf.OneGroupOneQuarter, 0.2},
+		{mdhf.OneCodeOneQuarter, 0.2},
+		{mdhf.OneStore, 0.2},
+	} {
+		q, err := gen.Next(e.qt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mix = append(mix, mdhf.WeightedQuery{Name: e.qt.Name, Query: q, Weight: e.w})
+	}
+
+	// Guideline 1: thresholds. (i) bitmap fragments of at least one page,
+	// (ii) at most nmax fragments, plus at least one fragment per disk.
+	th := mdhf.Thresholds{
+		MinBitmapFragPages: 1,
+		MaxFragments:       mdhf.MaxFragments(star, 1),
+		MinFragments:       100, // 100 disks
+	}
+	fmt.Printf("thresholds: bitmap fragment >= 1 page, fragments in [100, %d]\n\n", th.MaxFragments)
+
+	// Guidelines 2+3: analyze the I/O load of the remaining candidates and
+	// pick the minimum total work.
+	ranked := mdhf.Advise(star, icfg, mix, th, mdhf.DefaultCostParams())
+	fmt.Printf("%d admissible fragmentations (of %d options); top 5 by weighted I/O work:\n\n",
+		len(ranked), len(mdhf.EnumerateFragmentations(star)))
+	for i, r := range ranked {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("%d. %-58s %9d fragments, %2d bitmaps, %8.0f MB\n",
+			i+1, r.Spec.String(), r.Fragments, r.Bitmaps, r.Work/(1<<20))
+	}
+
+	best := ranked[0]
+	fmt.Printf("\nper-query breakdown of the winner %s:\n", best.Spec)
+	for i, wq := range mix {
+		c := best.PerQuery[i]
+		fmt.Printf("  %-16s weight %.1f: %-11s %7d fragments %10.1f MB I/O\n",
+			wq.Name, wq.Weight, c.Class, c.Fragments, c.TotalMB())
+	}
+}

@@ -1,0 +1,51 @@
+// Bitmaps: demonstrate the encoded bitmap join index of Section 3.2 /
+// Table 1 — hierarchical encoding, prefix selections, and the bitmap
+// elimination MDHF enables.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/bitmap"
+	"repro/internal/data"
+	"repro/internal/schema"
+)
+
+func main() {
+	star := schema.APB1()
+	product := star.Dim(schema.DimProduct)
+
+	// Table 1: the hierarchical encoding of the PRODUCT dimension.
+	layout := bitmap.NewLayout(product, nil)
+	fmt.Printf("PRODUCT encoding: %d bitmaps, pattern %s\n", layout.TotalBits(), layout)
+	for i, l := range product.Levels {
+		fmt.Printf("  %-10s %5d members, %d bits, selection reads %2d of %d bitmaps\n",
+			l.Name, l.Card, layout.FieldBits(i), layout.PrefixBits(i), layout.TotalBits())
+	}
+
+	// Build a real index over generated rows (reduced scale) and run the
+	// 1MONTH1GROUP star join of Section 3.1 via bitmap intersection.
+	small := schema.APB1Scaled(60)
+	table := data.MustGenerate(small, 1)
+	pd := small.DimIndex(schema.DimProduct)
+	td := small.DimIndex(schema.DimTime)
+	prodIdx := bitmap.NewEncodedIndex(bitmap.NewLayout(small.Dim(schema.DimProduct), nil), table.Dims[pd])
+	monthIdx := bitmap.NewSimpleIndex(small.Dim(schema.DimTime).LeafCard(), table.Dims[td])
+
+	group := small.Dim(schema.DimProduct).LevelIndex(schema.LvlGroup)
+	g, month := 3, 5
+	sel, bitmapsRead := prodIdx.Select(group, g)
+	sel.And(monthIdx.Bitmap(month))
+
+	var dollars int64
+	sel.ForEach(func(i int) { dollars += table.DollarSales[i] })
+	fmt.Printf("\n1MONTH1GROUP (group=%d, month=%d) over %d rows:\n", g, month, table.N())
+	fmt.Printf("  read %d product bitmaps + 1 month bitmap, %d hits, sum(DollarSales)=%d\n",
+		bitmapsRead, sel.OnesCount(), dollars)
+
+	// MDHF's bitmap elimination: fragmenting on product::group makes the
+	// 10-bit group prefix constant per fragment.
+	fmt.Printf("\nunder FMonthGroup a code lookup inside a fragment reads only %d suffix bitmaps\n",
+		layout.SuffixBits(product.LevelIndex(schema.LvlGroup)))
+	fmt.Printf("and all %d TIME bitmaps disappear: 76 -> 32 bitmaps total (Section 4.2)\n", 34)
+}

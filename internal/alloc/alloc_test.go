@@ -1,0 +1,153 @@
+package alloc
+
+import (
+	"testing"
+
+	"repro/internal/frag"
+	"repro/internal/schema"
+)
+
+func TestSection46GcdClustering(t *testing.T) {
+	// Section 4.6: FMonthGroup allocated month-major on 100 disks; 1CODE
+	// accesses every 480th fragment; gcd(480, 100) = 20 → only 5 disks,
+	// "reducing possible parallelism by a factor of 4.8".
+	if got := Gcd(480, 100); got != 20 {
+		t.Fatalf("gcd = %d", got)
+	}
+	if got := StrideDisks(480, 100); got != 5 {
+		t.Fatalf("StrideDisks(480, 100) = %d, want 5", got)
+	}
+	// "If we allocate the other way round, ... 1MONTH queries are
+	// restricted to 25 disks (gcd = 4)": stride 24 over 100 disks.
+	if got := StrideDisks(24, 100); got != 25 {
+		t.Fatalf("StrideDisks(24, 100) = %d, want 25", got)
+	}
+
+	s := schema.APB1()
+	spec := frag.MustParse(s, "time::month, product::group")
+	p := s.DimIndex(schema.DimProduct)
+	code := s.Dim(schema.DimProduct).LevelIndex(schema.LvlCode)
+	q := frag.Query{{Dim: p, Level: code, Member: 77}}
+
+	rr := Placement{Disks: 100, Scheme: RoundRobin, Staggered: true}
+	if got := DisksUsed(spec, q, rr); got != 5 {
+		t.Errorf("1CODE on 100 round-robin disks uses %d disks, want 5", got)
+	}
+
+	// Counter-measure 1: a prime number of disks restores parallelism.
+	prime := Placement{Disks: 101, Scheme: RoundRobin}
+	if got := DisksUsed(spec, q, prime); got != 24 {
+		t.Errorf("1CODE on 101 disks uses %d disks, want 24 (one per fragment)", got)
+	}
+
+	// Counter-measure 2: the gap scheme on 100 disks.
+	gap := Placement{Disks: 100, Scheme: GapRoundRobin}
+	if got := DisksUsed(spec, q, gap); got <= 5 {
+		t.Errorf("1CODE with gap scheme uses %d disks, want > 5", got)
+	}
+}
+
+func TestFullDeclusteringForUnsupportedQuery(t *testing.T) {
+	// 1STORE touches all fragments → all disks, under any scheme.
+	s := schema.APB1()
+	spec := frag.MustParse(s, "time::month, product::group")
+	c := s.DimIndex(schema.DimCustomer)
+	store := s.Dim(schema.DimCustomer).LevelIndex(schema.LvlStore)
+	q := frag.Query{{Dim: c, Level: store, Member: 0}}
+	for _, sch := range []Scheme{RoundRobin, GapRoundRobin} {
+		p := Placement{Disks: 100, Scheme: sch}
+		if got := DisksUsed(spec, q, p); got != 100 {
+			t.Errorf("%v: disks used = %d, want 100", sch, got)
+		}
+	}
+}
+
+func TestStaggeredBitmapPlacement(t *testing.T) {
+	p := Placement{Disks: 100, Scheme: RoundRobin, Staggered: true}
+	// Fact fragment 7 on disk 7; its 12 bitmap fragments on disks 8..19.
+	if got := p.FactDisk(7); got != 7 {
+		t.Fatalf("FactDisk(7) = %d", got)
+	}
+	for k := 0; k < 12; k++ {
+		if got, want := p.BitmapDisk(7, k), 8+k; got != want {
+			t.Errorf("BitmapDisk(7, %d) = %d, want %d", k, got, want)
+		}
+	}
+	// Wrap-around.
+	if got := p.BitmapDisk(99, 3); got != 3 {
+		t.Errorf("BitmapDisk(99, 3) = %d, want 3", got)
+	}
+	// Distinct disks within one subquery → parallel bitmap I/O possible.
+	seen := map[int]bool{}
+	for k := 0; k < 12; k++ {
+		d := p.BitmapDisk(42, k)
+		if seen[d] {
+			t.Fatalf("bitmap fragments share disk %d", d)
+		}
+		seen[d] = true
+	}
+}
+
+func TestCoLocatedBitmapPlacement(t *testing.T) {
+	p := Placement{Disks: 100, Scheme: RoundRobin, Staggered: false}
+	for k := 0; k < 12; k++ {
+		if got := p.BitmapDisk(42, k); got != 42 {
+			t.Errorf("co-located BitmapDisk(42, %d) = %d, want 42", k, got)
+		}
+	}
+}
+
+func TestGapSchemeCoversAllDisks(t *testing.T) {
+	// The gap scheme must still spread consecutive fragments over all disks.
+	p := Placement{Disks: 10, Scheme: GapRoundRobin}
+	seen := map[int]bool{}
+	for id := int64(0); id < 10; id++ {
+		seen[p.FactDisk(id)] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("first round covers %d disks, want 10", len(seen))
+	}
+}
+
+func TestPrimeHelpers(t *testing.T) {
+	primes := []int{2, 3, 5, 7, 97, 101}
+	for _, p := range primes {
+		if !IsPrime(p) {
+			t.Errorf("IsPrime(%d) = false", p)
+		}
+	}
+	for _, np := range []int{0, 1, 4, 9, 100, 14400} {
+		if IsPrime(np) {
+			t.Errorf("IsPrime(%d) = true", np)
+		}
+	}
+	if got := NextPrime(100); got != 101 {
+		t.Errorf("NextPrime(100) = %d", got)
+	}
+	if got := NextPrime(-5); got != 2 {
+		t.Errorf("NextPrime(-5) = %d", got)
+	}
+	if got := NextPrime(7); got != 7 {
+		t.Errorf("NextPrime(7) = %d", got)
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if RoundRobin.String() != "round-robin" || GapRoundRobin.String() != "gap-round-robin" {
+		t.Error("Scheme.String wrong")
+	}
+	if Scheme(9).String() == "" {
+		t.Error("unknown scheme string empty")
+	}
+}
+
+func TestGcdProperties(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{0, 5, 5}, {5, 0, 5}, {1, 1, 1}, {12, 18, 6}, {17, 13, 1},
+	}
+	for _, c := range cases {
+		if got := Gcd(c.a, c.b); got != c.want {
+			t.Errorf("Gcd(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,282 @@
+package bitmap
+
+// Word-aligned hybrid (WAH) compression for bitsets. The paper notes that
+// the storage overhead of bitmap indices "may be reduced by compressing
+// the bitmaps" (Section 3.2); WAH is the classic scheme that keeps
+// bitwise operations cheap by aligning runs to word boundaries.
+//
+// Layout: bits are grouped into 63-bit groups. A literal word has MSB 0
+// and carries one group in its low 63 bits. A fill word has MSB 1, the
+// fill bit in bit 62, and the run length (in groups) in the low 62 bits.
+
+const (
+	groupBits = 63
+	fillFlag  = uint64(1) << 63
+	fillOne   = uint64(1) << 62
+	maxRun    = fillOne - 1
+	groupMask = (uint64(1) << groupBits) - 1
+)
+
+// Compressed is a WAH-compressed immutable bitmap.
+type Compressed struct {
+	n     int // length in bits
+	words []uint64
+}
+
+// Len returns the number of bits.
+func (c *Compressed) Len() int { return c.n }
+
+// Bytes returns the compressed storage size in bytes.
+func (c *Compressed) Bytes() int { return len(c.words) * 8 }
+
+// Words exposes the raw encoded words for serialisation.
+func (c *Compressed) Words() []uint64 { return c.words }
+
+// FromWords reconstructs a compressed bitmap from serialised words.
+func FromWords(nBits int, words []uint64) *Compressed {
+	return &Compressed{n: nBits, words: words}
+}
+
+// group extracts the g-th 63-bit group of b, zero-padded at the tail.
+func group(b *Bitset, g int) uint64 {
+	var v uint64
+	base := g * groupBits
+	// Collect from the two underlying 64-bit words the group straddles.
+	w0 := base / wordBits
+	off := base % wordBits
+	if w0 < len(b.words) {
+		v = b.words[w0] >> uint(off)
+		if off > 0 && w0+1 < len(b.words) {
+			v |= b.words[w0+1] << uint(wordBits-off)
+		}
+	}
+	return v & groupMask
+}
+
+// Compress encodes a bitset.
+func Compress(b *Bitset) *Compressed {
+	c := &Compressed{n: b.Len()}
+	groups := (b.Len() + groupBits - 1) / groupBits
+	// Zero-pad semantics: the final partial group is stored as-is.
+	var runVal uint64
+	var runLen uint64
+	flush := func() {
+		if runLen == 0 {
+			return
+		}
+		w := fillFlag | runLen
+		if runVal != 0 {
+			w |= fillOne
+		}
+		c.words = append(c.words, w)
+		runLen = 0
+	}
+	for g := 0; g < groups; g++ {
+		v := group(b, g)
+		if v == 0 || v == groupMask {
+			bit := uint64(0)
+			if v == groupMask {
+				bit = 1
+			}
+			if runLen > 0 && ((runVal == 1) != (bit == 1) || runLen == maxRun) {
+				flush()
+			}
+			runVal = bit
+			runLen++
+			continue
+		}
+		flush()
+		c.words = append(c.words, v)
+	}
+	flush()
+	return c
+}
+
+// Decompress reconstructs the bitset.
+func (c *Compressed) Decompress() *Bitset {
+	out := New(c.n)
+	g := 0
+	emit := func(v uint64) {
+		base := g * groupBits
+		w0 := base / wordBits
+		off := base % wordBits
+		if w0 < len(out.words) {
+			out.words[w0] |= v << uint(off)
+			if off > 0 && w0+1 < len(out.words) {
+				out.words[w0+1] |= v >> uint(wordBits-off)
+			}
+		}
+		g++
+	}
+	for _, w := range c.words {
+		if w&fillFlag == 0 {
+			emit(w)
+			continue
+		}
+		v := uint64(0)
+		if w&fillOne != 0 {
+			v = groupMask
+		}
+		for i := uint64(0); i < w&maxRun; i++ {
+			emit(v)
+		}
+	}
+	out.trim()
+	return out
+}
+
+// OnesCount returns the number of set bits without decompressing.
+func (c *Compressed) OnesCount() int {
+	count := 0
+	g := 0
+	groups := (c.n + groupBits - 1) / groupBits
+	lastBits := c.n - (groups-1)*groupBits
+	for _, w := range c.words {
+		if w&fillFlag == 0 {
+			count += popcount(w & groupMask)
+			g++
+			continue
+		}
+		run := int(w & maxRun)
+		if w&fillOne != 0 {
+			// Full groups of ones; the final group of the bitmap may be
+			// partial.
+			for i := 0; i < run; i++ {
+				if g == groups-1 {
+					count += lastBits
+				} else {
+					count += groupBits
+				}
+				g++
+			}
+		} else {
+			g += run
+		}
+	}
+	return count
+}
+
+func popcount(v uint64) int {
+	c := 0
+	for v != 0 {
+		v &= v - 1
+		c++
+	}
+	return c
+}
+
+// wahReader iterates the groups of a compressed bitmap, merging runs.
+type wahReader struct {
+	words []uint64
+	pos   int
+	// pending run
+	runLeft uint64
+	runVal  uint64
+}
+
+// next returns the next 63-bit group.
+func (r *wahReader) next() uint64 {
+	if r.runLeft > 0 {
+		r.runLeft--
+		return r.runVal
+	}
+	w := r.words[r.pos]
+	r.pos++
+	if w&fillFlag == 0 {
+		return w & groupMask
+	}
+	v := uint64(0)
+	if w&fillOne != 0 {
+		v = groupMask
+	}
+	r.runLeft = w&maxRun - 1
+	r.runVal = v
+	return v
+}
+
+// And intersects two compressed bitmaps of equal length, producing a
+// compressed result without materialising either side.
+func And(a, b *Compressed) *Compressed {
+	if a.n != b.n {
+		panic("bitmap: compressed length mismatch")
+	}
+	groups := (a.n + groupBits - 1) / groupBits
+	ra := wahReader{words: a.words}
+	rb := wahReader{words: b.words}
+	out := &Compressed{n: a.n}
+	var runVal uint64
+	var runLen uint64
+	flush := func() {
+		if runLen == 0 {
+			return
+		}
+		w := fillFlag | runLen
+		if runVal != 0 {
+			w |= fillOne
+		}
+		out.words = append(out.words, w)
+		runLen = 0
+	}
+	for g := 0; g < groups; g++ {
+		v := ra.next() & rb.next()
+		if v == 0 || v == groupMask {
+			bit := uint64(0)
+			if v == groupMask {
+				bit = 1
+			}
+			if runLen > 0 && ((runVal == 1) != (bit == 1) || runLen == maxRun) {
+				flush()
+			}
+			runVal = bit
+			runLen++
+			continue
+		}
+		flush()
+		out.words = append(out.words, v)
+	}
+	flush()
+	return out
+}
+
+// Or unions two compressed bitmaps of equal length.
+func Or(a, b *Compressed) *Compressed {
+	if a.n != b.n {
+		panic("bitmap: compressed length mismatch")
+	}
+	groups := (a.n + groupBits - 1) / groupBits
+	ra := wahReader{words: a.words}
+	rb := wahReader{words: b.words}
+	out := &Compressed{n: a.n}
+	var runVal uint64
+	var runLen uint64
+	flush := func() {
+		if runLen == 0 {
+			return
+		}
+		w := fillFlag | runLen
+		if runVal != 0 {
+			w |= fillOne
+		}
+		out.words = append(out.words, w)
+		runLen = 0
+	}
+	for g := 0; g < groups; g++ {
+		v := ra.next() | rb.next()
+		if v == 0 || v == groupMask {
+			bit := uint64(0)
+			if v == groupMask {
+				bit = 1
+			}
+			if runLen > 0 && ((runVal == 1) != (bit == 1) || runLen == maxRun) {
+				flush()
+			}
+			runVal = bit
+			runLen++
+			continue
+		}
+		flush()
+		out.words = append(out.words, v)
+	}
+	flush()
+	return out
+}

@@ -1,0 +1,148 @@
+package bitmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomBitset(n int, density float64, seed int64) *Bitset {
+	rng := rand.New(rand.NewSource(seed))
+	b := New(n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < density {
+			b.Set(i)
+		}
+	}
+	return b
+}
+
+func TestCompressRoundTripVarious(t *testing.T) {
+	cases := []struct {
+		n       int
+		density float64
+	}{
+		{0, 0}, {1, 1}, {63, 0.5}, {64, 0.5}, {126, 0}, {127, 1},
+		{1000, 0.001}, {1000, 0.999}, {10_000, 0.5}, {100_000, 0.0001},
+	}
+	for _, c := range cases {
+		b := randomBitset(c.n, c.density, int64(c.n)+1)
+		got := Compress(b).Decompress()
+		if !got.Equal(b) {
+			t.Fatalf("n=%d density=%g: round trip mismatch", c.n, c.density)
+		}
+	}
+}
+
+func TestCompressRoundTripProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint16, dRaw uint8) bool {
+		n := int(nRaw)%5000 + 1
+		density := float64(dRaw) / 255
+		b := randomBitset(n, density, seed)
+		c := Compress(b)
+		if c.Len() != n {
+			return false
+		}
+		if c.OnesCount() != b.OnesCount() {
+			return false
+		}
+		return c.Decompress().Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressedAndOrMatchPlain(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw)%3000 + 1
+		a := randomBitset(n, 0.05, seed)
+		b := randomBitset(n, 0.5, seed+1)
+		ca, cb := Compress(a), Compress(b)
+
+		wantAnd := a.Clone()
+		wantAnd.And(b)
+		if !And(ca, cb).Decompress().Equal(wantAnd) {
+			return false
+		}
+		wantOr := a.Clone()
+		wantOr.Or(b)
+		return Or(ca, cb).Decompress().Equal(wantOr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressionRatioOnSparseBitmaps(t *testing.T) {
+	// A sparse bitmap (one product code of 14,400 -> selectivity 7e-5)
+	// must compress dramatically; a dense random one must not explode.
+	n := 1 << 20
+	sparse := New(n)
+	for i := 0; i < n; i += 14_400 {
+		sparse.Set(i)
+	}
+	cs := Compress(sparse)
+	if ratio := float64(cs.Bytes()) / float64(sparse.Bytes()); ratio > 0.01 {
+		t.Errorf("sparse compression ratio = %.4f, want < 0.01", ratio)
+	}
+
+	dense := randomBitset(n, 0.5, 9)
+	cd := Compress(dense)
+	if ratio := float64(cd.Bytes()) / float64(dense.Bytes()); ratio > 1.05 {
+		t.Errorf("dense compression ratio = %.3f, want <= ~1.02", ratio)
+	}
+}
+
+func TestCompressAllOnesAllZeros(t *testing.T) {
+	n := 100_000
+	zeros := New(n)
+	cz := Compress(zeros)
+	if cz.Bytes() > 16 {
+		t.Errorf("all-zero bitmap compressed to %d bytes", cz.Bytes())
+	}
+	if cz.OnesCount() != 0 {
+		t.Errorf("all-zero OnesCount = %d", cz.OnesCount())
+	}
+	ones := New(n)
+	ones.SetAll()
+	co := Compress(ones)
+	if co.Bytes() > 16 {
+		t.Errorf("all-one bitmap compressed to %d bytes", co.Bytes())
+	}
+	if co.OnesCount() != n {
+		t.Errorf("all-one OnesCount = %d, want %d", co.OnesCount(), n)
+	}
+	if !co.Decompress().Equal(ones) {
+		t.Error("all-one round trip failed")
+	}
+}
+
+func TestCompressedAndPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	And(Compress(New(10)), Compress(New(11)))
+}
+
+func TestCompressedStarJoinIntersection(t *testing.T) {
+	// The 1MONTH1GROUP pattern on compressed bitmaps: month bitmap
+	// (1/24 dense runs) AND group bitmap (sparse) — results must equal the
+	// uncompressed path.
+	n := 240_000
+	month := New(n)
+	for i := 0; i < n; i++ {
+		if (i/200)%24 == 3 { // month 3, clustered in page-sized runs
+			month.Set(i)
+		}
+	}
+	group := randomBitset(n, 1.0/480, 5)
+	want := month.Clone()
+	want.And(group)
+	got := And(Compress(month), Compress(group)).Decompress()
+	if !got.Equal(want) {
+		t.Fatal("compressed star join intersection mismatch")
+	}
+}

@@ -1,0 +1,189 @@
+// Package btree is an in-memory B+-tree mapping string keys to int64
+// values — the dimension-table index structure the paper assumes
+// (Section 5: "The dimension tables have B*-tree indices"). Values live in
+// the leaves; leaves are linked for range scans.
+package btree
+
+import "sort"
+
+// Tree is a B+-tree. The zero value is not usable; call New.
+type Tree struct {
+	order int // max children per inner node
+	root  node
+	size  int
+	first *leaf
+}
+
+type node interface {
+	// insert returns (newSeparator, newRight) when the node split.
+	insert(key string, val int64, t *Tree) (string, node)
+	get(key string) (int64, bool)
+}
+
+type inner struct {
+	keys     []string
+	children []node
+}
+
+type leaf struct {
+	keys []string
+	vals []int64
+	next *leaf
+}
+
+// New returns an empty tree of the given order (max children per inner
+// node, >= 3; typical 32-128).
+func New(order int) *Tree {
+	if order < 3 {
+		order = 3
+	}
+	lf := &leaf{}
+	return &Tree{order: order, root: lf, first: lf}
+}
+
+// Len returns the number of keys stored.
+func (t *Tree) Len() int { return t.size }
+
+// Insert adds or replaces key.
+func (t *Tree) Insert(key string, val int64) {
+	sep, right := t.root.insert(key, val, t)
+	if right != nil {
+		t.root = &inner{keys: []string{sep}, children: []node{t.root, right}}
+	}
+}
+
+// Get looks up key.
+func (t *Tree) Get(key string) (int64, bool) { return t.root.get(key) }
+
+// AscendRange calls fn for every key in [lo, hi), in order, stopping early
+// if fn returns false.
+func (t *Tree) AscendRange(lo, hi string, fn func(key string, val int64) bool) {
+	lf, i := t.findLeaf(lo)
+	for lf != nil {
+		for ; i < len(lf.keys); i++ {
+			if hi != "" && lf.keys[i] >= hi {
+				return
+			}
+			if !fn(lf.keys[i], lf.vals[i]) {
+				return
+			}
+		}
+		lf = lf.next
+		i = 0
+	}
+}
+
+// Ascend iterates all keys in order.
+func (t *Tree) Ascend(fn func(key string, val int64) bool) {
+	t.AscendRange("", "", fn)
+}
+
+// findLeaf returns the leaf and index of the first key >= lo.
+func (t *Tree) findLeaf(lo string) (*leaf, int) {
+	n := t.root
+	for {
+		switch v := n.(type) {
+		case *inner:
+			idx := sort.SearchStrings(v.keys, lo)
+			if idx < len(v.keys) && v.keys[idx] == lo {
+				idx++
+			}
+			n = v.children[idx]
+		case *leaf:
+			i := sort.SearchStrings(v.keys, lo)
+			if i == len(v.keys) && v.next != nil {
+				return v.next, 0
+			}
+			return v, i
+		}
+	}
+}
+
+func (lf *leaf) get(key string) (int64, bool) {
+	i := sort.SearchStrings(lf.keys, key)
+	if i < len(lf.keys) && lf.keys[i] == key {
+		return lf.vals[i], true
+	}
+	return 0, false
+}
+
+func (lf *leaf) insert(key string, val int64, t *Tree) (string, node) {
+	i := sort.SearchStrings(lf.keys, key)
+	if i < len(lf.keys) && lf.keys[i] == key {
+		lf.vals[i] = val
+		return "", nil
+	}
+	lf.keys = append(lf.keys, "")
+	copy(lf.keys[i+1:], lf.keys[i:])
+	lf.keys[i] = key
+	lf.vals = append(lf.vals, 0)
+	copy(lf.vals[i+1:], lf.vals[i:])
+	lf.vals[i] = val
+	t.size++
+	if len(lf.keys) < t.order {
+		return "", nil
+	}
+	// Split.
+	mid := len(lf.keys) / 2
+	right := &leaf{
+		keys: append([]string(nil), lf.keys[mid:]...),
+		vals: append([]int64(nil), lf.vals[mid:]...),
+		next: lf.next,
+	}
+	lf.keys = lf.keys[:mid]
+	lf.vals = lf.vals[:mid]
+	lf.next = right
+	return right.keys[0], right
+}
+
+func (in *inner) get(key string) (int64, bool) {
+	idx := sort.SearchStrings(in.keys, key)
+	if idx < len(in.keys) && in.keys[idx] == key {
+		idx++
+	}
+	return in.children[idx].get(key)
+}
+
+func (in *inner) insert(key string, val int64, t *Tree) (string, node) {
+	idx := sort.SearchStrings(in.keys, key)
+	if idx < len(in.keys) && in.keys[idx] == key {
+		idx++
+	}
+	sep, right := in.children[idx].insert(key, val, t)
+	if right == nil {
+		return "", nil
+	}
+	in.keys = append(in.keys, "")
+	copy(in.keys[idx+1:], in.keys[idx:])
+	in.keys[idx] = sep
+	in.children = append(in.children, nil)
+	copy(in.children[idx+2:], in.children[idx+1:])
+	in.children[idx+1] = right
+	if len(in.children) <= t.order {
+		return "", nil
+	}
+	// Split: middle key moves up.
+	mid := len(in.keys) / 2
+	upKey := in.keys[mid]
+	newRight := &inner{
+		keys:     append([]string(nil), in.keys[mid+1:]...),
+		children: append([]node(nil), in.children[mid+1:]...),
+	}
+	in.keys = in.keys[:mid]
+	in.children = in.children[:mid+1]
+	return upKey, newRight
+}
+
+// Height returns the tree height (1 = only a leaf).
+func (t *Tree) Height() int {
+	h := 1
+	n := t.root
+	for {
+		in, ok := n.(*inner)
+		if !ok {
+			return h
+		}
+		h++
+		n = in.children[0]
+	}
+}

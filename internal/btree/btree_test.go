@@ -1,0 +1,172 @@
+package btree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertGetSmall(t *testing.T) {
+	tr := New(4)
+	keys := []string{"delta", "alpha", "charlie", "bravo", "echo"}
+	for i, k := range keys {
+		tr.Insert(k, int64(i))
+	}
+	if tr.Len() != 5 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i, k := range keys {
+		v, ok := tr.Get(k)
+		if !ok || v != int64(i) {
+			t.Fatalf("Get(%s) = %d, %v", k, v, ok)
+		}
+	}
+	if _, ok := tr.Get("zulu"); ok {
+		t.Fatal("missing key found")
+	}
+}
+
+func TestInsertReplace(t *testing.T) {
+	tr := New(4)
+	tr.Insert("k", 1)
+	tr.Insert("k", 2)
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if v, _ := tr.Get("k"); v != 2 {
+		t.Fatalf("Get = %d", v)
+	}
+}
+
+func TestLargeRandomInsertAndOrder(t *testing.T) {
+	for _, order := range []int{3, 4, 16, 64} {
+		tr := New(order)
+		rng := rand.New(rand.NewSource(int64(order)))
+		want := map[string]int64{}
+		for i := 0; i < 5000; i++ {
+			k := fmt.Sprintf("key-%06d", rng.Intn(10000))
+			v := int64(i)
+			want[k] = v
+			tr.Insert(k, v)
+		}
+		if tr.Len() != len(want) {
+			t.Fatalf("order %d: Len = %d, want %d", order, tr.Len(), len(want))
+		}
+		for k, v := range want {
+			got, ok := tr.Get(k)
+			if !ok || got != v {
+				t.Fatalf("order %d: Get(%s) = %d,%v want %d", order, k, got, ok, v)
+			}
+		}
+		// Full ascend yields sorted keys.
+		var keys []string
+		tr.Ascend(func(k string, _ int64) bool {
+			keys = append(keys, k)
+			return true
+		})
+		if !sort.StringsAreSorted(keys) {
+			t.Fatalf("order %d: ascend not sorted", order)
+		}
+		if len(keys) != len(want) {
+			t.Fatalf("order %d: ascend visited %d of %d", order, len(keys), len(want))
+		}
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 100; i++ {
+		tr.Insert(fmt.Sprintf("%03d", i), int64(i))
+	}
+	var got []int64
+	tr.AscendRange("010", "020", func(_ string, v int64) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 10 || got[0] != 10 || got[9] != 19 {
+		t.Fatalf("range = %v", got)
+	}
+	// Early stop.
+	n := 0
+	tr.AscendRange("000", "", func(string, int64) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("early stop visited %d", n)
+	}
+	// Empty range.
+	got = nil
+	tr.AscendRange("500", "600", func(_ string, v int64) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 0 {
+		t.Fatalf("out-of-domain range = %v", got)
+	}
+}
+
+func TestHeightGrowsLogarithmically(t *testing.T) {
+	tr := New(16)
+	for i := 0; i < 10000; i++ {
+		tr.Insert(fmt.Sprintf("%08d", i), int64(i))
+	}
+	if h := tr.Height(); h < 3 || h > 6 {
+		t.Fatalf("height = %d for 10k keys at order 16", h)
+	}
+}
+
+func TestSequentialInsertAscending(t *testing.T) {
+	// Worst-case monotone insertion must still keep everything reachable.
+	tr := New(5)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		tr.Insert(fmt.Sprintf("%06d", i), int64(i))
+	}
+	for i := 0; i < n; i++ {
+		if v, ok := tr.Get(fmt.Sprintf("%06d", i)); !ok || v != int64(i) {
+			t.Fatalf("lost key %d", i)
+		}
+	}
+}
+
+// Property: the tree agrees with a map oracle under random workloads.
+func TestTreeMatchesMapOracle(t *testing.T) {
+	f := func(seed int64, orderRaw uint8) bool {
+		order := int(orderRaw)%30 + 3
+		tr := New(order)
+		oracle := map[string]int64{}
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 500; i++ {
+			k := fmt.Sprintf("%04d", rng.Intn(300))
+			v := rng.Int63()
+			tr.Insert(k, v)
+			oracle[k] = v
+		}
+		if tr.Len() != len(oracle) {
+			return false
+		}
+		for k, v := range oracle {
+			got, ok := tr.Get(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewClampsOrder(t *testing.T) {
+	tr := New(1)
+	for i := 0; i < 100; i++ {
+		tr.Insert(fmt.Sprintf("%d", i), int64(i))
+	}
+	if tr.Len() != 100 {
+		t.Fatal("clamped-order tree lost keys")
+	}
+}

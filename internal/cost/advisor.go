@@ -1,0 +1,61 @@
+package cost
+
+import (
+	"sort"
+
+	"repro/internal/frag"
+	"repro/internal/schema"
+)
+
+// Ranked is one fragmentation candidate with its estimated total work.
+type Ranked struct {
+	Spec *frag.Spec
+	// Work is the weighted total I/O bytes over the query mix.
+	Work float64
+	// Bitmaps is the number of bitmaps that must be materialised.
+	Bitmaps int
+	// Fragments is the number of fact fragments.
+	Fragments int64
+	// BitmapFragPages is the (fractional) bitmap fragment size in pages.
+	BitmapFragPages float64
+	// PerQuery holds the per-mix-entry costs, aligned with the mix.
+	PerQuery []QueryCost
+}
+
+// Advise implements the data allocation guidelines of Section 4.7:
+//
+//  1. exclude all fragmentations breaking a threshold (minimal bitmap
+//     fragment size, maximal fragment count, maximal bitmap count,
+//     and at least one fragment per disk);
+//  2. analyze the I/O load of the remaining candidates over the query mix;
+//  3. rank by minimal total I/O work.
+//
+// It returns all admissible candidates, best first.
+func Advise(star *schema.Star, cfg frag.IndexConfig, mix []WeightedQuery, th frag.Thresholds, p Params) []Ranked {
+	var out []Ranked
+	for _, spec := range frag.Enumerate(star) {
+		if !th.Admissible(spec, cfg) {
+			continue
+		}
+		r := Ranked{
+			Spec:            spec,
+			Bitmaps:         spec.SurvivingBitmaps(cfg),
+			Fragments:       spec.NumFragments(),
+			BitmapFragPages: spec.BitmapFragmentPages(),
+		}
+		for _, wq := range mix {
+			c := Estimate(spec, cfg, wq.Query, p)
+			r.PerQuery = append(r.PerQuery, c)
+			r.Work += wq.Weight * float64(c.TotalBytes)
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Work != out[j].Work {
+			return out[i].Work < out[j].Work
+		}
+		// Tie-break: fewer fragments are cheaper to administer.
+		return out[i].Fragments < out[j].Fragments
+	})
+	return out
+}

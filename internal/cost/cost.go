@@ -1,0 +1,148 @@
+// Package cost implements the analytical I/O cost model of the MDHF study
+// (Section 4.5 and the companion technical report [33], which is
+// unavailable; the formulas are reconstructed from the paper's stated
+// behaviour and calibrated against Tables 2, 3 and 6 — see EXPERIMENTS.md
+// for residual deviations).
+//
+// The model assumes, as the paper does, a uniform distribution of query
+// hits within each relevant fragment and page, and fragments stored
+// consecutively on disk.
+package cost
+
+import (
+	"math"
+
+	"repro/internal/frag"
+)
+
+// Params holds the I/O parameters of the cost model.
+type Params struct {
+	// FactPrefetch is the prefetch granule on fact fragments, in pages
+	// (paper: 8).
+	FactPrefetch int
+	// BitmapPrefetch is the prefetch granule on bitmap fragments, in pages
+	// (paper: 5).
+	BitmapPrefetch int
+}
+
+// DefaultParams returns the paper's prefetch settings (Table 4).
+func DefaultParams() Params {
+	return Params{FactPrefetch: 8, BitmapPrefetch: 5}
+}
+
+// QueryCost is the estimated I/O work of one star query under a given
+// fragmentation.
+type QueryCost struct {
+	// Class is the I/O overhead class (Section 4.5).
+	Class frag.IOClass
+	// Fragments is the number of fact fragments to process.
+	Fragments int64
+	// HitRows is the expected number of matching fact rows.
+	HitRows float64
+	// BitmapsPerFragment is the number of bitmap fragments read per fact
+	// fragment (0 for IOC1).
+	BitmapsPerFragment int
+
+	// FactPagesPerFragment is the expected number of fact pages read per
+	// relevant fragment (prefetch-granule aligned).
+	FactPagesPerFragment float64
+	// FactPages is the total number of fact pages read.
+	FactPages int64
+	// FactIOs is the total number of fact I/O operations (each reading up
+	// to FactPrefetch consecutive pages).
+	FactIOs int64
+
+	// BitmapPages is the total number of bitmap pages read.
+	BitmapPages int64
+	// BitmapIOs is the total number of bitmap I/O operations.
+	BitmapIOs int64
+
+	// TotalBytes is the total I/O volume.
+	TotalBytes int64
+}
+
+// TotalMB returns the total I/O volume in binary megabytes.
+func (c QueryCost) TotalMB() float64 { return float64(c.TotalBytes) / (1 << 20) }
+
+// TotalIOs returns the total number of I/O operations.
+func (c QueryCost) TotalIOs() int64 { return c.FactIOs + c.BitmapIOs }
+
+// BitmapFragPagesStored returns the page count a bitmap fragment occupies
+// on disk: the ceiling of its fractional size, at least one page.
+func BitmapFragPagesStored(spec *frag.Spec) int64 {
+	p := int64(math.Ceil(spec.BitmapFragmentPages()))
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// Estimate computes the I/O cost of query q under fragmentation spec with
+// index configuration cfg.
+func Estimate(spec *frag.Spec, cfg frag.IndexConfig, q frag.Query, p Params) QueryCost {
+	star := spec.Star()
+	out := QueryCost{
+		Class:              spec.IOClassOf(q),
+		Fragments:          spec.RelevantCount(q),
+		HitRows:            q.Hits(star),
+		BitmapsPerFragment: spec.BitmapsReadForQuery(cfg, q),
+	}
+
+	tpp := float64(star.FactTuplesPerPage())
+	fragPages := math.Ceil(spec.FragmentRows() / tpp)
+	g := float64(p.FactPrefetch)
+	granules := math.Ceil(fragPages / g)
+
+	if out.BitmapsPerFragment == 0 {
+		// IOC1: clustered hits, whole fragments are relevant — every page of
+		// every relevant fragment is read with full prefetch efficiency.
+		out.FactPagesPerFragment = fragPages
+		out.FactPages = out.Fragments * int64(fragPages)
+		out.FactIOs = out.Fragments * int64(granules)
+	} else {
+		// IOC2: hits are spread; a prefetch granule is read iff it contains
+		// at least one hit. With per-tuple hit probability s, a granule of
+		// g*tpp tuples is hit with probability 1-(1-s)^(g*tpp).
+		s := spec.FragmentSelectivity(q)
+		pGranule := 1 - math.Pow(1-s, g*tpp)
+		touched := granules * pGranule
+		if hits := s * spec.FragmentRows(); touched < 1 && hits > 0 {
+			touched = 1 // at least one granule per fragment with any hit
+		}
+		pages := touched * g
+		if pages > fragPages {
+			pages = fragPages
+		}
+		out.FactPagesPerFragment = pages
+		out.FactPages = int64(math.Round(float64(out.Fragments) * pages))
+		out.FactIOs = int64(math.Ceil(float64(out.Fragments) * touched))
+
+		// Bitmap I/O: each required bitmap fragment is read in full. A
+		// fragment of ceil(BF) pages costs ceil(ceil(BF)/prefetch) I/Os.
+		bfPages := BitmapFragPagesStored(spec)
+		bIOs := (bfPages + int64(p.BitmapPrefetch) - 1) / int64(p.BitmapPrefetch)
+		out.BitmapPages = out.Fragments * int64(out.BitmapsPerFragment) * bfPages
+		out.BitmapIOs = out.Fragments * int64(out.BitmapsPerFragment) * bIOs
+	}
+
+	out.TotalBytes = (out.FactPages + out.BitmapPages) * int64(star.PageSize)
+	return out
+}
+
+// TotalWork estimates the weighted total I/O bytes of a query mix under a
+// fragmentation — the ranking criterion of the guidelines in Section 4.7.
+func TotalWork(spec *frag.Spec, cfg frag.IndexConfig, mix []WeightedQuery, p Params) float64 {
+	var total float64
+	for _, wq := range mix {
+		c := Estimate(spec, cfg, wq.Query, p)
+		total += wq.Weight * float64(c.TotalBytes)
+	}
+	return total
+}
+
+// WeightedQuery is one entry of a query mix.
+type WeightedQuery struct {
+	Name   string
+	Query  frag.Query
+	Weight float64
+}

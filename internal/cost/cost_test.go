@@ -1,0 +1,254 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/frag"
+	"repro/internal/schema"
+)
+
+func storeQuery(s *schema.Star) frag.Query {
+	c := s.DimIndex(schema.DimCustomer)
+	store := s.Dim(schema.DimCustomer).LevelIndex(schema.LvlStore)
+	return frag.Query{{Dim: c, Level: store, Member: 5}}
+}
+
+// TestTable3Fopt reproduces the Fopt column of Table 3: 1STORE under
+// {customer::store} processes exactly 1 fragment with no bitmap access and
+// ~25 MB of perfectly clustered fact I/O.
+func TestTable3Fopt(t *testing.T) {
+	s := schema.APB1()
+	cfg := frag.APB1Indexes(s)
+	fopt := frag.MustParse(s, "customer::store")
+	c := Estimate(fopt, cfg, storeQuery(s), DefaultParams())
+
+	if c.Class != frag.IOC1Opt {
+		t.Errorf("class = %v, want IOC1-opt", c.Class)
+	}
+	if c.Fragments != 1 {
+		t.Errorf("fragments = %d, want 1", c.Fragments)
+	}
+	if c.BitmapPages != 0 || c.BitmapIOs != 0 {
+		t.Errorf("bitmap I/O = %d pages / %d ops, want none", c.BitmapPages, c.BitmapIOs)
+	}
+	// Paper: 795 fact I/O "pages", total 25 MB. One fragment holds
+	// 1,296,000 rows = 6480 pages = 25.3 MB; the paper's 795 is consistent
+	// with prefetch-granule operations (6480/8 = 810 at 200 tuples/page).
+	if c.FactPages != 6480 {
+		t.Errorf("fact pages = %d, want 6480", c.FactPages)
+	}
+	if c.FactIOs != 810 {
+		t.Errorf("fact I/Os = %d, want 810", c.FactIOs)
+	}
+	if mb := c.TotalMB(); mb < 24 || mb > 26 {
+		t.Errorf("total = %.1f MB, want ~25 MB", mb)
+	}
+}
+
+// TestTable3Fnosupp reproduces the Fnosupp column of Table 3: 1STORE under
+// FMonthGroup touches all 11,520 fragments, reads 12 bitmap fragments each
+// (691,200 bitmap pages — exact match with the paper) and several million
+// fact pages.
+func TestTable3Fnosupp(t *testing.T) {
+	s := schema.APB1()
+	cfg := frag.APB1Indexes(s)
+	fns := frag.MustParse(s, "time::month, product::group")
+	c := Estimate(fns, cfg, storeQuery(s), DefaultParams())
+
+	if c.Class != frag.IOC2NoSupp {
+		t.Errorf("class = %v, want IOC2-nosupp", c.Class)
+	}
+	if c.Fragments != 11_520 {
+		t.Errorf("fragments = %d, want 11520", c.Fragments)
+	}
+	if c.BitmapsPerFragment != 12 {
+		t.Errorf("bitmaps per fragment = %d, want 12", c.BitmapsPerFragment)
+	}
+	// Paper: 691,200 bitmap pages (11,520 fragments x 12 bitmaps x 5 pages).
+	if c.BitmapPages != 691_200 {
+		t.Errorf("bitmap pages = %d, want 691,200", c.BitmapPages)
+	}
+	// Paper: 5,189,760 fact pages. Our granule-hit model yields ~6.3M
+	// (within 25%); the exact [33] formula is unavailable.
+	if c.FactPages < 4_000_000 || c.FactPages > 8_000_000 {
+		t.Errorf("fact pages = %d, want ~5-6 million", c.FactPages)
+	}
+	// Paper: total 31,075 MB. Same order of magnitude required.
+	if mb := c.TotalMB(); mb < 15_000 || mb > 40_000 {
+		t.Errorf("total = %.0f MB, want tens of GB", mb)
+	}
+}
+
+// TestTable3OrdersOfMagnitude asserts the paper's headline claim: a
+// suitable fragmentation improves 1STORE I/O by roughly three orders of
+// magnitude.
+func TestTable3OrdersOfMagnitude(t *testing.T) {
+	s := schema.APB1()
+	cfg := frag.APB1Indexes(s)
+	q := storeQuery(s)
+	opt := Estimate(frag.MustParse(s, "customer::store"), cfg, q, DefaultParams())
+	bad := Estimate(frag.MustParse(s, "time::month, product::group"), cfg, q, DefaultParams())
+	ratio := float64(bad.TotalBytes) / float64(opt.TotalBytes)
+	if ratio < 500 || ratio > 5000 {
+		t.Errorf("Fnosupp/Fopt I/O ratio = %.0f, want ~1000x (paper: 31075/25 = 1243)", ratio)
+	}
+}
+
+// TestFigure6FragmentationShape checks the Section 6.3 shapes analytically.
+func TestFigure6FragmentationShape(t *testing.T) {
+	s := schema.APB1()
+	cfg := frag.APB1Indexes(s)
+	p := s.DimIndex(schema.DimProduct)
+	tm := s.DimIndex(schema.DimTime)
+	code := s.Dim(schema.DimProduct).LevelIndex(schema.LvlCode)
+	quarter := s.Dim(schema.DimTime).LevelIndex(schema.LvlQuarter)
+	q14 := frag.Query{{Dim: p, Level: code, Member: 3}, {Dim: tm, Level: quarter, Member: 1}}
+
+	group := frag.MustParse(s, "time::month, product::group")
+	class := frag.MustParse(s, "time::month, product::class")
+	codeF := frag.MustParse(s, "time::month, product::code")
+
+	cg := Estimate(group, cfg, q14, DefaultParams())
+	cc := Estimate(class, cfg, q14, DefaultParams())
+	cd := Estimate(codeF, cfg, q14, DefaultParams())
+
+	// 1CODE1QUARTER: 3 fragments under all three fragmentations.
+	for _, c := range []QueryCost{cg, cc, cd} {
+		if c.Fragments != 3 {
+			t.Fatalf("1CODE1QUARTER fragments = %d, want 3", c.Fragments)
+		}
+	}
+	// Fragment halving group->class halves the fact I/O; code is best and
+	// needs no bitmaps (IOC1).
+	if !(cd.TotalBytes < cc.TotalBytes && cc.TotalBytes < cg.TotalBytes) {
+		t.Errorf("1CODE1QUARTER bytes: code %d < class %d < group %d violated",
+			cd.TotalBytes, cc.TotalBytes, cg.TotalBytes)
+	}
+	if cd.Class != frag.IOC2 && cd.Class != frag.IOC1 {
+		t.Errorf("code fragmentation class = %v", cd.Class)
+	}
+	if cd.BitmapsPerFragment != 0 {
+		t.Errorf("FMonthCode should need no bitmaps for 1CODE1QUARTER, got %d", cd.BitmapsPerFragment)
+	}
+
+	// 1STORE inverts: FMonthCode reads >4 million bitmap pages (Section 6.3).
+	qs := storeQuery(s)
+	sd := Estimate(codeF, cfg, qs, DefaultParams())
+	if sd.BitmapPages < 4_000_000 {
+		t.Errorf("1STORE under FMonthCode bitmap pages = %d, want >4M", sd.BitmapPages)
+	}
+	sg := Estimate(group, cfg, qs, DefaultParams())
+	if sd.TotalBytes <= sg.TotalBytes {
+		t.Errorf("1STORE: FMonthCode (%d B) should be worse than FMonthGroup (%d B)",
+			sd.TotalBytes, sg.TotalBytes)
+	}
+}
+
+func TestIOC1SubsetScaling(t *testing.T) {
+	// Q1 with a missing fragmentation dimension scales fragments by the
+	// missing attribute's cardinality, and I/O likewise.
+	s := schema.APB1()
+	cfg := frag.APB1Indexes(s)
+	spec := frag.MustParse(s, "time::month, product::group")
+	p := s.DimIndex(schema.DimProduct)
+	tm := s.DimIndex(schema.DimTime)
+	group := s.Dim(schema.DimProduct).LevelIndex(schema.LvlGroup)
+	month := s.Dim(schema.DimTime).LevelIndex(schema.LvlMonth)
+
+	both := Estimate(spec, cfg, frag.Query{{Dim: tm, Level: month, Member: 0}, {Dim: p, Level: group, Member: 0}}, DefaultParams())
+	groupOnly := Estimate(spec, cfg, frag.Query{{Dim: p, Level: group, Member: 0}}, DefaultParams())
+	if both.Fragments != 1 || groupOnly.Fragments != 24 {
+		t.Fatalf("fragments = %d / %d, want 1 / 24", both.Fragments, groupOnly.Fragments)
+	}
+	if groupOnly.FactPages != 24*both.FactPages {
+		t.Errorf("fact pages = %d, want 24x%d", groupOnly.FactPages, both.FactPages)
+	}
+}
+
+func TestEstimateHitRows(t *testing.T) {
+	s := schema.APB1()
+	cfg := frag.APB1Indexes(s)
+	spec := frag.MustParse(s, "time::month, product::group")
+	c := Estimate(spec, cfg, storeQuery(s), DefaultParams())
+	if math.Abs(c.HitRows-1_296_000) > 1 {
+		t.Errorf("hit rows = %g, want 1,296,000", c.HitRows)
+	}
+}
+
+func TestBitmapFragPagesStored(t *testing.T) {
+	s := schema.APB1()
+	cases := []struct {
+		text string
+		want int64
+	}{
+		{"time::month, product::group", 5}, // 4.9 -> 5 (Table 6)
+		{"time::month, product::class", 3}, // 2.5 -> 3
+		{"time::month, product::code", 1},  // 0.16 -> 1
+	}
+	for _, tc := range cases {
+		spec := frag.MustParse(s, tc.text)
+		if got := BitmapFragPagesStored(spec); got != tc.want {
+			t.Errorf("%s: stored bitmap fragment = %d pages, want %d", tc.text, got, tc.want)
+		}
+	}
+}
+
+func TestAdviseRanksSupportiveFragmentationFirst(t *testing.T) {
+	s := schema.APB1()
+	cfg := frag.APB1Indexes(s)
+	// Workload dominated by 1STORE: the advisor must put customer::store
+	// fragmentations at the top.
+	mix := []WeightedQuery{{Name: "1STORE", Query: storeQuery(s), Weight: 1}}
+	th := frag.Thresholds{MinBitmapFragPages: 1, MaxFragments: 60_000}
+	ranked := Advise(s, cfg, mix, th, DefaultParams())
+	if len(ranked) == 0 {
+		t.Fatal("no candidates")
+	}
+	best := ranked[0]
+	cdim := s.DimIndex(schema.DimCustomer)
+	if best.Spec.AttrOfDim(cdim) == -1 {
+		t.Errorf("best fragmentation %s does not include the customer dimension", best.Spec)
+	}
+	// Every candidate obeys the thresholds.
+	for _, r := range ranked {
+		if r.BitmapFragPages < 1 {
+			t.Errorf("%s admitted with bitmap fragment %.2f pages", r.Spec, r.BitmapFragPages)
+		}
+		if r.Fragments > 60_000 {
+			t.Errorf("%s admitted with %d fragments", r.Spec, r.Fragments)
+		}
+	}
+	// Ranking is monotone in Work.
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Work < ranked[i-1].Work {
+			t.Fatalf("ranking not sorted at %d", i)
+		}
+	}
+}
+
+func TestAdviseMixedWorkload(t *testing.T) {
+	s := schema.APB1()
+	cfg := frag.APB1Indexes(s)
+	p := s.DimIndex(schema.DimProduct)
+	tm := s.DimIndex(schema.DimTime)
+	group := s.Dim(schema.DimProduct).LevelIndex(schema.LvlGroup)
+	month := s.Dim(schema.DimTime).LevelIndex(schema.LvlMonth)
+	mix := []WeightedQuery{
+		{Name: "1MONTH1GROUP", Query: frag.Query{{Dim: tm, Level: month, Member: 0}, {Dim: p, Level: group, Member: 0}}, Weight: 0.5},
+		{Name: "1STORE", Query: storeQuery(s), Weight: 0.5},
+	}
+	th := frag.Thresholds{MinBitmapFragPages: 1, MaxFragments: 60_000, MinFragments: 100}
+	ranked := Advise(s, cfg, mix, th, DefaultParams())
+	if len(ranked) == 0 {
+		t.Fatal("no candidates")
+	}
+	if got := len(ranked[0].PerQuery); got != 2 {
+		t.Fatalf("PerQuery entries = %d, want 2", got)
+	}
+	// TotalWork agrees with the advisor's Work field.
+	w := TotalWork(ranked[0].Spec, cfg, mix, DefaultParams())
+	if math.Abs(w-ranked[0].Work) > 1 {
+		t.Errorf("TotalWork = %g, Work = %g", w, ranked[0].Work)
+	}
+}

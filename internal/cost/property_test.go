@@ -1,0 +1,155 @@
+package cost
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/frag"
+	"repro/internal/schema"
+)
+
+// randomSpecAndQuery draws a random fragmentation and a random query on
+// the APB-1 schema.
+func randomSpecAndQuery(rng *rand.Rand, s *schema.Star, specs []*frag.Spec) (*frag.Spec, frag.Query) {
+	spec := specs[rng.Intn(len(specs))]
+	var q frag.Query
+	for di := range s.Dims {
+		if rng.Intn(2) == 0 {
+			continue
+		}
+		li := rng.Intn(s.Dims[di].Depth())
+		q = append(q, frag.Pred{Dim: di, Level: li, Member: rng.Intn(s.Dims[di].Levels[li].Card)})
+	}
+	if len(q) == 0 {
+		di := rng.Intn(len(s.Dims))
+		li := rng.Intn(s.Dims[di].Depth())
+		q = frag.Query{{Dim: di, Level: li, Member: rng.Intn(s.Dims[di].Levels[li].Card)}}
+	}
+	return spec, q
+}
+
+// TestCostModelInvariants checks structural invariants of the estimator
+// over random (fragmentation, query) pairs:
+//
+//  1. IOC1 queries never pay bitmap I/O; IOC2 queries with bitmaps do.
+//  2. Fact pages read never exceed the fragments' total pages.
+//  3. Fact I/O operations never exceed fact pages (a granule reads >= 1).
+//  4. The relevant-fragment count divides the fragmentation's total count
+//     as the product of per-attribute range widths.
+//  5. TotalBytes is consistent with the page counts.
+func TestCostModelInvariants(t *testing.T) {
+	s := schema.APB1()
+	cfg := frag.APB1Indexes(s)
+	specs := frag.Enumerate(s)
+	params := DefaultParams()
+	rng := rand.New(rand.NewSource(12))
+
+	for iter := 0; iter < 3000; iter++ {
+		spec, q := randomSpecAndQuery(rng, s, specs)
+		c := Estimate(spec, cfg, q, params)
+
+		if c.BitmapsPerFragment == 0 && (c.BitmapPages != 0 || c.BitmapIOs != 0) {
+			t.Fatalf("iter %d: no bitmaps needed but bitmap I/O charged (%s, %v)", iter, spec, q)
+		}
+		if c.BitmapsPerFragment > 0 && c.BitmapPages == 0 {
+			t.Fatalf("iter %d: bitmaps needed but no bitmap pages (%s, %v)", iter, spec, q)
+		}
+		if (c.Class == frag.IOC1 || c.Class == frag.IOC1Opt) && c.BitmapsPerFragment != 0 {
+			t.Fatalf("iter %d: IOC1 with bitmap access (%s, %v)", iter, spec, q)
+		}
+
+		fragPages := int64(spec.FragmentPages() + 1)
+		if c.FactPages > c.Fragments*fragPages {
+			t.Fatalf("iter %d: fact pages %d exceed fragment capacity %d (%s, %v)",
+				iter, c.FactPages, c.Fragments*fragPages, spec, q)
+		}
+		if c.FactIOs > c.FactPages {
+			t.Fatalf("iter %d: more fact I/Os (%d) than pages (%d)", iter, c.FactIOs, c.FactPages)
+		}
+		if c.Fragments < 1 || c.Fragments > spec.NumFragments() {
+			t.Fatalf("iter %d: fragments %d outside [1, %d]", iter, c.Fragments, spec.NumFragments())
+		}
+		if want := (c.FactPages + c.BitmapPages) * int64(s.PageSize); c.TotalBytes != want {
+			t.Fatalf("iter %d: TotalBytes %d != %d", iter, c.TotalBytes, want)
+		}
+	}
+}
+
+// TestCostMonotoneInConfinement: adding a predicate on a fragmentation
+// dimension never increases the number of relevant fragments.
+func TestCostMonotoneInConfinement(t *testing.T) {
+	s := schema.APB1()
+	specs := frag.Enumerate(s)
+	rng := rand.New(rand.NewSource(77))
+	for iter := 0; iter < 2000; iter++ {
+		spec := specs[rng.Intn(len(specs))]
+		_, base := randomSpecAndQuery(rng, s, []*frag.Spec{spec})
+		// Pick a dimension not in the query.
+		free := -1
+		for di := range s.Dims {
+			if _, ok := base.PredOnDim(di); !ok {
+				free = di
+				break
+			}
+		}
+		if free == -1 {
+			continue
+		}
+		li := rng.Intn(s.Dims[free].Depth())
+		extended := append(append(frag.Query{}, base...), frag.Pred{
+			Dim: free, Level: li, Member: rng.Intn(s.Dims[free].Levels[li].Card),
+		})
+		if spec.RelevantCount(extended) > spec.RelevantCount(base) {
+			t.Fatalf("iter %d: adding a predicate increased fragments (%s: %v -> %v)",
+				iter, spec, base, extended)
+		}
+	}
+}
+
+// TestRelevantCountFormula: for exact-match queries on all fragmentation
+// attributes, exactly one fragment is relevant; removing one attribute
+// multiplies by its cardinality (Section 4.2, Q1).
+func TestRelevantCountFormula(t *testing.T) {
+	s := schema.APB1()
+	rng := rand.New(rand.NewSource(5))
+	for _, spec := range frag.Enumerate(s) {
+		attrs := spec.Attrs()
+		var full frag.Query
+		for _, a := range attrs {
+			full = append(full, frag.Pred{Dim: a.Dim, Level: a.Level,
+				Member: rng.Intn(s.Dims[a.Dim].Levels[a.Level].Card)})
+		}
+		if got := spec.RelevantCount(full); got != 1 {
+			t.Fatalf("%s: full Q1 query touches %d fragments", spec, got)
+		}
+		if len(full) > 1 {
+			dropped := full[1:]
+			card := int64(s.Dims[attrs[0].Dim].Levels[attrs[0].Level].Card)
+			if got := spec.RelevantCount(dropped); got != card {
+				t.Fatalf("%s: dropping one attribute gives %d fragments, want %d", spec, got, card)
+			}
+		}
+	}
+}
+
+// TestSurvivingBitmapsBounds: surviving bitmaps never exceed the maximum
+// and leaf-level fragmentation on a dimension removes its whole index.
+func TestSurvivingBitmapsBounds(t *testing.T) {
+	s := schema.APB1()
+	cfg := frag.APB1Indexes(s)
+	max := frag.MaxBitmaps(s, cfg)
+	for _, spec := range frag.Enumerate(s) {
+		sb := spec.SurvivingBitmaps(cfg)
+		if sb < 0 || sb > max {
+			t.Fatalf("%s: surviving %d outside [0, %d]", spec, sb, max)
+		}
+		// More fragmentation dimensions never increase surviving bitmaps
+		// relative to any of its single-attribute projections.
+		for _, a := range spec.Attrs() {
+			sub := frag.MustNew(s, []frag.Attr{a})
+			if sb > sub.SurvivingBitmaps(cfg) {
+				t.Fatalf("%s survives %d > projection %s's %d", spec, sb, sub, sub.SurvivingBitmaps(cfg))
+			}
+		}
+	}
+}

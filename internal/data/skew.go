@@ -1,0 +1,125 @@
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/schema"
+)
+
+// SkewConfig controls Zipf-skewed data generation — the data skew study
+// the paper defers to future work (Section 7). Theta[d] is the Zipf
+// exponent for dimension d's leaf members: 0 = uniform, 1 ≈ classic Zipf.
+// Popular members appear in disproportionately many fact rows, producing
+// the skewed fragment sizes a load balancing study needs.
+type SkewConfig struct {
+	Theta []float64
+}
+
+// UniformSkew returns a no-skew configuration for the schema.
+func UniformSkew(star *schema.Star) SkewConfig {
+	return SkewConfig{Theta: make([]float64, len(star.Dims))}
+}
+
+// zipfSampler draws members 0..card-1 with P(m) ∝ 1/(m+1)^theta via the
+// inverse-CDF method over a precomputed cumulative table. Member ranks are
+// shuffled so that popularity is not correlated with hierarchy order.
+type zipfSampler struct {
+	cum  []float64
+	perm []int
+}
+
+func newZipfSampler(card int, theta float64, rng *rand.Rand) *zipfSampler {
+	s := &zipfSampler{cum: make([]float64, card), perm: rng.Perm(card)}
+	total := 0.0
+	for i := 0; i < card; i++ {
+		total += 1 / math.Pow(float64(i+1), theta)
+		s.cum[i] = total
+	}
+	for i := range s.cum {
+		s.cum[i] /= total
+	}
+	return s
+}
+
+func (s *zipfSampler) sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	lo, hi := 0, len(s.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return s.perm[lo]
+}
+
+// GenerateSkewed builds a fact table of exactly star.N() distinct
+// combinations whose per-dimension member frequencies follow the given
+// Zipf exponents. With all-zero exponents it degenerates to a uniform
+// (though differently permuted) sample.
+func GenerateSkewed(star *schema.Star, seed int64, skew SkewConfig) (*Table, error) {
+	if err := star.Validate(); err != nil {
+		return nil, err
+	}
+	if len(skew.Theta) != len(star.Dims) {
+		return nil, fmt.Errorf("data: skew config has %d thetas for %d dimensions", len(skew.Theta), len(star.Dims))
+	}
+	n := star.N()
+	const maxRows = 1 << 25
+	if n > maxRows {
+		return nil, fmt.Errorf("data: %d rows exceed the skewed generator limit (%d); use a scaled schema", n, maxRows)
+	}
+	// Rejection of duplicates needs headroom in the combination space.
+	if m := star.MaxCombinations(); n > m*9/10 {
+		return nil, fmt.Errorf("data: density %.2f too high for skewed generation (needs <= 0.9)", star.Density)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	samplers := make([]*zipfSampler, len(star.Dims))
+	for d := range star.Dims {
+		samplers[d] = newZipfSampler(star.Dims[d].LeafCard(), skew.Theta[d], rng)
+	}
+
+	t := &Table{
+		Star:        star,
+		Dims:        make([][]int32, len(star.Dims)),
+		UnitsSold:   make([]int64, 0, n),
+		DollarSales: make([]int64, 0, n),
+		Cost:        make([]int64, 0, n),
+	}
+	for d := range t.Dims {
+		t.Dims[d] = make([]int32, 0, n)
+	}
+
+	radix := make([]int64, len(star.Dims))
+	for d := range star.Dims {
+		radix[d] = int64(star.Dims[d].LeafCard())
+	}
+	seen := make(map[int64]struct{}, n)
+	members := make([]int, len(star.Dims))
+	for int64(len(seen)) < n {
+		var combo int64
+		for d := range star.Dims {
+			members[d] = samplers[d].sample(rng)
+			combo = combo*radix[d] + int64(members[d])
+		}
+		if _, dup := seen[combo]; dup {
+			continue
+		}
+		seen[combo] = struct{}{}
+		for d := range star.Dims {
+			t.Dims[d] = append(t.Dims[d], int32(members[d]))
+		}
+		h := mix(uint64(combo) ^ uint64(seed))
+		units := int64(1 + h%100)
+		price := int64(1 + (combo % 50))
+		t.UnitsSold = append(t.UnitsSold, units)
+		t.DollarSales = append(t.DollarSales, units*price)
+		t.Cost = append(t.Cost, units*price*3/4)
+	}
+	return t, nil
+}

@@ -1,0 +1,152 @@
+// Package dimtable materialises the denormalized dimension tables of a
+// star schema (Figure 1) with generated member names and B+-tree indices
+// per hierarchy level (Section 5: "The dimension tables have B*-tree
+// indices"). It resolves attribute names to member ids, turning name-level
+// selections into the integer predicates the fragmentation layer works
+// with — the piece a SQL front end would sit on.
+package dimtable
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/btree"
+	"repro/internal/frag"
+	"repro/internal/schema"
+)
+
+// Table is one denormalized dimension table: one row per leaf member, one
+// column per hierarchy level holding the member's name at that level.
+type Table struct {
+	Dim *schema.Dimension
+	// names[level][member] is the generated member name.
+	names [][]string
+	// index[level] maps name -> member id at that level.
+	index []*btree.Tree
+}
+
+// MemberName returns the canonical generated name of a member:
+// LEVELNAME-NNNN in upper case (e.g. "GROUP-0042").
+func MemberName(level schema.Level, m int) string {
+	return fmt.Sprintf("%s-%04d", strings.ToUpper(level.Name), m)
+}
+
+// Build materialises the dimension table and its per-level indices.
+func Build(dim *schema.Dimension) *Table {
+	t := &Table{
+		Dim:   dim,
+		names: make([][]string, dim.Depth()),
+		index: make([]*btree.Tree, dim.Depth()),
+	}
+	for l := range dim.Levels {
+		card := dim.Levels[l].Card
+		t.names[l] = make([]string, card)
+		t.index[l] = btree.New(64)
+		for m := 0; m < card; m++ {
+			name := MemberName(dim.Levels[l], m)
+			t.names[l][m] = name
+			t.index[l].Insert(name, int64(m))
+		}
+	}
+	return t
+}
+
+// Rows returns the number of rows (leaf members).
+func (t *Table) Rows() int { return t.Dim.LeafCard() }
+
+// Name returns the name of member m at the given level.
+func (t *Table) Name(level, m int) string { return t.names[level][m] }
+
+// Row returns the full denormalized row of leaf member m: its name at
+// every hierarchy level, coarsest first.
+func (t *Table) Row(m int) []string {
+	row := make([]string, t.Dim.Depth())
+	leaf := t.Dim.Leaf()
+	for l := range row {
+		row[l] = t.names[l][t.Dim.Ancestor(leaf, m, l)]
+	}
+	return row
+}
+
+// Lookup resolves a member name at a level via the B+-tree index.
+func (t *Table) Lookup(level int, name string) (int, bool) {
+	v, ok := t.index[level].Get(name)
+	return int(v), ok
+}
+
+// LookupPrefix returns all members at the level whose names start with the
+// prefix, via a B+-tree range scan.
+func (t *Table) LookupPrefix(level int, prefix string) []int {
+	var out []int
+	hi := prefix + "\xff"
+	t.index[level].AscendRange(prefix, hi, func(_ string, v int64) bool {
+		out = append(out, int(v))
+		return true
+	})
+	return out
+}
+
+// Catalog holds the dimension tables of a star schema.
+type Catalog struct {
+	Star   *schema.Star
+	Tables []*Table
+}
+
+// BuildCatalog materialises every dimension table of the schema.
+func BuildCatalog(star *schema.Star) *Catalog {
+	c := &Catalog{Star: star}
+	for i := range star.Dims {
+		c.Tables = append(c.Tables, Build(&star.Dims[i]))
+	}
+	return c
+}
+
+// Bytes estimates the catalog's storage footprint (names only) — the
+// paper notes the dimension tables "only occupy 1 MB" for APB-1.
+func (c *Catalog) Bytes() int {
+	total := 0
+	for _, t := range c.Tables {
+		for _, col := range t.names {
+			for _, n := range col {
+				total += len(n)
+			}
+		}
+	}
+	return total
+}
+
+// ParseQuery resolves a name-level star query of the form
+// "dim.level = 'NAME', ..." into integer predicates, using the B+-tree
+// indices — the front-end path of query processing step 1 (Section 4.3).
+func (c *Catalog) ParseQuery(text string) (frag.Query, error) {
+	var q frag.Query
+	for _, part := range strings.Split(text, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		eq := strings.SplitN(part, "=", 2)
+		if len(eq) != 2 {
+			return nil, fmt.Errorf("dimtable: malformed predicate %q", part)
+		}
+		dl := strings.SplitN(strings.TrimSpace(eq[0]), ".", 2)
+		if len(dl) != 2 {
+			return nil, fmt.Errorf("dimtable: malformed attribute %q (want dim.level)", eq[0])
+		}
+		di := c.Star.DimIndex(strings.TrimSpace(dl[0]))
+		if di < 0 {
+			return nil, fmt.Errorf("dimtable: unknown dimension %q", dl[0])
+		}
+		li := c.Star.Dims[di].LevelIndex(strings.TrimSpace(dl[1]))
+		if li < 0 {
+			return nil, fmt.Errorf("dimtable: unknown level %q of %s", dl[1], dl[0])
+		}
+		name := strings.Trim(strings.TrimSpace(eq[1]), "'\"")
+		m, ok := c.Tables[di].Lookup(li, name)
+		if !ok {
+			return nil, fmt.Errorf("dimtable: no member %q at %s.%s", name, dl[0], dl[1])
+		}
+		q = append(q, frag.Pred{Dim: di, Level: li, Member: m})
+	}
+	return q, q.Validate(c.Star)
+}

@@ -1,0 +1,280 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/frag"
+	"repro/internal/schema"
+)
+
+// buildTiny builds an engine over the tiny schema with the given
+// fragmentation text.
+func buildTiny(t testing.TB, fragText string) (*schema.Star, *data.Table, *Engine) {
+	t.Helper()
+	s := schema.Tiny()
+	tab := data.MustGenerate(s, 11)
+	spec := frag.MustParse(s, fragText)
+	icfg := make(frag.IndexConfig, len(s.Dims))
+	for i := range s.Dims {
+		if s.Dims[i].Name == schema.DimProduct || s.Dims[i].Name == schema.DimCustomer {
+			icfg[i] = frag.IndexSpec{Kind: frag.EncodedIndex}
+		} else {
+			icfg[i] = frag.IndexSpec{Kind: frag.SimpleIndexes}
+		}
+	}
+	e, err := Build(tab, spec, icfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, tab, e
+}
+
+func TestExecuteMatchesScanAllQueryShapes(t *testing.T) {
+	s, tab, e := buildTiny(t, "time::month, product::group")
+	// Exhaustive: every (dim, level, member) single-predicate query plus a
+	// sample of two- and three-predicate queries.
+	for di := range s.Dims {
+		for li := 0; li < s.Dims[di].Depth(); li++ {
+			for m := 0; m < s.Dims[di].Levels[li].Card; m++ {
+				q := frag.Query{{Dim: di, Level: li, Member: m}}
+				got, _, err := e.Execute(q, 4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := Scan(tab, q)
+				if got != want {
+					t.Fatalf("query %v: got %+v, want %+v", q, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestExecuteMatchesScanRandomMultiPredicate(t *testing.T) {
+	s, tab, e := buildTiny(t, "time::month, product::group")
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 300; iter++ {
+		var q frag.Query
+		for di := range s.Dims {
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			li := rng.Intn(s.Dims[di].Depth())
+			q = append(q, frag.Pred{Dim: di, Level: li, Member: rng.Intn(s.Dims[di].Levels[li].Card)})
+		}
+		if len(q) == 0 {
+			continue
+		}
+		got, _, err := e.Execute(q, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := Scan(tab, q); got != want {
+			t.Fatalf("iter %d query %v: got %+v, want %+v", iter, q, got, want)
+		}
+	}
+}
+
+func TestExecuteAcrossFragmentations(t *testing.T) {
+	// The same queries must give identical answers under different
+	// fragmentations (fragmentation is a physical design choice only).
+	s := schema.Tiny()
+	tab := data.MustGenerate(s, 11)
+	icfg := make(frag.IndexConfig, len(s.Dims))
+	for i := range s.Dims {
+		icfg[i] = frag.IndexSpec{Kind: frag.EncodedIndex}
+	}
+	specs := []string{
+		"time::month, product::group",
+		"product::code",
+		"customer::store",
+		"time::quarter, product::class, customer::retailer",
+	}
+	pd := s.DimIndex(schema.DimProduct)
+	td := s.DimIndex(schema.DimTime)
+	group := s.Dims[pd].LevelIndex(schema.LvlGroup)
+	month := s.Dims[td].LevelIndex(schema.LvlMonth)
+	q := frag.Query{{Dim: td, Level: month, Member: 1}, {Dim: pd, Level: group, Member: 0}}
+	want := Scan(tab, q)
+	for _, text := range specs {
+		e, err := Build(tab, frag.MustParse(s, text), icfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := e.Execute(q, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("%s: got %+v, want %+v", text, got, want)
+		}
+	}
+}
+
+func TestWorkConfinement(t *testing.T) {
+	// Q1 query on both fragmentation attributes: exactly one fragment
+	// visited, no bitmaps read, only that fragment's rows scanned.
+	s, tab, e := buildTiny(t, "time::month, product::group")
+	pd := s.DimIndex(schema.DimProduct)
+	td := s.DimIndex(schema.DimTime)
+	group := s.Dims[pd].LevelIndex(schema.LvlGroup)
+	month := s.Dims[td].LevelIndex(schema.LvlMonth)
+
+	q := frag.Query{{Dim: td, Level: month, Member: 2}, {Dim: pd, Level: group, Member: 1}}
+	agg, st, err := e.Execute(q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FragmentsProcessed > 1 {
+		t.Errorf("fragments processed = %d, want <= 1", st.FragmentsProcessed)
+	}
+	if st.BitmapsRead != 0 {
+		t.Errorf("bitmaps read = %d, want 0 (Q1 needs no bitmaps)", st.BitmapsRead)
+	}
+	if agg.Count != st.RowsScanned {
+		t.Errorf("rows scanned = %d but count = %d: Q1 must only touch relevant rows", st.RowsScanned, agg.Count)
+	}
+	if want := Scan(tab, q); agg != want {
+		t.Errorf("got %+v, want %+v", agg, want)
+	}
+}
+
+func TestWorkConfinementQ2UsesSuffixBitmaps(t *testing.T) {
+	// A code query within a group-fragmented table reads only the suffix
+	// bitmaps (class+code bits), not the full product index.
+	s, tab, e := buildTiny(t, "time::month, product::group")
+	pd := s.DimIndex(schema.DimProduct)
+	code := s.Dims[pd].LevelIndex(schema.LvlCode)
+
+	q := frag.Query{{Dim: pd, Level: code, Member: 3}}
+	agg, st, err := e.Execute(q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := Scan(tab, q); agg != want {
+		t.Fatalf("got %+v, want %+v", agg, want)
+	}
+	// Tiny product: group(2) -> class(4) -> code(8): 1+1+1 = 3 bits total,
+	// group prefix 1 bit, suffix 2 bits. Months = 4 fragments per group.
+	months := s.Dim(schema.DimTime).LeafCard()
+	wantBitmaps := int64(2 * months)
+	if st.BitmapsRead != wantBitmaps {
+		t.Errorf("bitmaps read = %d, want %d (2 suffix bits x %d fragments)", st.BitmapsRead, wantBitmaps, months)
+	}
+}
+
+func TestUnsupportedQueryVisitsAllFragments(t *testing.T) {
+	s, tab, e := buildTiny(t, "time::month, product::group")
+	cd := s.DimIndex(schema.DimCustomer)
+	store := s.Dims[cd].LevelIndex(schema.LvlStore)
+	q := frag.Query{{Dim: cd, Level: store, Member: 2}}
+	agg, st, err := e.Execute(q, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := Scan(tab, q); agg != want {
+		t.Fatalf("got %+v, want %+v", agg, want)
+	}
+	if st.FragmentsProcessed != e.NumFragments() {
+		t.Errorf("fragments processed = %d, want all %d", st.FragmentsProcessed, e.NumFragments())
+	}
+}
+
+func TestExecuteParallelismInvariance(t *testing.T) {
+	s, _, e := buildTiny(t, "time::month, product::group")
+	cd := s.DimIndex(schema.DimCustomer)
+	ret := s.Dims[cd].LevelIndex(schema.LvlRetailer)
+	q := frag.Query{{Dim: cd, Level: ret, Member: 1}}
+	base, _, err := e.Execute(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 7, 16} {
+		got, _, err := e.Execute(q, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != base {
+			t.Fatalf("workers=%d: got %+v, want %+v", workers, got, base)
+		}
+	}
+}
+
+func TestExecuteValidatesQuery(t *testing.T) {
+	_, _, e := buildTiny(t, "time::month, product::group")
+	_, _, err := e.Execute(frag.Query{{Dim: 99, Level: 0, Member: 0}}, 1)
+	if err == nil {
+		t.Fatal("invalid query accepted")
+	}
+}
+
+func TestBuildValidations(t *testing.T) {
+	s := schema.Tiny()
+	tab := data.MustGenerate(s, 1)
+	other := schema.Tiny()
+	spec := frag.MustParse(other, "time::month")
+	icfg := make(frag.IndexConfig, len(s.Dims))
+	if _, err := Build(tab, spec, icfg); err == nil {
+		t.Fatal("mismatched schema accepted")
+	}
+	specOK := frag.MustParse(s, "time::month")
+	if _, err := Build(tab, specOK, icfg[:1]); err == nil {
+		t.Fatal("short index config accepted")
+	}
+}
+
+func TestLeafLevelFragmentationEliminatesAllBitmapsOfDim(t *testing.T) {
+	// Fragmenting product on its leaf: no product bitmaps exist, and code
+	// queries still answer correctly via pure fragment confinement.
+	s, tab, e := buildTiny(t, "product::code")
+	pd := s.DimIndex(schema.DimProduct)
+	code := s.Dims[pd].LevelIndex(schema.LvlCode)
+	q := frag.Query{{Dim: pd, Level: code, Member: 5}}
+	agg, st, err := e.Execute(q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := Scan(tab, q); agg != want {
+		t.Fatalf("got %+v, want %+v", agg, want)
+	}
+	if st.BitmapsRead != 0 {
+		t.Errorf("bitmaps read = %d, want 0", st.BitmapsRead)
+	}
+	if agg.Count != st.RowsScanned {
+		t.Errorf("scanned %d rows for %d hits", st.RowsScanned, agg.Count)
+	}
+}
+
+func TestScaledSchemaEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("larger generation")
+	}
+	s := schema.APB1Scaled(60)
+	tab := data.MustGenerate(s, 99)
+	spec := frag.MustParse(s, "time::month, product::group")
+	icfg := frag.APB1Indexes(s)
+	e, err := Build(tab, spec, icfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd := s.DimIndex(schema.DimProduct)
+	td := s.DimIndex(schema.DimTime)
+	cd := s.DimIndex(schema.DimCustomer)
+	queries := []frag.Query{
+		{{Dim: td, Level: s.Dims[td].LevelIndex(schema.LvlMonth), Member: 5}},
+		{{Dim: cd, Level: s.Dims[cd].LevelIndex(schema.LvlStore), Member: 3}},
+		{{Dim: pd, Level: s.Dims[pd].LevelIndex(schema.LvlCode), Member: 77},
+			{Dim: td, Level: s.Dims[td].LevelIndex(schema.LvlQuarter), Member: 2}},
+	}
+	for _, q := range queries {
+		got, _, err := e.Execute(q, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := Scan(tab, q); got != want {
+			t.Errorf("query %v: got %+v, want %+v", q, got, want)
+		}
+	}
+}

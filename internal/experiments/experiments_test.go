@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestTable1MatchesPaper(t *testing.T) {
+	rows, pattern := Table1()
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	total := 0
+	for _, r := range rows {
+		if r.Bits != r.PaperBits {
+			t.Errorf("level %s: %d bits, paper %d", r.Level, r.Bits, r.PaperBits)
+		}
+		total += r.Bits
+	}
+	if total != 15 {
+		t.Errorf("total bits = %d, want 15", total)
+	}
+	if pattern != "dddllfffggcoooo" {
+		t.Errorf("pattern = %q", pattern)
+	}
+	// Table 1's element counts.
+	wantTotals := []int{8, 24, 120, 480, 960, 14400}
+	wantWithin := []int{8, 3, 5, 4, 2, 15}
+	for i, r := range rows {
+		if r.TotalElements != wantTotals[i] || r.WithinParent != wantWithin[i] {
+			t.Errorf("level %s: totals %d/%d, want %d/%d",
+				r.Level, r.TotalElements, r.WithinParent, wantTotals[i], wantWithin[i])
+		}
+	}
+}
+
+func TestTable2CloseToPaper(t *testing.T) {
+	cells := Table2()
+	if len(cells) != 16 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	exact, near := 0, 0
+	for _, c := range cells {
+		diff := c.Count - c.Paper
+		if diff < 0 {
+			diff = -diff
+		}
+		switch {
+		case diff == 0:
+			exact++
+		case diff <= 3:
+			near++
+		default:
+			t.Errorf("dims=%d min=%d: count %d vs paper %d (off by %d)",
+				c.Dims, c.MinPages, c.Count, c.Paper, diff)
+		}
+	}
+	// At least 11 of 16 cells must match exactly (see EXPERIMENTS.md T2
+	// for the analysis of the remaining cells, which hinge on the paper's
+	// unstated retailer cardinality and rounding convention).
+	if exact < 11 {
+		t.Errorf("only %d cells exact, want >= 11 (near: %d)", exact, near)
+	}
+	// The "any" column is fully determined by the schema shape: all exact.
+	for _, c := range cells {
+		if c.MinPages == 0 && c.Count != c.Paper {
+			t.Errorf("'any' column dims=%d: %d vs %d", c.Dims, c.Count, c.Paper)
+		}
+	}
+}
+
+func TestTable3ShapesHold(t *testing.T) {
+	cols := Table3()
+	opt, nosupp := cols[0], cols[1]
+	if opt.Cost.Fragments != opt.PaperFragments {
+		t.Errorf("Fopt fragments = %d, paper %d", opt.Cost.Fragments, opt.PaperFragments)
+	}
+	if nosupp.Cost.Fragments != nosupp.PaperFragments {
+		t.Errorf("Fnosupp fragments = %d, paper %d", nosupp.Cost.Fragments, nosupp.PaperFragments)
+	}
+	// Exact reproduction of the bitmap I/O volume.
+	if nosupp.Cost.BitmapPages != nosupp.PaperBitmapIO {
+		t.Errorf("Fnosupp bitmap pages = %d, paper %d", nosupp.Cost.BitmapPages, nosupp.PaperBitmapIO)
+	}
+	// Orders-of-magnitude gap.
+	ratio := nosupp.Cost.TotalMB() / opt.Cost.TotalMB()
+	if ratio < 500 {
+		t.Errorf("total I/O ratio = %.0f, want >= 500", ratio)
+	}
+	// Within 2x of the paper's absolute totals.
+	if m := opt.Cost.TotalMB(); m < opt.PaperTotalMB/2 || m > opt.PaperTotalMB*2 {
+		t.Errorf("Fopt total = %.1f MB, paper %.0f", m, opt.PaperTotalMB)
+	}
+	if m := nosupp.Cost.TotalMB(); m < nosupp.PaperTotalMB/2 || m > nosupp.PaperTotalMB*2 {
+		t.Errorf("Fnosupp total = %.1f MB, paper %.0f", m, nosupp.PaperTotalMB)
+	}
+}
+
+func TestTable6MatchesPaper(t *testing.T) {
+	rows := Table6()
+	for _, r := range rows {
+		if r.Fragments != r.PaperFragments {
+			t.Errorf("%s: fragments %d, paper %d", r.Fragmentation, r.Fragments, r.PaperFragments)
+		}
+		rel := r.BitmapFragPages / r.PaperBitmapFragPages
+		if rel < 0.9 || rel > 1.1 {
+			t.Errorf("%s: bitmap fragment %.2f pages, paper %.2f", r.Fragmentation, r.BitmapFragPages, r.PaperBitmapFragPages)
+		}
+	}
+}
+
+func TestBitmapInventory(t *testing.T) {
+	inv := Bitmaps()
+	if inv.MaxBitmaps != 76 {
+		t.Errorf("max bitmaps = %d, want 76", inv.MaxBitmaps)
+	}
+	if inv.SurvivingUnderFMonthGroup != 32 {
+		t.Errorf("surviving = %d, want 32", inv.SurvivingUnderFMonthGroup)
+	}
+}
+
+func TestFigure4ShapesHold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	fig := Figure4(Options{Seed: 1})
+	if len(fig.Series) != 4 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	// Response times decrease with p on every curve.
+	for _, s := range fig.Series {
+		for i := 1; i < len(s.Points); i++ {
+			if s.Points[i].ResponseTime >= s.Points[i-1].ResponseTime {
+				t.Errorf("%s: response time not decreasing at p=%g", s.Label, s.Points[i].X)
+			}
+		}
+	}
+	// The three t=4 curves coincide (CPU-bound: independent of d) at the
+	// shared processor counts. Compare d=20 p=10 vs d=60 p=... they share
+	// no p. Instead check d=60 and d=100 at p=5..: only d=100 has p=5.
+	// Check that at p=10 (d=20) and p=10 (d=100) times are close.
+	var p10 []float64
+	for _, s := range fig.Series[:3] {
+		for _, pt := range s.Points {
+			if pt.X == 10 {
+				p10 = append(p10, pt.ResponseTime)
+			}
+		}
+	}
+	if len(p10) >= 2 {
+		ratio := p10[0] / p10[1]
+		if ratio < 0.8 || ratio > 1.25 {
+			t.Errorf("1MONTH at p=10 differs across d: %v", p10)
+		}
+	}
+	// The t=5 fix at d=100, p=50 beats t=4 (the paper's batching point).
+	var t4, t5 float64
+	for _, s := range fig.Series {
+		for _, pt := range s.Points {
+			if pt.X == 50 {
+				if s.Label == "d = 100 (t=4)" {
+					t4 = pt.ResponseTime
+				}
+				if s.Label == "d = 100 (t=5)" {
+					t5 = pt.ResponseTime
+				}
+			}
+		}
+	}
+	if t4 == 0 || t5 == 0 || t5 >= t4 {
+		t.Errorf("t=5 (%.2fs) should beat t=4 (%.2fs) at p=50", t5, t4)
+	}
+	// Near-linear speed-up: d=20 curve spans p=1..10.
+	for _, s := range fig.Series[:1] {
+		last := s.Points[len(s.Points)-1]
+		if last.Speedup < 0.75*last.X || last.Speedup > 1.3*last.X {
+			t.Errorf("%s: speed-up %.1f at p=%g, want near-linear", s.Label, last.Speedup, last.X)
+		}
+	}
+}
+
+func TestFigure3ShapesHold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale simulation")
+	}
+	// Restrict to two ratios for test time; the bench runs all.
+	fig := Figure3(Options{Seed: 1})
+	if len(fig.Series) != 5 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Points) != 3 {
+			t.Fatalf("%s: %d points", s.Label, len(s.Points))
+		}
+		// Response time determined by d: decreasing in d.
+		for i := 1; i < len(s.Points); i++ {
+			if s.Points[i].ResponseTime >= s.Points[i-1].ResponseTime {
+				t.Errorf("%s: not decreasing at d=%g", s.Label, s.Points[i].X)
+			}
+		}
+		// Speed-up at d=100 vs d=20 near-linear (5) or slightly above.
+		last := s.Points[len(s.Points)-1]
+		if last.Speedup < 4 || last.Speedup > 7.5 {
+			t.Errorf("%s: speed-up %.2f at d=100, want ~5-6", s.Label, last.Speedup)
+		}
+	}
+	// Curves for different p coincide (disk-bound): compare d=100 points.
+	min, max := 1e18, 0.0
+	for _, s := range fig.Series {
+		rt := s.Points[2].ResponseTime
+		if rt < min {
+			min = rt
+		}
+		if rt > max {
+			max = rt
+		}
+	}
+	if max/min > 1.3 {
+		t.Errorf("d=100 response times vary %.2fx across p; 1STORE should be disk-bound", max/min)
+	}
+}

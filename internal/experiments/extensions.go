@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"repro/internal/alloc"
+	"repro/internal/frag"
+	"repro/internal/schema"
+	"repro/internal/simpad"
+	"repro/internal/workload"
+)
+
+// MultiUser runs the multi-user extension (the paper's future work): m
+// concurrent single-user streams of the given query type, returning the
+// mean per-query response time for each m in streams.
+func MultiUser(qt workload.QueryType, streams []int, queriesPerStream int, seed int64) Series {
+	star := schema.APB1()
+	icfg := frag.APB1Indexes(star)
+	spec := frag.MustParse(star, "time::month, product::group")
+	cfg := simpad.DefaultConfig()
+	placement := alloc.Placement{Disks: cfg.Disks, Scheme: alloc.RoundRobin, Staggered: true}
+
+	s := Series{Label: "multi-user " + qt.Name}
+	for _, m := range streams {
+		sys, err := simpad.NewSystem(cfg, icfg, placement, seed)
+		if err != nil {
+			panic(err)
+		}
+		gen := workload.NewGenerator(star, seed)
+		all := make([][]*simpad.Plan, m)
+		for i := range all {
+			for j := 0; j < queriesPerStream; j++ {
+				q, err := gen.Next(qt)
+				if err != nil {
+					panic(err)
+				}
+				all[i] = append(all[i], simpad.NewPlan(spec, icfg, q, cfg))
+			}
+		}
+		results := sys.RunStreams(all)
+		var sum float64
+		var n int
+		for _, stream := range results {
+			for _, r := range stream {
+				sum += r.ResponseTime
+				n++
+			}
+		}
+		s.Points = append(s.Points, Point{X: float64(m), ResponseTime: sum / float64(n)})
+	}
+	annotateSpeedup(&s)
+	return s
+}
+
+// Clustering runs the Section 6.3 clustering-granule fix: 1STORE under the
+// too-fine FMonthCode fragmentation, for several cluster sizes. Returns
+// one point per cluster size.
+func Clustering(clusterSizes []int, seed int64) Series {
+	star := schema.APB1()
+	icfg := frag.APB1Indexes(star)
+	spec := frag.MustParse(star, "time::month, product::code")
+	cfg := simpad.DefaultConfig()
+
+	s := Series{Label: "1STORE under FMonthCode, clustered"}
+	gen := workload.NewGenerator(star, seed)
+	q, err := gen.Next(workload.OneStore)
+	if err != nil {
+		panic(err)
+	}
+	for _, c := range clusterSizes {
+		placement := alloc.Placement{Disks: cfg.Disks, Scheme: alloc.RoundRobin, Staggered: true, Cluster: c}
+		sys, err := simpad.NewSystem(cfg, icfg, placement, seed)
+		if err != nil {
+			panic(err)
+		}
+		plan := simpad.NewPlan(spec, icfg, q, cfg).Clustered(c)
+		r := sys.Run([]*simpad.Plan{plan})[0]
+		s.Points = append(s.Points, Point{X: float64(c), ResponseTime: r.ResponseTime})
+	}
+	annotateSpeedup(&s)
+	return s
+}
+
+// ArchComparison compares Shared Disk against Shared Nothing (footnote 3)
+// for a query type, returning the two response times.
+func ArchComparison(qt workload.QueryType, seed int64) (sharedDisk, sharedNothing float64) {
+	star := schema.APB1()
+	icfg := frag.APB1Indexes(star)
+	spec := frag.MustParse(star, "time::month, product::group")
+
+	run := func(arch simpad.Architecture) float64 {
+		cfg := simpad.DefaultConfig()
+		cfg.Architecture = arch
+		placement := alloc.Placement{Disks: cfg.Disks, Scheme: alloc.RoundRobin, Staggered: true}
+		sys, err := simpad.NewSystem(cfg, icfg, placement, seed)
+		if err != nil {
+			panic(err)
+		}
+		gen := workload.NewGenerator(star, seed)
+		q, err := gen.Next(qt)
+		if err != nil {
+			panic(err)
+		}
+		plan := simpad.NewPlan(spec, icfg, q, cfg)
+		return sys.Run([]*simpad.Plan{plan})[0].ResponseTime
+	}
+	return run(simpad.SharedDisk), run(simpad.SharedNothing)
+}

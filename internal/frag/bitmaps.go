@@ -1,0 +1,144 @@
+package frag
+
+import (
+	"repro/internal/bitmap"
+	"repro/internal/schema"
+)
+
+// IndexKind selects the bitmap index implementation for one dimension.
+type IndexKind int
+
+const (
+	// SimpleIndexes: one simple bitmap index per hierarchy level (one
+	// bitmap per member) — the paper's choice for TIME and CHANNEL.
+	SimpleIndexes IndexKind = iota
+	// EncodedIndex: one hierarchically encoded bitmap join index for the
+	// whole dimension — the paper's choice for PRODUCT and CUSTOMER.
+	EncodedIndex
+)
+
+// IndexSpec configures the bitmap index of one dimension.
+type IndexSpec struct {
+	Kind IndexKind
+	// PadBits optionally widens the encoded bit fields per level (only for
+	// EncodedIndex); see bitmap.NewLayout.
+	PadBits []int
+}
+
+// IndexConfig assigns an IndexSpec to every dimension of a star schema, in
+// dimension order.
+type IndexConfig []IndexSpec
+
+// APB1Indexes returns the paper's index configuration for the APB-1 schema:
+// encoded indices on PRODUCT (15 bits) and CUSTOMER (12 bits), simple
+// indices on CHANNEL and TIME — 76 bitmaps in total (Section 3.2).
+func APB1Indexes(star *schema.Star) IndexConfig {
+	cfg := make(IndexConfig, len(star.Dims))
+	for i := range star.Dims {
+		switch star.Dims[i].Name {
+		case schema.DimProduct, schema.DimCustomer:
+			cfg[i] = IndexSpec{Kind: EncodedIndex}
+		default:
+			cfg[i] = IndexSpec{Kind: SimpleIndexes}
+		}
+	}
+	return cfg
+}
+
+// bitsOfDim returns the total number of bitmaps index cfg materialises for
+// dimension d with no fragmentation.
+func bitsOfDim(d *schema.Dimension, spec IndexSpec) int {
+	switch spec.Kind {
+	case EncodedIndex:
+		return bitmap.NewLayout(d, spec.PadBits).TotalBits()
+	default:
+		total := 0
+		for _, l := range d.Levels {
+			total += l.Card
+		}
+		return total
+	}
+}
+
+// survivingOfDim returns how many bitmaps remain for dimension d when the
+// fragmentation fixes level fragLevel (Section 4.2): bitmaps for the
+// fragmentation attribute and all coarser levels carry no information
+// within a fragment and are eliminated. fragLevel == -1 means the dimension
+// is not fragmented (all bitmaps survive).
+func survivingOfDim(d *schema.Dimension, spec IndexSpec, fragLevel int) int {
+	if fragLevel < 0 {
+		return bitsOfDim(d, spec)
+	}
+	switch spec.Kind {
+	case EncodedIndex:
+		return bitmap.NewLayout(d, spec.PadBits).SuffixBits(fragLevel)
+	default:
+		total := 0
+		for li := fragLevel + 1; li < d.Depth(); li++ {
+			total += d.Levels[li].Card
+		}
+		return total
+	}
+}
+
+// MaxBitmaps returns the number of bitmaps the index configuration
+// materialises without any fragmentation (76 for APB-1).
+func MaxBitmaps(star *schema.Star, cfg IndexConfig) int {
+	total := 0
+	for i := range star.Dims {
+		total += bitsOfDim(&star.Dims[i], cfg[i])
+	}
+	return total
+}
+
+// SurvivingBitmaps returns the number of bitmaps that still must be
+// materialised under fragmentation s (32 for FMonthGroup on APB-1).
+func (s *Spec) SurvivingBitmaps(cfg IndexConfig) int {
+	total := 0
+	for di := range s.star.Dims {
+		fl := -1
+		if ai := s.byDim[di]; ai != -1 {
+			fl = s.attrs[ai].Level
+		}
+		total += survivingOfDim(&s.star.Dims[di], cfg[di], fl)
+	}
+	return total
+}
+
+// BitmapsReadForPred returns how many bitmap fragments per fact fragment a
+// predicate evaluation reads under this fragmentation, given the index
+// configuration. Predicates that need no bitmap (Section 4.2) read zero.
+// For encoded indices only the non-eliminated prefix portion is read; for
+// simple indices exactly one bitmap.
+func (s *Spec) BitmapsReadForPred(cfg IndexConfig, p Pred) int {
+	if !s.NeedsBitmap(p) {
+		return 0
+	}
+	d := &s.star.Dims[p.Dim]
+	spec := cfg[p.Dim]
+	switch spec.Kind {
+	case EncodedIndex:
+		layout := bitmap.NewLayout(d, spec.PadBits)
+		fragLevel := -1
+		if ai := s.byDim[p.Dim]; ai != -1 {
+			fragLevel = s.attrs[ai].Level
+		}
+		if fragLevel < 0 {
+			return layout.PrefixBits(p.Level)
+		}
+		// Within a fragment the prefix above fragLevel is constant; only the
+		// bits between fragLevel (exclusive) and p.Level (inclusive) are read.
+		return layout.PrefixBits(p.Level) - layout.PrefixBits(fragLevel)
+	default:
+		return 1
+	}
+}
+
+// BitmapsReadForQuery sums BitmapsReadForPred over the query.
+func (s *Spec) BitmapsReadForQuery(cfg IndexConfig, q Query) int {
+	total := 0
+	for _, p := range q {
+		total += s.BitmapsReadForPred(cfg, p)
+	}
+	return total
+}

@@ -1,0 +1,78 @@
+package frag
+
+// IOClass is the paper's I/O overhead classification of a query under a
+// given fragmentation (Section 4.5).
+type IOClass int
+
+const (
+	// IOC1Opt: the query references exactly the fragmentation dimensions at
+	// the fragmentation levels (or coarser on none) — one fragment, all rows
+	// relevant, no bitmap access.
+	IOC1Opt IOClass = iota
+	// IOC1: clustered hits, no bitmap access. Query types Q1 and Q3
+	// restricted to fragmentation dimensions.
+	IOC1
+	// IOC2: spread hits with bitmap I/O (query types Q2 and Q4, or
+	// additional predicates on non-fragmentation dimensions).
+	IOC2
+	// IOC2NoSupp: worst case — the query references no fragmentation
+	// dimension at all; every fragment and every referenced bitmap must be
+	// processed.
+	IOC2NoSupp
+)
+
+func (c IOClass) String() string {
+	switch c {
+	case IOC1Opt:
+		return "IOC1-opt"
+	case IOC1:
+		return "IOC1"
+	case IOC2:
+		return "IOC2"
+	default:
+		return "IOC2-nosupp"
+	}
+}
+
+// IOClassOf assigns the query to an I/O class per Section 4.5:
+//
+//	Q ∈ IOC1      iff Dim(Q) ⊆ Dim(F) and ∀q∈Q: hier(q) at or above hier(f_q)
+//	Q ∈ IOC1-opt  iff Dim(Q) = Dim(F) and ∀q∈Q: hier(q) = hier(f_q)
+//	Q ∈ IOC2-nosupp iff Dim(Q) ∩ Dim(F) = ∅
+//	IOC2 otherwise.
+func (s *Spec) IOClassOf(q Query) IOClass {
+	if len(q) == 0 {
+		// A selection-free full aggregation touches everything; treat it as
+		// unsupported.
+		return IOC2NoSupp
+	}
+	touchesFrag := false
+	allAtOrAbove := true
+	allExact := len(q) == len(s.attrs)
+	for _, p := range q {
+		ai := s.byDim[p.Dim]
+		if ai == -1 {
+			allAtOrAbove = false
+			allExact = false
+			continue
+		}
+		touchesFrag = true
+		fl := s.attrs[ai].Level
+		if p.Level > fl {
+			allAtOrAbove = false
+		}
+		if p.Level != fl {
+			allExact = false
+		}
+	}
+	switch {
+	case !touchesFrag:
+		return IOC2NoSupp
+	case allAtOrAbove && allExact:
+		return IOC1Opt
+	case allAtOrAbove:
+		return IOC1
+	default:
+		return IOC2
+	}
+}

@@ -1,0 +1,255 @@
+package frag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/schema"
+)
+
+// RangeAttr is one fragmentation attribute of a general (non-point) MDHF
+// fragmentation: a hierarchy level plus a partitioning of its member
+// domain into contiguous ranges (Section 4.1: "for each fragmentation
+// attribute a range partitioning can be specified consisting of disjoint
+// value ranges; the union must cover the whole domain").
+type RangeAttr struct {
+	Dim   int
+	Level int
+	// Bounds are the exclusive upper bounds of each range except the last:
+	// range r covers members [Bounds[r-1], Bounds[r]) with Bounds[-1] = 0
+	// and an implicit final bound at the level's cardinality. Must be
+	// strictly increasing and within (0, card).
+	Bounds []int
+}
+
+// numRanges returns the number of ranges of the attribute.
+func (a RangeAttr) numRanges() int { return len(a.Bounds) + 1 }
+
+// rangeOf returns the range index containing member m.
+func (a RangeAttr) rangeOf(m int) int {
+	return sort.SearchInts(a.Bounds, m+1)
+}
+
+// rangeSpan returns the half-open member interval of range r given the
+// level cardinality.
+func (a RangeAttr) rangeSpan(r, card int) (lo, hi int) {
+	lo = 0
+	if r > 0 {
+		lo = a.Bounds[r-1]
+	}
+	hi = card
+	if r < len(a.Bounds) {
+		hi = a.Bounds[r]
+	}
+	return lo, hi
+}
+
+// RangeSpec is a general multi-dimensional hierarchical range
+// fragmentation. A fragment holds all fact rows whose member at each
+// fragmentation attribute falls into one particular range. A point
+// fragmentation is the special case of one-member ranges (use Spec for
+// that; it is simpler and cheaper).
+type RangeSpec struct {
+	star  *schema.Star
+	attrs []RangeAttr
+	radix []int // ranges per attribute
+	byDim []int
+}
+
+// NewRange builds and validates a range fragmentation.
+func NewRange(star *schema.Star, attrs []RangeAttr) (*RangeSpec, error) {
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("frag: empty fragmentation")
+	}
+	s := &RangeSpec{star: star, attrs: attrs, byDim: make([]int, len(star.Dims))}
+	for i := range s.byDim {
+		s.byDim[i] = -1
+	}
+	for i, a := range attrs {
+		if a.Dim < 0 || a.Dim >= len(star.Dims) {
+			return nil, fmt.Errorf("frag: attribute %d references dimension %d of %d", i, a.Dim, len(star.Dims))
+		}
+		d := &star.Dims[a.Dim]
+		if a.Level < 0 || a.Level >= d.Depth() {
+			return nil, fmt.Errorf("frag: attribute %d references level %d of %s", i, a.Level, d.Name)
+		}
+		if s.byDim[a.Dim] != -1 {
+			return nil, fmt.Errorf("frag: dimension %s referenced twice", d.Name)
+		}
+		card := d.Levels[a.Level].Card
+		prev := 0
+		for _, b := range a.Bounds {
+			if b <= prev || b >= card {
+				return nil, fmt.Errorf("frag: bounds of %s::%s must be strictly increasing within (0,%d)", d.Name, d.Levels[a.Level].Name, card)
+			}
+			prev = b
+		}
+		s.byDim[a.Dim] = i
+		s.radix = append(s.radix, a.numRanges())
+	}
+	return s, nil
+}
+
+// MustNewRange is NewRange, panicking on error.
+func MustNewRange(star *schema.Star, attrs []RangeAttr) *RangeSpec {
+	s, err := NewRange(star, attrs)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// UniformRanges builds a RangeAttr splitting the level's domain into n
+// near-equal contiguous ranges.
+func UniformRanges(star *schema.Star, dim, level, n int) RangeAttr {
+	card := star.Dims[dim].Levels[level].Card
+	if n < 1 {
+		n = 1
+	}
+	if n > card {
+		n = card
+	}
+	a := RangeAttr{Dim: dim, Level: level}
+	for r := 1; r < n; r++ {
+		a.Bounds = append(a.Bounds, r*card/n)
+	}
+	return a
+}
+
+// Star returns the fragmented schema.
+func (s *RangeSpec) Star() *schema.Star { return s.star }
+
+// NumFragments returns the total number of fragments.
+func (s *RangeSpec) NumFragments() int64 {
+	n := int64(1)
+	for _, r := range s.radix {
+		n *= int64(r)
+	}
+	return n
+}
+
+// String renders the spec with its range counts.
+func (s *RangeSpec) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, a := range s.attrs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		d := &s.star.Dims[a.Dim]
+		fmt.Fprintf(&b, "%s::%s/%d", d.Name, d.Levels[a.Level].Name, a.numRanges())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// CoordOf returns the fragment coordinate of a fact row given its leaf
+// members.
+func (s *RangeSpec) CoordOf(leafMembers []int) []int {
+	coord := make([]int, len(s.attrs))
+	for i, a := range s.attrs {
+		d := &s.star.Dims[a.Dim]
+		m := d.Ancestor(d.Leaf(), leafMembers[a.Dim], a.Level)
+		coord[i] = a.rangeOf(m)
+	}
+	return coord
+}
+
+// ID maps a coordinate to a dense fragment id (mixed radix).
+func (s *RangeSpec) ID(coord []int) int64 {
+	var id int64
+	for i, c := range coord {
+		if c < 0 || c >= s.radix[i] {
+			panic(fmt.Sprintf("frag: range coordinate %d out of 0..%d", c, s.radix[i]-1))
+		}
+		id = id*int64(s.radix[i]) + int64(c)
+	}
+	return id
+}
+
+// Relevant computes the per-attribute range intervals a query is confined
+// to, generalising the point-fragmentation logic of Section 4.2: a
+// predicate at or below the fragmentation level pins a single range (the
+// one containing its ancestor); a coarser predicate covers the ranges
+// intersecting its descendant span; an absent dimension covers all ranges.
+func (s *RangeSpec) Relevant(q Query) Region {
+	r := Region{Lo: make([]int, len(s.attrs)), Hi: make([]int, len(s.attrs))}
+	for i, a := range s.attrs {
+		d := &s.star.Dims[a.Dim]
+		p, ok := q.PredOnDim(a.Dim)
+		switch {
+		case !ok:
+			r.Lo[i], r.Hi[i] = 0, s.radix[i]
+		case p.Level >= a.Level:
+			m := d.Ancestor(p.Level, p.Member, a.Level)
+			rr := a.rangeOf(m)
+			r.Lo[i], r.Hi[i] = rr, rr+1
+		default:
+			lo, hi := d.DescendantRange(p.Level, p.Member, a.Level)
+			r.Lo[i] = a.rangeOf(lo)
+			r.Hi[i] = a.rangeOf(hi-1) + 1
+		}
+	}
+	return r
+}
+
+// RelevantCount returns the number of fragments the query touches.
+func (s *RangeSpec) RelevantCount(q Query) int64 {
+	return s.Relevant(q).Count()
+}
+
+// FragmentRows returns the expected rows of fragment coord under
+// uniformity: proportional to the product of its range widths.
+func (s *RangeSpec) FragmentRows(coord []int) float64 {
+	frac := 1.0
+	for i, a := range s.attrs {
+		card := s.star.Dims[a.Dim].Levels[a.Level].Card
+		lo, hi := a.rangeSpan(coord[i], card)
+		frac *= float64(hi-lo) / float64(card)
+	}
+	return frac * float64(s.star.N())
+}
+
+// NeedsBitmap reports whether evaluating p requires bitmap access. Unlike
+// point fragmentations, a predicate at the fragmentation level still needs
+// a bitmap when its range spans more than one member (only part of the
+// fragment's rows match).
+func (s *RangeSpec) NeedsBitmap(p Pred) bool {
+	ai := s.byDim[p.Dim]
+	if ai == -1 {
+		return true
+	}
+	a := s.attrs[ai]
+	if p.Level > a.Level {
+		return true
+	}
+	if p.Level < a.Level {
+		// Coarser predicate: bitmaps are unnecessary only if its descendant
+		// span aligns exactly with range boundaries.
+		d := &s.star.Dims[p.Dim]
+		lo, hi := d.DescendantRange(p.Level, p.Member, a.Level)
+		card := d.Levels[a.Level].Card
+		rLo, _ := a.rangeSpan(a.rangeOf(lo), card)
+		_, rHi := a.rangeSpan(a.rangeOf(hi-1), card)
+		return rLo != lo || rHi != hi
+	}
+	// Same level: exact only for single-member ranges.
+	card := s.star.Dims[p.Dim].Levels[a.Level].Card
+	lo, hi := a.rangeSpan(a.rangeOf(p.Member), card)
+	return hi-lo > 1
+}
+
+// Point returns the equivalent point Spec when every attribute uses
+// single-member ranges, or nil otherwise.
+func (s *RangeSpec) Point() *Spec {
+	attrs := make([]Attr, len(s.attrs))
+	for i, a := range s.attrs {
+		card := s.star.Dims[a.Dim].Levels[a.Level].Card
+		if a.numRanges() != card {
+			return nil
+		}
+		attrs[i] = Attr{Dim: a.Dim, Level: a.Level}
+	}
+	return MustNew(s.star, attrs)
+}

@@ -1,0 +1,261 @@
+package frag
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/schema"
+)
+
+// monthGroupRanges fragments time::month into 6 ranges of 4 months and
+// product::group into 48 ranges of 10 groups.
+func monthGroupRanges(t testing.TB) (*schema.Star, *RangeSpec) {
+	t.Helper()
+	s := schema.APB1()
+	tm := s.DimIndex(schema.DimTime)
+	pd := s.DimIndex(schema.DimProduct)
+	month := s.Dims[tm].LevelIndex(schema.LvlMonth)
+	group := s.Dims[pd].LevelIndex(schema.LvlGroup)
+	spec, err := NewRange(s, []RangeAttr{
+		UniformRanges(s, tm, month, 6),
+		UniformRanges(s, pd, group, 48),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, spec
+}
+
+func TestRangeSpecBasics(t *testing.T) {
+	_, spec := monthGroupRanges(t)
+	if got := spec.NumFragments(); got != 6*48 {
+		t.Fatalf("NumFragments = %d, want 288", got)
+	}
+	if got := spec.String(); got != "{time::month/6, product::group/48}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestRangeSpecValidation(t *testing.T) {
+	s := schema.APB1()
+	if _, err := NewRange(s, nil); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := NewRange(s, []RangeAttr{{Dim: 9, Level: 0}}); err == nil {
+		t.Error("bad dim accepted")
+	}
+	if _, err := NewRange(s, []RangeAttr{{Dim: 0, Level: 9}}); err == nil {
+		t.Error("bad level accepted")
+	}
+	if _, err := NewRange(s, []RangeAttr{{Dim: 0, Level: 0}, {Dim: 0, Level: 1}}); err == nil {
+		t.Error("dup dim accepted")
+	}
+	// Non-increasing bounds.
+	if _, err := NewRange(s, []RangeAttr{{Dim: 0, Level: 3, Bounds: []int{10, 10}}}); err == nil {
+		t.Error("non-increasing bounds accepted")
+	}
+	if _, err := NewRange(s, []RangeAttr{{Dim: 0, Level: 3, Bounds: []int{480}}}); err == nil {
+		t.Error("out-of-domain bound accepted")
+	}
+}
+
+func TestUniformRangesCoverDomain(t *testing.T) {
+	s := schema.APB1()
+	pd := s.DimIndex(schema.DimProduct)
+	group := s.Dims[pd].LevelIndex(schema.LvlGroup)
+	for _, n := range []int{1, 2, 7, 48, 480, 1000} {
+		a := UniformRanges(s, pd, group, n)
+		card := 480
+		// Every member maps to exactly one range, spans tile the domain.
+		prevHi := 0
+		for r := 0; r < a.numRanges(); r++ {
+			lo, hi := a.rangeSpan(r, card)
+			if lo != prevHi || hi <= lo {
+				t.Fatalf("n=%d: range %d = [%d,%d), prev hi %d", n, r, lo, hi, prevHi)
+			}
+			prevHi = hi
+			for m := lo; m < hi; m++ {
+				if a.rangeOf(m) != r {
+					t.Fatalf("n=%d: member %d in range %d, want %d", n, m, a.rangeOf(m), r)
+				}
+			}
+		}
+		if prevHi != card {
+			t.Fatalf("n=%d: ranges end at %d, want %d", n, prevHi, card)
+		}
+	}
+}
+
+func TestRangeRelevantConfinement(t *testing.T) {
+	s, spec := monthGroupRanges(t)
+	pd := s.DimIndex(schema.DimProduct)
+	tm := s.DimIndex(schema.DimTime)
+	cd := s.DimIndex(schema.DimCustomer)
+	month := s.Dims[tm].LevelIndex(schema.LvlMonth)
+	quarter := s.Dims[tm].LevelIndex(schema.LvlQuarter)
+	year := s.Dims[tm].LevelIndex(schema.LvlYear)
+	group := s.Dims[pd].LevelIndex(schema.LvlGroup)
+	code := s.Dims[pd].LevelIndex(schema.LvlCode)
+	store := s.Dims[cd].LevelIndex(schema.LvlStore)
+
+	cases := []struct {
+		name  string
+		q     Query
+		count int64
+	}{
+		// One month + one group -> exactly 1 fragment.
+		{"1MONTH1GROUP", Query{{tm, month, 3}, {pd, group, 7}}, 1},
+		// One code -> its group's range, all 6 month ranges.
+		{"1CODE", Query{{pd, code, 77}}, 6},
+		// One quarter = 3 months: month ranges are 4 months wide, so a
+		// quarter spans 1 or 2 ranges; quarter 0 = months 0-2 -> range 0.
+		{"1QUARTER0", Query{{tm, quarter, 0}}, 48},
+		// Quarter 1 = months 3-5 -> ranges 0 and 1 -> 2*48.
+		{"1QUARTER1", Query{{tm, quarter, 1}}, 96},
+		// One year = 12 months = exactly 3 ranges.
+		{"1YEAR", Query{{tm, year, 0}}, 3 * 48},
+		// Unsupported dimension -> everything.
+		{"1STORE", Query{{cd, store, 5}}, 288},
+	}
+	for _, tc := range cases {
+		if got := spec.RelevantCount(tc.q); got != tc.count {
+			t.Errorf("%s: relevant = %d, want %d", tc.name, got, tc.count)
+		}
+	}
+}
+
+func TestRangeNeedsBitmap(t *testing.T) {
+	s, spec := monthGroupRanges(t)
+	pd := s.DimIndex(schema.DimProduct)
+	tm := s.DimIndex(schema.DimTime)
+	cd := s.DimIndex(schema.DimCustomer)
+	month := s.Dims[tm].LevelIndex(schema.LvlMonth)
+	quarter := s.Dims[tm].LevelIndex(schema.LvlQuarter)
+	year := s.Dims[tm].LevelIndex(schema.LvlYear)
+	group := s.Dims[pd].LevelIndex(schema.LvlGroup)
+	code := s.Dims[pd].LevelIndex(schema.LvlCode)
+	store := s.Dims[cd].LevelIndex(schema.LvlStore)
+
+	cases := []struct {
+		name string
+		p    Pred
+		want bool
+	}{
+		// Month ranges are 4 wide: a single month is a strict subset.
+		{"month", Pred{tm, month, 3}, true},
+		// A quarter (3 months) never aligns with 4-month ranges.
+		{"quarter", Pred{tm, quarter, 1}, true},
+		// A year (12 months) aligns with exactly 3 ranges of 4.
+		{"year", Pred{tm, year, 0}, false},
+		// Group ranges are 10 wide: single group needs bitmaps.
+		{"group", Pred{pd, group, 7}, true},
+		// Codes are finer still.
+		{"code", Pred{pd, code, 7}, true},
+		// Non-fragmentation dimension.
+		{"store", Pred{cd, store, 7}, true},
+	}
+	for _, tc := range cases {
+		if got := spec.NeedsBitmap(tc.p); got != tc.want {
+			t.Errorf("%s: NeedsBitmap = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestRangeRowMembershipConsistent(t *testing.T) {
+	// Property: a row matching the query lies in a relevant fragment.
+	s := schema.Tiny()
+	tm := s.DimIndex(schema.DimTime)
+	pd := s.DimIndex(schema.DimProduct)
+	spec := MustNewRange(s, []RangeAttr{
+		UniformRanges(s, tm, s.Dims[tm].LevelIndex(schema.LvlMonth), 2),
+		UniformRanges(s, pd, s.Dims[pd].LevelIndex(schema.LvlClass), 3),
+	})
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 2000; iter++ {
+		var q Query
+		for di := range s.Dims {
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			li := rng.Intn(s.Dims[di].Depth())
+			q = append(q, Pred{di, li, rng.Intn(s.Dims[di].Levels[li].Card)})
+		}
+		if len(q) == 0 {
+			continue
+		}
+		leaf := make([]int, len(s.Dims))
+		for di := range s.Dims {
+			leaf[di] = rng.Intn(s.Dims[di].LeafCard())
+		}
+		matches := true
+		for _, p := range q {
+			d := &s.Dims[p.Dim]
+			if d.Ancestor(d.Leaf(), leaf[p.Dim], p.Level) != p.Member {
+				matches = false
+			}
+		}
+		if !matches {
+			continue
+		}
+		coord := spec.CoordOf(leaf)
+		region := spec.Relevant(q)
+		for i := range coord {
+			if coord[i] < region.Lo[i] || coord[i] >= region.Hi[i] {
+				t.Fatalf("iter %d: matching row coord %v outside region %v", iter, coord, region)
+			}
+		}
+	}
+}
+
+func TestRangeFragmentRows(t *testing.T) {
+	s, spec := monthGroupRanges(t)
+	// All fragments equal-sized here: N / 288.
+	want := float64(s.N()) / 288
+	rows := spec.FragmentRows([]int{0, 0})
+	if rows != want {
+		t.Fatalf("FragmentRows = %g, want %g", rows, want)
+	}
+}
+
+func TestRangePointEquivalence(t *testing.T) {
+	s := schema.APB1()
+	tm := s.DimIndex(schema.DimTime)
+	pd := s.DimIndex(schema.DimProduct)
+	month := s.Dims[tm].LevelIndex(schema.LvlMonth)
+	group := s.Dims[pd].LevelIndex(schema.LvlGroup)
+	rs := MustNewRange(s, []RangeAttr{
+		UniformRanges(s, tm, month, 24),
+		UniformRanges(s, pd, group, 480),
+	})
+	point := rs.Point()
+	if point == nil {
+		t.Fatal("single-member ranges not recognised as point fragmentation")
+	}
+	if point.NumFragments() != rs.NumFragments() {
+		t.Fatalf("fragment counts differ: %d vs %d", point.NumFragments(), rs.NumFragments())
+	}
+	// Relevant counts agree for a sample of queries.
+	g := Query{{pd, group, 42}}
+	if rs.RelevantCount(g) != point.RelevantCount(g) {
+		t.Fatalf("relevant differ: %d vs %d", rs.RelevantCount(g), point.RelevantCount(g))
+	}
+	// Non-point spec yields nil.
+	_, coarse := monthGroupRanges(t)
+	if coarse.Point() != nil {
+		t.Fatal("coarse ranges claimed point equivalence")
+	}
+	// ID round trip sanity.
+	if id := rs.ID([]int{3, 42}); id != 3*480+42 {
+		t.Fatalf("ID = %d", id)
+	}
+}
+
+func TestRangeIDPanics(t *testing.T) {
+	_, spec := monthGroupRanges(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	spec.ID([]int{6, 0})
+}

@@ -1,0 +1,166 @@
+// Package simpad simulates a Shared Disk parallel database system executing
+// star queries over an MDHF-fragmented fact table — a Go reimplementation
+// of the paper's SIMPAD simulator (Section 5) on top of the internal/des
+// event kernel instead of CSIM.
+//
+// Processors and disks are explicit servers; the disk model computes seek
+// times from track positions; CPU overhead is charged for all major query
+// processing steps and communication with the instruction counts of
+// Table 4; the network is contention-free with delays proportional to
+// message sizes; an LRU buffer manager with prefetching fronts the disks.
+package simpad
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Architecture selects the PDBS architecture.
+type Architecture int
+
+const (
+	// SharedDisk: every node reaches every disk; subqueries are assigned
+	// dynamically (the paper's focus).
+	SharedDisk Architecture = iota
+	// SharedNothing: disks are partitioned among nodes; a subquery must
+	// run on the node owning its fragment's disk, and bitmap fragments are
+	// restricted to the owner's disks (footnote 3 of the paper).
+	SharedNothing
+)
+
+func (a Architecture) String() string {
+	if a == SharedNothing {
+		return "shared-nothing"
+	}
+	return "shared-disk"
+}
+
+// Config holds all simulation parameters. DefaultConfig reproduces Table 4.
+type Config struct {
+	// Hardware.
+	Disks        int // number of disks d
+	Nodes        int // number of processing nodes p
+	MIPS         float64
+	Architecture Architecture
+
+	// Scheduling.
+	TasksPerNode     int  // t, max concurrent subqueries per node
+	ParallelBitmapIO bool // read a subquery's bitmap fragments concurrently
+	// MaxConcurrentSubqueries caps the total degree of intra-query
+	// parallelism across all nodes (0 = no cap beyond Nodes*TasksPerNode).
+	// Used for the degree-of-parallelism sweeps of Figure 6.
+	MaxConcurrentSubqueries int
+
+	// Disk characteristics.
+	AvgSeekMs         float64 // average seek time over a full disk
+	SettleMs          float64 // settle time + controller delay per access
+	TransferMsPerPage float64 // controller delay per page
+	// DiskCapacityPages is the capacity of one disk in pages. Data occupies
+	// a contiguous zone at the start of each disk, so spreading the same
+	// database over more disks shortens seek distances — the source of the
+	// slightly superlinear disk speed-up the paper observes (Section 6.1).
+	DiskCapacityPages int
+
+	// Instruction counts (Table 4).
+	InstrInitQuery         int
+	InstrTerminateQuery    int
+	InstrInitSubquery      int
+	InstrTerminateSubquery int
+	InstrReadPage          int
+	InstrProcessBitmapPage int
+	InstrExtractRow        int
+	InstrAggregateRow      int
+	InstrMsgBase           int // plus one instruction per byte
+
+	// Network.
+	NetMbps       float64
+	SmallMsgBytes int
+	LargeMsgBytes int
+
+	// Buffer manager.
+	PageSize          int
+	BufferFactPages   int
+	BufferBitmapPages int
+	PrefetchFact      int // pages per fact I/O
+	PrefetchBitmap    int // pages per bitmap I/O
+}
+
+// DefaultConfig returns the paper's parameter settings (Table 4): 100
+// disks, 20 nodes of 50 MIPS, 4 KB pages, prefetch 8/5, buffers 1000/5000
+// pages, 100 Mbit/s network.
+func DefaultConfig() Config {
+	return Config{
+		Disks:             100,
+		Nodes:             20,
+		MIPS:              50,
+		TasksPerNode:      5,
+		ParallelBitmapIO:  true,
+		AvgSeekMs:         10,
+		SettleMs:          3,
+		TransferMsPerPage: 1,
+		DiskCapacityPages: 600_000, // ~2.4 GB — full APB-1 fills 20 disks
+
+		InstrInitQuery:         50_000,
+		InstrTerminateQuery:    10_000,
+		InstrInitSubquery:      10_000,
+		InstrTerminateSubquery: 10_000,
+		InstrReadPage:          3_000,
+		InstrProcessBitmapPage: 1_500,
+		InstrExtractRow:        100,
+		InstrAggregateRow:      100,
+		InstrMsgBase:           1_000,
+
+		NetMbps:       100,
+		SmallMsgBytes: 128,
+		LargeMsgBytes: 4096,
+
+		PageSize:          4096,
+		BufferFactPages:   1000,
+		BufferBitmapPages: 5000,
+		PrefetchFact:      8,
+		PrefetchBitmap:    5,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Disks <= 0:
+		return errors.New("simpad: need at least one disk")
+	case c.Nodes <= 0:
+		return errors.New("simpad: need at least one node")
+	case c.MIPS <= 0:
+		return errors.New("simpad: MIPS must be positive")
+	case c.TasksPerNode <= 0:
+		return errors.New("simpad: TasksPerNode must be positive")
+	case c.PrefetchFact <= 0 || c.PrefetchBitmap <= 0:
+		return errors.New("simpad: prefetch sizes must be positive")
+	case c.PageSize <= 0:
+		return errors.New("simpad: page size must be positive")
+	case c.DiskCapacityPages < 0:
+		return errors.New("simpad: disk capacity must be non-negative")
+	case c.NetMbps <= 0:
+		return errors.New("simpad: network speed must be positive")
+	}
+	return nil
+}
+
+// cpuSeconds converts an instruction count to seconds on one node.
+func (c Config) cpuSeconds(instr float64) float64 {
+	return instr / (c.MIPS * 1e6)
+}
+
+// netSeconds returns the transmission delay for a message of the given
+// size on the contention-free network.
+func (c Config) netSeconds(bytes int) float64 {
+	return float64(bytes) * 8 / (c.NetMbps * 1e6)
+}
+
+// msgInstr returns the CPU instructions charged on each side of a message.
+func (c Config) msgInstr(bytes int) float64 {
+	return float64(c.InstrMsgBase + bytes)
+}
+
+func (c Config) String() string {
+	return fmt.Sprintf("d=%d p=%d t=%d parBitmapIO=%v", c.Disks, c.Nodes, c.TasksPerNode, c.ParallelBitmapIO)
+}

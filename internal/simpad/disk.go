@@ -1,0 +1,63 @@
+package simpad
+
+import (
+	"math"
+
+	"repro/internal/des"
+)
+
+// seekShapeMean is the expectation of sqrt(|u-v|) for independent uniform
+// u, v on [0,1): 8/15. The seek curve is calibrated with it so that the
+// average seek over random positions equals Config.AvgSeekMs.
+const seekShapeMean = 8.0 / 15.0
+
+// disk models one disk drive as a FCFS server whose service time depends on
+// the head position: a square-root seek curve (fast for short distances,
+// as in real drives), plus settle/controller delay per access and a
+// per-page transfer delay. Requests at the current position pay no seek.
+type disk struct {
+	res *des.Resource
+	cfg *Config
+	// head is the current head position in [0, 1).
+	head float64
+	// stats
+	ops       int64
+	pages     int64
+	seekTime  float64
+	totalTime float64
+}
+
+func newDisk(sim *des.Sim, name string, cfg *Config) *disk {
+	return &disk{res: des.NewResource(sim, name, 1), cfg: cfg}
+}
+
+// seekSeconds returns the head movement time for a given distance in
+// [0, 1]. Calibrated so that the mean over random pairs is AvgSeekMs.
+func (d *disk) seekSeconds(dist float64) float64 {
+	if dist <= 0 {
+		return 0
+	}
+	return d.cfg.AvgSeekMs / 1000 / seekShapeMean * math.Sqrt(dist)
+}
+
+// read requests a transfer of pages at the given position (fraction of the
+// disk's address space); done runs when the transfer completes.
+func (d *disk) read(pos float64, pages int, done func()) {
+	d.res.UseFunc(func() des.Time {
+		dist := math.Abs(pos - d.head)
+		seek := d.seekSeconds(dist)
+		// After a sequential transfer the head sits at the end of the read
+		// region; approximate the region's extent as negligible relative to
+		// the whole disk and park the head at pos.
+		d.head = pos
+		t := seek + d.cfg.SettleMs/1000 + float64(pages)*d.cfg.TransferMsPerPage/1000
+		d.ops++
+		d.pages += int64(pages)
+		d.seekTime += seek
+		d.totalTime += t
+		return des.Time(t)
+	}, done)
+}
+
+// utilization returns the disk's busy fraction.
+func (d *disk) utilization() float64 { return d.res.Utilization() }

@@ -1,0 +1,262 @@
+package simpad
+
+import (
+	"math"
+
+	"repro/internal/alloc"
+	"repro/internal/cost"
+	"repro/internal/frag"
+)
+
+// Plan is the physical execution plan of one star query: the relevant
+// fragments in allocation order (the coordinator's task list, Section 5)
+// plus the per-fragment I/O and CPU quantities derived from the analytical
+// cost model.
+type Plan struct {
+	Spec  *frag.Spec
+	Query frag.Query
+
+	// FragIDs is the task list: relevant fragment ids in allocation order.
+	FragIDs []int64
+
+	// BitmapsPerFrag is the number of bitmap fragments each subquery reads.
+	BitmapsPerFrag int
+	// BitmapFragPages is the stored size of one bitmap fragment in pages.
+	BitmapFragPages int
+
+	// FragPages is the total size of one fact fragment in pages.
+	FragPages int
+	// FactOpsPerFrag is the number of fact I/O operations per fragment.
+	FactOpsPerFrag int
+	// FactPagesPerFrag is the number of fact pages read per fragment.
+	FactPagesPerFrag int
+
+	// HitsPerFrag is the expected number of matching rows per fragment.
+	HitsPerFrag float64
+	// RowsPerPage is the fact tuple density per page.
+	RowsPerPage int
+
+	// ClusterSize is the number of consecutive fragments processed by one
+	// subquery (Section 6.3's clustering granule; 1 = no clustering).
+	ClusterSize int
+	// TaskCounts[i] is the number of relevant fragments in task i's
+	// cluster (nil when ClusterSize == 1, meaning one each).
+	TaskCounts []int
+	// BitmapFragPagesF is the exact (fractional) bitmap fragment size,
+	// used for clustered bitmap reads.
+	BitmapFragPagesF float64
+
+	// Cost is the underlying analytical estimate.
+	Cost cost.QueryCost
+}
+
+// Tasks returns the number of subqueries on the task list.
+func (p *Plan) Tasks() int { return len(p.FragIDs) }
+
+// TaskCount returns the number of relevant fragments of task i.
+func (p *Plan) TaskCount(i int) int {
+	if p.TaskCounts == nil {
+		return 1
+	}
+	return p.TaskCounts[i]
+}
+
+// Clustered derives a plan whose subqueries each process a granule of c
+// consecutive fragments — the fix Section 6.3 proposes for fragmentations
+// whose bitmap fragments fall below a page: clustering makes the c bitmap
+// fragments of a granule contiguous on disk, restoring sequential I/O.
+// The caller must use a matching alloc.Placement.Cluster so that clustered
+// fragments share a disk.
+func (p *Plan) Clustered(c int) *Plan {
+	if c <= 1 {
+		return p
+	}
+	np := *p
+	np.ClusterSize = c
+	np.FragIDs = nil
+	np.TaskCounts = nil
+	var curCluster int64 = -1
+	for _, id := range p.FragIDs {
+		cl := id / int64(c)
+		if cl != curCluster {
+			curCluster = cl
+			np.FragIDs = append(np.FragIDs, id)
+			np.TaskCounts = append(np.TaskCounts, 1)
+		} else {
+			np.TaskCounts[len(np.TaskCounts)-1]++
+		}
+	}
+	return &np
+}
+
+// NewPlan derives the execution plan for query q under fragmentation spec
+// and index configuration icfg, using the prefetch parameters of scfg.
+func NewPlan(spec *frag.Spec, icfg frag.IndexConfig, q frag.Query, scfg Config) *Plan {
+	params := cost.Params{FactPrefetch: scfg.PrefetchFact, BitmapPrefetch: scfg.PrefetchBitmap}
+	c := cost.Estimate(spec, icfg, q, params)
+
+	p := &Plan{
+		Spec:           spec,
+		Query:          q,
+		FragIDs:        spec.FragmentIDs(q),
+		BitmapsPerFrag: c.BitmapsPerFragment,
+		FragPages:      int(math.Ceil(spec.FragmentPages())),
+		RowsPerPage:    spec.Star().FactTuplesPerPage(),
+		ClusterSize:    1,
+		Cost:           c,
+	}
+	if c.BitmapsPerFragment > 0 {
+		p.BitmapFragPages = int(cost.BitmapFragPagesStored(spec))
+		p.BitmapFragPagesF = spec.BitmapFragmentPages()
+	}
+	p.FactPagesPerFrag = int(math.Round(c.FactPagesPerFragment))
+	if p.FactPagesPerFrag < 1 {
+		p.FactPagesPerFrag = 1
+	}
+	if p.FactPagesPerFrag > p.FragPages {
+		p.FactPagesPerFrag = p.FragPages
+	}
+	ops := int(math.Round(float64(c.FactIOs) / float64(c.Fragments)))
+	if ops < 1 {
+		ops = 1
+	}
+	p.FactOpsPerFrag = ops
+	p.HitsPerFrag = c.HitRows / float64(c.Fragments)
+	return p
+}
+
+// bitmapOps splits the bitmap read of one task (count clustered fragments
+// of one bitmap) into prefetch-granule I/O operations and returns the page
+// count of each. Clustered bitmap fragments are contiguous, so count
+// fractional fragments coalesce before page rounding — the whole point of
+// Section 6.3's clustering granules.
+func (p *Plan) bitmapOps(prefetch, count int) []int {
+	pages := p.BitmapFragPages
+	if count > 1 {
+		pages = int(math.Ceil(p.BitmapFragPagesF * float64(count)))
+	}
+	var ops []int
+	for left := pages; left > 0; left -= prefetch {
+		n := prefetch
+		if n > left {
+			n = left
+		}
+		ops = append(ops, n)
+	}
+	return ops
+}
+
+// factOpPages returns the page count of fact I/O operation j (0-based) of
+// a fragment, distributing FactPagesPerFrag over FactOpsPerFrag.
+func (p *Plan) factOpPages(j int) int {
+	base := p.FactPagesPerFrag / p.FactOpsPerFrag
+	if j < p.FactPagesPerFrag%p.FactOpsPerFrag {
+		return base + 1
+	}
+	if base < 1 {
+		return 1
+	}
+	return base
+}
+
+// factOpOffset returns the page offset within the fragment where fact I/O
+// operation j starts. Touched granules are spread uniformly over the
+// fragment, matching the paper's uniform hit assumption.
+func (p *Plan) factOpOffset(j int) int {
+	if p.FactOpsPerFrag <= 1 {
+		return 0
+	}
+	span := p.FragPages - p.factOpPages(p.FactOpsPerFrag-1)
+	if span < 0 {
+		span = 0
+	}
+	return j * span / (p.FactOpsPerFrag - 1)
+}
+
+// layout maps fragments and bitmap fragments to positions on their disks so
+// that the disk model can compute seeks. The disk address space is split
+// into a fact zone and a bitmap zone proportional to their stored sizes.
+type layout struct {
+	placement alloc.Placement
+	// fragsPerDisk is the (approximate) number of fact fragments per disk.
+	fragsPerDisk float64
+	// fragPages is the size of a fact fragment in pages.
+	fragPages float64
+	// factFrac is the fraction of each disk holding fact data.
+	factFrac float64
+	// bitmapSlots is the number of bitmap fragments per disk.
+	bitmapSlots float64
+	// survivors is the number of stored bitmaps.
+	survivors int
+	// occupied is the fraction of each disk's address space the data zone
+	// covers; positions scale by it so that less data per disk means
+	// shorter seeks.
+	occupied float64
+}
+
+func newLayout(spec *frag.Spec, icfg frag.IndexConfig, placement alloc.Placement, capacityPages int) *layout {
+	n := float64(spec.NumFragments())
+	d := float64(placement.Disks)
+	survivors := spec.SurvivingBitmaps(icfg)
+	fragPages := math.Ceil(spec.FragmentPages())
+	bfPages := float64(cost.BitmapFragPagesStored(spec))
+	factPages := n * fragPages
+	bitmapPages := n * float64(survivors) * bfPages
+	frac := 1.0
+	if factPages+bitmapPages > 0 {
+		frac = factPages / (factPages + bitmapPages)
+	}
+	occupied := 1.0
+	if capacityPages > 0 {
+		occupied = (factPages + bitmapPages) / d / float64(capacityPages)
+		if occupied > 1 {
+			occupied = 1
+		}
+	}
+	return &layout{
+		placement:    placement,
+		fragsPerDisk: math.Max(1, n/d),
+		fragPages:    fragPages,
+		factFrac:     frac,
+		bitmapSlots:  math.Max(1, n*float64(survivors)/d),
+		survivors:    survivors,
+		occupied:     occupied,
+	}
+}
+
+// factPos returns the disk position (0..1) of the given page of a fact
+// fragment.
+func (l *layout) factPos(fragID int64, pageOffset int) float64 {
+	idxOnDisk := float64(fragID / int64(l.placement.Disks))
+	within := 0.0
+	if l.fragPages > 0 {
+		within = float64(pageOffset) / l.fragPages
+	}
+	pos := (idxOnDisk + within) / l.fragsPerDisk * l.factFrac
+	return clamp01(pos * l.occupied)
+}
+
+// bitmapPos returns the disk position of a bitmap fragment (the b-th bitmap
+// of fact fragment fragID).
+func (l *layout) bitmapPos(fragID int64, b int) float64 {
+	idxOnDisk := float64(fragID/int64(l.placement.Disks))*float64(maxInt(l.survivors, 1)) + float64(b)
+	pos := l.factFrac + idxOnDisk/l.bitmapSlots*(1-l.factFrac)
+	return clamp01(pos * l.occupied)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1 - 1e-9
+	}
+	return x
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

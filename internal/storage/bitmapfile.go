@@ -1,0 +1,312 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bitmap"
+	"repro/internal/frag"
+	"repro/internal/schema"
+)
+
+const bitmapFileName = "bitmaps.dat"
+
+// BitmapDesc identifies one stored bitmap, in the fixed enumeration order
+// of the surviving bitmaps (Section 4.2): for encoded dimensions, the
+// non-eliminated bit positions; for simple dimensions, one bitmap per
+// member of each non-eliminated level.
+type BitmapDesc struct {
+	Dim int
+	// Bit is the bit index within the dimension's encoding layout
+	// (encoded dimensions only).
+	Bit int
+	// Level and Member identify a simple bitmap (simple dimensions only).
+	Level  int
+	Member int
+	// Simple distinguishes the two variants.
+	Simple bool
+}
+
+// BitmapFile stores the surviving bitmap fragments of a fragmented fact
+// table, partitioned congruently with the fact fragments: all bitmap
+// fragments of fragment i are stored together, each padded to whole pages
+// (the paper's allocation unit). With Compress enabled, fragments are
+// WAH-compressed before page padding (the space reduction the paper
+// mentions in Section 3.2), which typically shrinks each fragment to its
+// one-page minimum.
+type BitmapFile struct {
+	star     *schema.Star
+	spec     *frag.Spec
+	icfg     frag.IndexConfig
+	pageSize int
+	file     *os.File
+	descs    []BitmapDesc
+	// loc[fragID] is the first page of the fragment's bitmap block.
+	loc    map[int64]int64
+	rowsOf map[int64]int32
+	// fragPages[fragID][i] is the page count of the i-th bitmap fragment
+	// (all equal when uncompressed).
+	fragPages  map[int64][]int32
+	compressed bool
+	layouts    []*bitmap.Layout
+	skipBits   []int // per dim: number of eliminated leading bits (encoded)
+}
+
+// survivors enumerates the surviving bitmaps of a fragmentation under an
+// index configuration, in a deterministic order.
+func survivors(star *schema.Star, spec *frag.Spec, icfg frag.IndexConfig) ([]BitmapDesc, []*bitmap.Layout, []int) {
+	var descs []BitmapDesc
+	layouts := make([]*bitmap.Layout, len(star.Dims))
+	skip := make([]int, len(star.Dims))
+	for d := range star.Dims {
+		dim := &star.Dims[d]
+		fl := -1
+		if ai := spec.AttrOfDim(d); ai != -1 {
+			fl = spec.Attrs()[ai].Level
+		}
+		switch icfg[d].Kind {
+		case frag.EncodedIndex:
+			layouts[d] = bitmap.NewLayout(dim, icfg[d].PadBits)
+			if fl >= 0 {
+				skip[d] = layouts[d].PrefixBits(fl)
+			}
+			for b := skip[d]; b < layouts[d].TotalBits(); b++ {
+				descs = append(descs, BitmapDesc{Dim: d, Bit: b})
+			}
+		default:
+			for l := fl + 1; l < dim.Depth(); l++ {
+				for m := 0; m < dim.Levels[l].Card; m++ {
+					descs = append(descs, BitmapDesc{Dim: d, Level: l, Member: m, Simple: true})
+				}
+			}
+		}
+	}
+	return descs, layouts, skip
+}
+
+// BuildBitmaps constructs and persists the surviving bitmap fragments for
+// an already-built fact store, uncompressed.
+func BuildBitmaps(dirPath string, s *Store, icfg frag.IndexConfig) (*BitmapFile, error) {
+	return buildBitmaps(dirPath, s, icfg, false)
+}
+
+// BuildCompressedBitmaps is BuildBitmaps with WAH compression applied to
+// every bitmap fragment before page padding.
+func BuildCompressedBitmaps(dirPath string, s *Store, icfg frag.IndexConfig) (*BitmapFile, error) {
+	return buildBitmaps(dirPath, s, icfg, true)
+}
+
+func buildBitmaps(dirPath string, s *Store, icfg frag.IndexConfig, compress bool) (*BitmapFile, error) {
+	star := s.star
+	if len(icfg) != len(star.Dims) {
+		return nil, fmt.Errorf("storage: index config has %d entries for %d dimensions", len(icfg), len(star.Dims))
+	}
+	descs, layouts, skip := survivors(star, s.spec, icfg)
+	bf := &BitmapFile{
+		star:       star,
+		spec:       s.spec,
+		icfg:       icfg,
+		pageSize:   s.pageSize,
+		descs:      descs,
+		loc:        make(map[int64]int64, len(s.order)),
+		rowsOf:     make(map[int64]int32, len(s.order)),
+		fragPages:  make(map[int64][]int32, len(s.order)),
+		compressed: compress,
+		layouts:    layouts,
+		skipBits:   skip,
+	}
+	f, err := os.Create(filepath.Join(dirPath, bitmapFileName))
+	if err != nil {
+		return nil, err
+	}
+	bf.file = f
+
+	var pageOff int64
+	keysPerDim := make([][]int32, len(star.Dims))
+	for _, id := range s.order {
+		locFact := s.dir[id]
+		rows := int(locFact.Rows)
+		bf.loc[id] = pageOff
+		bf.rowsOf[id] = locFact.Rows
+		pagesOf := make([]int32, 0, len(descs))
+		// Materialise the fragment's dimension keys.
+		for d := range keysPerDim {
+			keysPerDim[d] = keysPerDim[d][:0]
+		}
+		err := s.ScanFragment(id, func(tp Tuple) {
+			for d := range tp.Keys {
+				keysPerDim[d] = append(keysPerDim[d], int32(tp.Keys[d]))
+			}
+		})
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		// Build and write each surviving bitmap fragment, page-padded.
+		for _, desc := range descs {
+			bs := buildBitmapFragment(star, layouts, desc, keysPerDim[desc.Dim])
+			var payload []byte
+			if compress {
+				payload = encodeCompressed(bitmap.Compress(bs))
+			} else {
+				payload = make([]byte, (rows+7)/8)
+				packBits(bs, payload)
+			}
+			pages := (len(payload) + bf.pageSize - 1) / bf.pageSize
+			if pages < 1 {
+				pages = 1
+			}
+			buf := make([]byte, pages*bf.pageSize)
+			copy(buf, payload)
+			if _, err := f.Write(buf); err != nil {
+				f.Close()
+				return nil, err
+			}
+			pagesOf = append(pagesOf, int32(pages))
+			pageOff += int64(pages)
+		}
+		bf.fragPages[id] = pagesOf
+	}
+	return bf, nil
+}
+
+// encodeCompressed serialises a WAH bitmap: uint32 bit length, uint32 word
+// count, then the words, little endian.
+func encodeCompressed(c *bitmap.Compressed) []byte {
+	words := c.Words()
+	out := make([]byte, 8+8*len(words))
+	putU32(out, uint32(c.Len()))
+	putU32(out[4:], uint32(len(words)))
+	for i, w := range words {
+		putU64(out[8+8*i:], w)
+	}
+	return out
+}
+
+// decodeCompressed deserialises a WAH bitmap.
+func decodeCompressed(buf []byte) *bitmap.Compressed {
+	n := int(getU32(buf))
+	k := int(getU32(buf[4:]))
+	words := make([]uint64, k)
+	for i := range words {
+		words[i] = getU64(buf[8+8*i:])
+	}
+	return bitmap.FromWords(n, words)
+}
+
+func putU32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+func getU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+func putU64(b []byte, v uint64) {
+	putU32(b, uint32(v))
+	putU32(b[4:], uint32(v>>32))
+}
+func getU64(b []byte) uint64 {
+	return uint64(getU32(b)) | uint64(getU32(b[4:]))<<32
+}
+
+// buildBitmapFragment computes one bitmap over the fragment's rows.
+func buildBitmapFragment(star *schema.Star, layouts []*bitmap.Layout, desc BitmapDesc, keys []int32) *bitmap.Bitset {
+	dim := &star.Dims[desc.Dim]
+	bs := bitmap.New(len(keys))
+	if desc.Simple {
+		for i, k := range keys {
+			if dim.Ancestor(dim.Leaf(), int(k), desc.Level) == desc.Member {
+				bs.Set(i)
+			}
+		}
+		return bs
+	}
+	l := layouts[desc.Dim]
+	shift := uint(l.TotalBits() - 1 - desc.Bit)
+	for i, k := range keys {
+		if l.Encode(int(k))>>shift&1 == 1 {
+			bs.Set(i)
+		}
+	}
+	return bs
+}
+
+// packBits serialises a bitset into buf, 8 rows per byte, LSB first.
+func packBits(bs *bitmap.Bitset, buf []byte) {
+	bs.ForEach(func(i int) {
+		buf[i/8] |= 1 << uint(i%8)
+	})
+}
+
+// unpackBits deserialises n bits from buf.
+func unpackBits(buf []byte, n int) *bitmap.Bitset {
+	bs := bitmap.New(n)
+	for i := 0; i < n; i++ {
+		if buf[i/8]&(1<<uint(i%8)) != 0 {
+			bs.Set(i)
+		}
+	}
+	return bs
+}
+
+// NumBitmaps returns the number of surviving bitmaps stored per fragment.
+func (bf *BitmapFile) NumBitmaps() int { return len(bf.descs) }
+
+// Descs returns the stored bitmap enumeration.
+func (bf *BitmapFile) Descs() []BitmapDesc { return bf.descs }
+
+// descIndex locates a descriptor's position in the enumeration.
+func (bf *BitmapFile) descIndex(want BitmapDesc) int {
+	for i, d := range bf.descs {
+		if d == want {
+			return i
+		}
+	}
+	return -1
+}
+
+// Compressed reports whether the file stores WAH-compressed fragments.
+func (bf *BitmapFile) Compressed() bool { return bf.compressed }
+
+// TotalPages returns the total stored bitmap pages — the quantity WAH
+// compression reduces.
+func (bf *BitmapFile) TotalPages() int64 {
+	var t int64
+	for _, pagesOf := range bf.fragPages {
+		for _, p := range pagesOf {
+			t += int64(p)
+		}
+	}
+	return t
+}
+
+// ReadBitmapFragment reads (one physical I/O per page run) the bitmap
+// fragment identified by desc for the given fact fragment. It returns the
+// bitset and the number of pages read.
+func (bf *BitmapFile) ReadBitmapFragment(fragID int64, desc BitmapDesc) (*bitmap.Bitset, int, error) {
+	di := bf.descIndex(desc)
+	if di < 0 {
+		return nil, 0, fmt.Errorf("storage: bitmap %+v not stored (eliminated by the fragmentation?)", desc)
+	}
+	base, ok := bf.loc[fragID]
+	if !ok {
+		return nil, 0, fmt.Errorf("storage: fragment %d has no bitmaps", fragID)
+	}
+	pagesOf := bf.fragPages[fragID]
+	off := base
+	for i := 0; i < di; i++ {
+		off += int64(pagesOf[i])
+	}
+	pages := int(pagesOf[di])
+	buf := make([]byte, pages*bf.pageSize)
+	if _, err := bf.file.ReadAt(buf, off*int64(bf.pageSize)); err != nil {
+		return nil, 0, err
+	}
+	if bf.compressed {
+		return decodeCompressed(buf).Decompress(), pages, nil
+	}
+	return unpackBits(buf, int(bf.rowsOf[fragID])), pages, nil
+}
+
+// Close releases the underlying file.
+func (bf *BitmapFile) Close() error { return bf.file.Close() }

@@ -1,0 +1,112 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/engine"
+	"repro/internal/frag"
+	"repro/internal/schema"
+)
+
+// buildBoth builds an uncompressed and a compressed bitmap file over the
+// same store.
+func buildBoth(t testing.TB) (*schema.Star, *data.Table, *Store, *BitmapFile, *BitmapFile) {
+	t.Helper()
+	s := sparseSchema()
+	tab := data.MustGenerate(s, 33)
+	spec := frag.MustParse(s, "time::month, product::group")
+	icfg := make(frag.IndexConfig, len(s.Dims))
+	for i := range icfg {
+		icfg[i] = frag.IndexSpec{Kind: frag.EncodedIndex}
+	}
+	dirPlain, dirComp := t.TempDir(), t.TempDir()
+	storePlain, err := Build(dirPlain, tab, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := BuildBitmaps(dirPlain, storePlain, icfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The compressed file needs its own store dir only for file paths; the
+	// fact file is identical.
+	storeComp, err := Build(dirComp, tab, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := BuildCompressedBitmaps(dirComp, storeComp, icfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		storePlain.Close()
+		plain.Close()
+		storeComp.Close()
+		comp.Close()
+	})
+	if !comp.Compressed() || plain.Compressed() {
+		t.Fatal("Compressed flags wrong")
+	}
+	return s, tab, storeComp, plain, comp
+}
+
+func TestCompressedBitmapsRoundTrip(t *testing.T) {
+	_, _, store, plain, comp := buildBoth(t)
+	// Every stored bitmap fragment decodes identically in both files.
+	for _, id := range store.Fragments() {
+		for _, desc := range comp.Descs() {
+			want, _, err := plain.ReadBitmapFragment(id, desc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := comp.ReadBitmapFragment(id, desc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("fragment %d bitmap %+v differs when compressed", id, desc)
+			}
+		}
+	}
+}
+
+func TestCompressedExecutorCorrectAndCheaper(t *testing.T) {
+	s, tab, store, plain, comp := buildBoth(t)
+	exPlain := NewExecutor(store, plain)
+	exComp := NewExecutor(store, comp)
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 60; iter++ {
+		var q frag.Query
+		for di := range s.Dims {
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			li := rng.Intn(s.Dims[di].Depth())
+			q = append(q, frag.Pred{Dim: di, Level: li, Member: rng.Intn(s.Dims[di].Levels[li].Card)})
+		}
+		if len(q) == 0 {
+			continue
+		}
+		a, _, err := exPlain.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := exComp.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("iter %d: plain %+v != compressed %+v", iter, a, b)
+		}
+		want := engine.Scan(tab, q)
+		if a.Count != want.Count {
+			t.Fatalf("iter %d: wrong result", iter)
+		}
+	}
+	// Storage: compressed total pages never exceed plain.
+	if comp.TotalPages() > plain.TotalPages() {
+		t.Errorf("compressed bitmaps use %d pages, plain %d", comp.TotalPages(), plain.TotalPages())
+	}
+}

@@ -1,0 +1,220 @@
+package storage
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitmap"
+	"repro/internal/frag"
+)
+
+// IOStats counts the physical I/O a query execution performed — the
+// observable counterpart of the paper's analytical Table 3.
+type IOStats struct {
+	FactPages   int64
+	FactIOs     int64
+	BitmapPages int64
+	BitmapIOs   int64
+	RowsRead    int64
+}
+
+// Aggregate is the star query result over the stored measures.
+type Aggregate struct {
+	Count       int64
+	UnitsSold   int64
+	DollarSales int64
+	Cost        int64
+}
+
+// Executor runs star queries against an on-disk store following the
+// processing model of Section 4.3: determine the relevant fragments, read
+// the required bitmap fragments, AND them, read the fact pages containing
+// hits with prefetch granules, and aggregate.
+type Executor struct {
+	store   *Store
+	bitmaps *BitmapFile
+	// PrefetchFact is the fact read granule in pages (default 8).
+	PrefetchFact int
+}
+
+// NewExecutor pairs a fact store with its bitmap file.
+func NewExecutor(store *Store, bitmaps *BitmapFile) *Executor {
+	return &Executor{store: store, bitmaps: bitmaps, PrefetchFact: 8}
+}
+
+// Execute runs the query and returns the aggregate plus physical I/O
+// statistics.
+func (e *Executor) Execute(q frag.Query) (Aggregate, IOStats, error) {
+	star := e.store.star
+	spec := e.store.spec
+	if err := q.Validate(star); err != nil {
+		return Aggregate{}, IOStats{}, err
+	}
+	var agg Aggregate
+	var st IOStats
+	var execErr error
+	spec.ForEachFragment(q, func(id int64, _ []int) bool {
+		if err := e.processFragment(id, q, &agg, &st); err != nil {
+			execErr = err
+			return false
+		}
+		return true
+	})
+	return agg, st, execErr
+}
+
+// processFragment evaluates the query within one fragment.
+func (e *Executor) processFragment(id int64, q frag.Query, agg *Aggregate, st *IOStats) error {
+	loc, ok := e.store.Loc(id)
+	if !ok {
+		return nil // no rows at this density
+	}
+	spec := e.store.spec
+
+	// Step 2 (Section 4.3): bitmap access for the predicates that need it.
+	var hits *bitmap.Bitset
+	for _, p := range q {
+		if !spec.NeedsBitmap(p) {
+			continue
+		}
+		sel, pages, err := e.selectPred(id, p, st)
+		if err != nil {
+			return err
+		}
+		st.BitmapPages += int64(pages)
+		if hits == nil {
+			hits = sel
+		} else {
+			hits.And(sel)
+		}
+	}
+
+	if hits == nil {
+		// IOC1: every page of the fragment is read with full prefetch.
+		return e.scanWhole(id, loc, agg, st)
+	}
+	return e.readHits(id, loc, hits, agg, st)
+}
+
+// selectPred evaluates one predicate via the stored bitmap fragments.
+func (e *Executor) selectPred(id int64, p frag.Pred, st *IOStats) (*bitmap.Bitset, int, error) {
+	star := e.store.star
+	dim := &star.Dims[p.Dim]
+	if e.bitmaps.icfg[p.Dim].Kind == frag.SimpleIndexes {
+		bs, pages, err := e.bitmaps.ReadBitmapFragment(id, BitmapDesc{Dim: p.Dim, Level: p.Level, Member: p.Member, Simple: true})
+		st.BitmapIOs++
+		return bs, pages, err
+	}
+	// Encoded: AND the bit-position bitmaps in (skip, prefix(level)],
+	// taking each verbatim or complemented per the member's pattern.
+	layout := e.bitmaps.layouts[p.Dim]
+	skip := e.bitmaps.skipBits[p.Dim]
+	hi := layout.PrefixBits(p.Level)
+	if hi <= skip {
+		// The fragmentation already fixes this level: all rows match by
+		// fragment confinement (should not happen when NeedsBitmap holds).
+		return nil, 0, fmt.Errorf("storage: predicate on %s.%s needs no bitmaps", dim.Name, dim.Levels[p.Level].Name)
+	}
+	pattern := layout.EncodePrefix(p.Level, p.Member)
+	var out *bitmap.Bitset
+	pagesTotal := 0
+	for b := skip; b < hi; b++ {
+		bs, pages, err := e.bitmaps.ReadBitmapFragment(id, BitmapDesc{Dim: p.Dim, Bit: b})
+		if err != nil {
+			return nil, pagesTotal, err
+		}
+		st.BitmapIOs++
+		pagesTotal += pages
+		if pattern>>uint(hi-1-b)&1 == 0 {
+			bs.Not()
+		}
+		if out == nil {
+			out = bs
+		} else {
+			out.And(bs)
+		}
+	}
+	return out, pagesTotal, nil
+}
+
+// scanWhole aggregates every tuple of the fragment, reading it in
+// prefetch-granule runs.
+func (e *Executor) scanWhole(id int64, loc FragLoc, agg *Aggregate, st *IOStats) error {
+	tpp := TuplesPerPage(e.store.star)
+	keys := make([]uint16, len(e.store.star.Dims))
+	remaining := int(loc.Rows)
+	for start := 0; start < int(loc.Pages); start += e.PrefetchFact {
+		count := e.PrefetchFact
+		if start+count > int(loc.Pages) {
+			count = int(loc.Pages) - start
+		}
+		buf, err := e.store.ReadPages(id, start, count)
+		if err != nil {
+			return err
+		}
+		st.FactIOs++
+		st.FactPages += int64(count)
+		for p := 0; p < count; p++ {
+			n := tpp
+			if remaining < n {
+				n = remaining
+			}
+			off := p * e.store.pageSize
+			for i := 0; i < n; i++ {
+				var tp Tuple
+				tp, off = e.store.decodeTuple(buf, off, keys)
+				addTuple(agg, tp)
+				st.RowsRead++
+			}
+			remaining -= n
+		}
+	}
+	return nil
+}
+
+// readHits reads only the prefetch granules containing hit rows.
+func (e *Executor) readHits(id int64, loc FragLoc, hits *bitmap.Bitset, agg *Aggregate, st *IOStats) error {
+	tpp := TuplesPerPage(e.store.star)
+	keys := make([]uint16, len(e.store.star.Dims))
+	g := e.PrefetchFact
+	granules := int(math.Ceil(float64(loc.Pages) / float64(g)))
+	for gi := 0; gi < granules; gi++ {
+		rowLo := gi * g * tpp
+		rowHi := rowLo + g*tpp
+		if rowHi > int(loc.Rows) {
+			rowHi = int(loc.Rows)
+		}
+		// Skip granules without hits (the prefetch-efficiency effect of
+		// Section 4.5).
+		first := hits.NextSet(rowLo)
+		if first < 0 || first >= rowHi {
+			continue
+		}
+		start := gi * g
+		count := g
+		if start+count > int(loc.Pages) {
+			count = int(loc.Pages) - start
+		}
+		buf, err := e.store.ReadPages(id, start, count)
+		if err != nil {
+			return err
+		}
+		st.FactIOs++
+		st.FactPages += int64(count)
+		for r := first; r >= 0 && r < rowHi; r = hits.NextSet(r + 1) {
+			pageIn := r/tpp - start
+			off := pageIn*e.store.pageSize + (r%tpp)*e.store.tupleSize
+			tp, _ := e.store.decodeTuple(buf, off, keys)
+			addTuple(agg, tp)
+			st.RowsRead++
+		}
+	}
+	return nil
+}
+
+func addTuple(agg *Aggregate, tp Tuple) {
+	agg.Count++
+	agg.UnitsSold += int64(tp.UnitsSold)
+	agg.DollarSales += int64(tp.DollarSales)
+	agg.Cost += int64(tp.Cost)
+}

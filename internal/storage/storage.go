@@ -1,0 +1,313 @@
+// Package storage is the paged, on-disk representation of an
+// MDHF-fragmented warehouse: fact fragments packed into fixed-size pages
+// and stored consecutively in allocation order (the layout assumption of
+// the paper's I/O model), plus the surviving bitmap fragments, plus a
+// persisted directory so stores reopen without rebuilding. An executor
+// (executor.go) runs star queries against the files with prefetch-granule
+// reads, making the paper's I/O accounting physically observable.
+//
+// Tuple format (matching the paper's 20-byte fact tuples for APB-1):
+// one uint16 foreign key per dimension followed by three int32 measures
+// (UnitsSold, DollarSales, Cost), little endian.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/data"
+	"repro/internal/frag"
+	"repro/internal/schema"
+)
+
+const (
+	factFileName = "fact.dat"
+	metaFileName = "meta.dat"
+	magic        = 0x4d444846 // "MDHF"
+	formatV1     = 1
+)
+
+// FragLoc locates one fact fragment inside the fact file.
+type FragLoc struct {
+	PageOff int64 // first page number
+	Pages   int32 // number of pages
+	Rows    int32 // number of tuples
+}
+
+// Store is an on-disk fact table fragmented per an MDHF spec.
+type Store struct {
+	star      *schema.Star
+	spec      *frag.Spec
+	pageSize  int
+	tupleSize int
+	file      *os.File
+	dir       map[int64]FragLoc
+	// order holds the non-empty fragment ids in allocation order.
+	order []int64
+}
+
+// TupleSize returns the on-disk tuple size for a schema: 2 bytes per
+// dimension key plus 12 bytes of measures.
+func TupleSize(star *schema.Star) int { return 2*len(star.Dims) + 12 }
+
+// TuplesPerPage returns how many tuples fit one page.
+func TuplesPerPage(star *schema.Star) int { return star.PageSize / TupleSize(star) }
+
+// Build partitions the table per spec and writes the fact file and
+// directory into dir (created if needed). Fragments are written in
+// allocation order; each fragment starts on a fresh page.
+func Build(dirPath string, t *data.Table, spec *frag.Spec) (*Store, error) {
+	star := t.Star
+	for i := range star.Dims {
+		if star.Dims[i].LeafCard() > 1<<16 {
+			return nil, fmt.Errorf("storage: dimension %s cardinality %d exceeds uint16 keys", star.Dims[i].Name, star.Dims[i].LeafCard())
+		}
+	}
+	if err := os.MkdirAll(dirPath, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{
+		star:      star,
+		spec:      spec,
+		pageSize:  star.PageSize,
+		tupleSize: TupleSize(star),
+		dir:       make(map[int64]FragLoc),
+	}
+
+	// Partition row indices by fragment.
+	byFrag := make(map[int64][]int32)
+	buf := make([]int, len(star.Dims))
+	for i := 0; i < t.N(); i++ {
+		id := spec.ID(spec.CoordOf(t.LeafMembers(i, buf)))
+		byFrag[id] = append(byFrag[id], int32(i))
+	}
+	for id := range byFrag {
+		s.order = append(s.order, id)
+	}
+	sortInt64s(s.order)
+
+	f, err := os.Create(filepath.Join(dirPath, factFileName))
+	if err != nil {
+		return nil, err
+	}
+	s.file = f
+
+	tpp := TuplesPerPage(star)
+	page := make([]byte, s.pageSize)
+	var pageOff int64
+	for _, id := range s.order {
+		rows := byFrag[id]
+		pages := (len(rows) + tpp - 1) / tpp
+		s.dir[id] = FragLoc{PageOff: pageOff, Pages: int32(pages), Rows: int32(len(rows))}
+		for p := 0; p < pages; p++ {
+			for i := range page {
+				page[i] = 0
+			}
+			lo := p * tpp
+			hi := lo + tpp
+			if hi > len(rows) {
+				hi = len(rows)
+			}
+			off := 0
+			for _, ri := range rows[lo:hi] {
+				off = encodeTuple(page, off, t, int(ri))
+			}
+			if _, err := f.Write(page); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+		pageOff += int64(pages)
+	}
+	if err := s.writeMeta(dirPath); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+func encodeTuple(page []byte, off int, t *data.Table, row int) int {
+	for d := range t.Dims {
+		binary.LittleEndian.PutUint16(page[off:], uint16(t.Dims[d][row]))
+		off += 2
+	}
+	binary.LittleEndian.PutUint32(page[off:], uint32(t.UnitsSold[row]))
+	binary.LittleEndian.PutUint32(page[off+4:], uint32(t.DollarSales[row]))
+	binary.LittleEndian.PutUint32(page[off+8:], uint32(t.Cost[row]))
+	return off + 12
+}
+
+// Tuple is one decoded fact tuple.
+type Tuple struct {
+	Keys        []uint16
+	UnitsSold   int32
+	DollarSales int32
+	Cost        int32
+}
+
+// decodeTuple reads the tuple at off; keys must have len(star.Dims).
+func (s *Store) decodeTuple(page []byte, off int, keys []uint16) (Tuple, int) {
+	var tp Tuple
+	for d := range keys {
+		keys[d] = binary.LittleEndian.Uint16(page[off:])
+		off += 2
+	}
+	tp.Keys = keys
+	tp.UnitsSold = int32(binary.LittleEndian.Uint32(page[off:]))
+	tp.DollarSales = int32(binary.LittleEndian.Uint32(page[off+4:]))
+	tp.Cost = int32(binary.LittleEndian.Uint32(page[off+8:]))
+	return tp, off + 12
+}
+
+// writeMeta persists the directory: magic, version, page size, #frags,
+// then (id, pageOff, pages, rows) per fragment.
+func (s *Store) writeMeta(dirPath string) error {
+	f, err := os.Create(filepath.Join(dirPath, metaFileName))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := func(vals ...int64) error {
+		for _, v := range vals {
+			if err := binary.Write(f, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := w(magic, formatV1, int64(s.pageSize), int64(len(s.order))); err != nil {
+		return err
+	}
+	for _, id := range s.order {
+		loc := s.dir[id]
+		if err := w(id, loc.PageOff, int64(loc.Pages), int64(loc.Rows)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Open reopens a store built earlier in dirPath. star and spec must match
+// the ones used at build time (only the page size is verified).
+func Open(dirPath string, star *schema.Star, spec *frag.Spec) (*Store, error) {
+	mf, err := os.Open(filepath.Join(dirPath, metaFileName))
+	if err != nil {
+		return nil, err
+	}
+	defer mf.Close()
+	r := func() (int64, error) {
+		var v int64
+		err := binary.Read(mf, binary.LittleEndian, &v)
+		return v, err
+	}
+	mg, err := r()
+	if err != nil || mg != magic {
+		return nil, fmt.Errorf("storage: bad meta file (magic %x)", mg)
+	}
+	ver, _ := r()
+	if ver != formatV1 {
+		return nil, fmt.Errorf("storage: unsupported format %d", ver)
+	}
+	ps, _ := r()
+	if int(ps) != star.PageSize {
+		return nil, fmt.Errorf("storage: page size %d != schema %d", ps, star.PageSize)
+	}
+	n, err := r()
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		star:      star,
+		spec:      spec,
+		pageSize:  star.PageSize,
+		tupleSize: TupleSize(star),
+		dir:       make(map[int64]FragLoc, n),
+	}
+	for i := int64(0); i < n; i++ {
+		id, err := r()
+		if err != nil {
+			return nil, err
+		}
+		off, _ := r()
+		pages, _ := r()
+		rows, err := r()
+		if err != nil {
+			return nil, err
+		}
+		s.dir[id] = FragLoc{PageOff: off, Pages: int32(pages), Rows: int32(rows)}
+		s.order = append(s.order, id)
+	}
+	f, err := os.Open(filepath.Join(dirPath, factFileName))
+	if err != nil {
+		return nil, err
+	}
+	s.file = f
+	return s, nil
+}
+
+// Close releases the underlying file.
+func (s *Store) Close() error { return s.file.Close() }
+
+// NumFragments returns the number of non-empty fragments stored.
+func (s *Store) NumFragments() int { return len(s.order) }
+
+// Fragments returns the stored fragment ids in allocation order.
+func (s *Store) Fragments() []int64 { return s.order }
+
+// Loc returns the location of a fragment, if stored.
+func (s *Store) Loc(id int64) (FragLoc, bool) {
+	loc, ok := s.dir[id]
+	return loc, ok
+}
+
+// ReadPages reads `count` pages of fragment id starting at page `start`
+// within the fragment (one physical I/O).
+func (s *Store) ReadPages(id int64, start, count int) ([]byte, error) {
+	loc, ok := s.dir[id]
+	if !ok {
+		return nil, fmt.Errorf("storage: fragment %d not stored", id)
+	}
+	if start < 0 || start+count > int(loc.Pages) {
+		return nil, fmt.Errorf("storage: pages [%d,%d) out of fragment's %d", start, start+count, loc.Pages)
+	}
+	buf := make([]byte, count*s.pageSize)
+	_, err := s.file.ReadAt(buf, (loc.PageOff+int64(start))*int64(s.pageSize))
+	return buf, err
+}
+
+// ScanFragment calls fn for every tuple of the fragment, reading it page
+// by page. keys is reused across calls.
+func (s *Store) ScanFragment(id int64, fn func(Tuple)) error {
+	loc, ok := s.dir[id]
+	if !ok {
+		return nil // empty fragment
+	}
+	tpp := TuplesPerPage(s.star)
+	keys := make([]uint16, len(s.star.Dims))
+	remaining := int(loc.Rows)
+	for p := 0; p < int(loc.Pages); p++ {
+		page, err := s.ReadPages(id, p, 1)
+		if err != nil {
+			return err
+		}
+		n := tpp
+		if remaining < n {
+			n = remaining
+		}
+		off := 0
+		for i := 0; i < n; i++ {
+			var tp Tuple
+			tp, off = s.decodeTuple(page, off, keys)
+			fn(tp)
+		}
+		remaining -= n
+	}
+	return nil
+}
+
+func sortInt64s(a []int64) {
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+}

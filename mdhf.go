@@ -1,0 +1,352 @@
+// Package mdhf is the public API of this reproduction of "Multi-Dimensional
+// Database Allocation for Parallel Data Warehouses" (Stöhr, Märtens, Rahm;
+// VLDB 2000).
+//
+// It provides:
+//
+//   - star schema modelling with hierarchical dimensions (APB-1 built in);
+//   - simple and encoded (hierarchical) bitmap join indices;
+//   - MDHF, the paper's multi-dimensional hierarchical fragmentation, with
+//     query-to-fragment confinement, bitmap elimination, and the
+//     fragmentation thresholds and guidelines of Section 4;
+//   - the analytical I/O cost model and a fragmentation advisor;
+//   - disk allocation schemes including staggered round robin;
+//   - a discrete-event Shared Disk PDBS simulator (SIMPAD);
+//   - a real goroutine-parallel query engine over generated fact data;
+//   - the workload generator and the harness regenerating every table and
+//     figure of the paper's evaluation.
+//
+// Quick start:
+//
+//	star := mdhf.APB1()
+//	spec, _ := mdhf.ParseFragmentation(star, "time::month, product::group")
+//	idx := mdhf.APB1Indexes(star)
+//	q, _ := mdhf.ParseQuery(star, "customer::store=7")
+//	c := mdhf.EstimateCost(spec, idx, q, mdhf.DefaultCostParams())
+//	fmt.Printf("%d fragments, %.0f MB I/O\n", c.Fragments, c.TotalMB())
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package mdhf
+
+import (
+	"repro/internal/alloc"
+	"repro/internal/cost"
+	"repro/internal/data"
+	"repro/internal/dimtable"
+	"repro/internal/engine"
+	"repro/internal/frag"
+	"repro/internal/schema"
+	"repro/internal/simpad"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// Schema types.
+type (
+	// Star is a star schema with hierarchically structured dimensions.
+	Star = schema.Star
+	// Dimension is one hierarchical dimension.
+	Dimension = schema.Dimension
+	// Level is one hierarchy level.
+	Level = schema.Level
+)
+
+// APB1 returns the paper's evaluation schema: APB-1 with 15 channels,
+// 24 months, density 25% — 1,866,240,000 fact rows.
+func APB1() *Star { return schema.APB1() }
+
+// APB1Scaled returns a reduced-cardinality APB-1 for in-memory execution.
+func APB1Scaled(factor int) *Star { return schema.APB1Scaled(factor) }
+
+// TinySchema returns a minimal APB-1-shaped schema for experimentation.
+func TinySchema() *Star { return schema.Tiny() }
+
+// Fragmentation types.
+type (
+	// Fragmentation is an MDHF fragmentation specification.
+	Fragmentation = frag.Spec
+	// FragAttr is one fragmentation attribute (dimension and level index).
+	FragAttr = frag.Attr
+	// Query is a star query selection (conjunction of point predicates).
+	Query = frag.Query
+	// Pred is one query predicate.
+	Pred = frag.Pred
+	// QueryClass is the paper's Q1-Q4 query classification.
+	QueryClass = frag.QueryClass
+	// IOClass is the paper's I/O overhead classification.
+	IOClass = frag.IOClass
+	// Thresholds are the admissibility limits of the Section 4.7 guidelines.
+	Thresholds = frag.Thresholds
+	// IndexConfig assigns a bitmap index kind to each dimension.
+	IndexConfig = frag.IndexConfig
+	// IndexSpec configures one dimension's bitmap index.
+	IndexSpec = frag.IndexSpec
+)
+
+// Query and I/O classes.
+const (
+	Q1          = frag.Q1
+	Q2          = frag.Q2
+	Q3          = frag.Q3
+	Q4          = frag.Q4
+	Unsupported = frag.Unsupported
+
+	IOC1Opt    = frag.IOC1Opt
+	IOC1       = frag.IOC1
+	IOC2       = frag.IOC2
+	IOC2NoSupp = frag.IOC2NoSupp
+
+	SimpleIndexes = frag.SimpleIndexes
+	EncodedIndex  = frag.EncodedIndex
+)
+
+// NewFragmentation builds a fragmentation from attribute indices.
+func NewFragmentation(star *Star, attrs []FragAttr) (*Fragmentation, error) {
+	return frag.New(star, attrs)
+}
+
+// Range fragmentation (the general MDHF of Section 4.1; the paper's
+// evaluation — and this library's simulator and engines — focus on the
+// point special case, but RangeFragmentation provides the confinement and
+// bitmap-need analysis for arbitrary value-range partitionings).
+type (
+	// RangeFragmentation is a general multi-dimensional hierarchical range
+	// fragmentation.
+	RangeFragmentation = frag.RangeSpec
+	// RangeFragAttr is one range-partitioned fragmentation attribute.
+	RangeFragAttr = frag.RangeAttr
+)
+
+// NewRangeFragmentation builds and validates a range fragmentation.
+func NewRangeFragmentation(star *Star, attrs []RangeFragAttr) (*RangeFragmentation, error) {
+	return frag.NewRange(star, attrs)
+}
+
+// UniformRanges splits a hierarchy level's domain into n equal ranges.
+func UniformRanges(star *Star, dim, level, n int) RangeFragAttr {
+	return frag.UniformRanges(star, dim, level, n)
+}
+
+// ParseFragmentation parses the paper's notation, e.g.
+// "time::month, product::group".
+func ParseFragmentation(star *Star, text string) (*Fragmentation, error) {
+	return frag.Parse(star, text)
+}
+
+// ParseQuery parses "dim::level=member, ..." notation.
+func ParseQuery(star *Star, text string) (Query, error) {
+	return frag.ParseQuery(star, text)
+}
+
+// EnumerateFragmentations lists every point fragmentation of the schema
+// (167 for APB-1).
+func EnumerateFragmentations(star *Star) []*Fragmentation {
+	return frag.Enumerate(star)
+}
+
+// MaxFragments is the paper's nmax threshold (Section 4.4).
+func MaxFragments(star *Star, prefetchGran int) int64 {
+	return frag.MaxFragments(star, prefetchGran)
+}
+
+// APB1Indexes returns the paper's bitmap index configuration (76 bitmaps).
+func APB1Indexes(star *Star) IndexConfig { return frag.APB1Indexes(star) }
+
+// MaxBitmaps counts the bitmaps materialised without fragmentation.
+func MaxBitmaps(star *Star, cfg IndexConfig) int { return frag.MaxBitmaps(star, cfg) }
+
+// Cost model.
+type (
+	// QueryCost is an analytical I/O cost estimate.
+	QueryCost = cost.QueryCost
+	// CostParams are the prefetch parameters of the cost model.
+	CostParams = cost.Params
+	// WeightedQuery is one query-mix entry for the advisor.
+	WeightedQuery = cost.WeightedQuery
+	// Ranked is one advisor candidate.
+	Ranked = cost.Ranked
+)
+
+// DefaultCostParams returns the paper's prefetch settings (8/5 pages).
+func DefaultCostParams() CostParams { return cost.DefaultParams() }
+
+// EstimateCost estimates the I/O work of a query under a fragmentation.
+func EstimateCost(spec *Fragmentation, cfg IndexConfig, q Query, p CostParams) QueryCost {
+	return cost.Estimate(spec, cfg, q, p)
+}
+
+// Advise ranks admissible fragmentations by total I/O work over a query
+// mix (the guidelines of Section 4.7).
+func Advise(star *Star, cfg IndexConfig, mix []WeightedQuery, th Thresholds, p CostParams) []Ranked {
+	return cost.Advise(star, cfg, mix, th, p)
+}
+
+// Allocation.
+type (
+	// Placement maps fragments to disks.
+	Placement = alloc.Placement
+	// AllocScheme selects the fact placement function.
+	AllocScheme = alloc.Scheme
+)
+
+// Allocation schemes.
+const (
+	RoundRobin    = alloc.RoundRobin
+	GapRoundRobin = alloc.GapRoundRobin
+)
+
+// DisksUsed returns the fact-I/O parallelism of a query under a placement.
+func DisksUsed(spec *Fragmentation, q Query, p Placement) int {
+	return alloc.DisksUsed(spec, q, p)
+}
+
+// Simulation.
+type (
+	// SimConfig holds SIMPAD parameters (Table 4 defaults).
+	SimConfig = simpad.Config
+	// SimSystem is one simulated Shared Disk PDBS.
+	SimSystem = simpad.System
+	// SimPlan is a physical star query execution plan.
+	SimPlan = simpad.Plan
+	// SimResult is one simulated query execution.
+	SimResult = simpad.Result
+)
+
+// DefaultSimConfig returns the paper's simulation parameters (Table 4).
+func DefaultSimConfig() SimConfig { return simpad.DefaultConfig() }
+
+// NewSimSystem builds a simulated PDBS.
+func NewSimSystem(cfg SimConfig, icfg IndexConfig, placement Placement, seed int64) (*SimSystem, error) {
+	return simpad.NewSystem(cfg, icfg, placement, seed)
+}
+
+// NewSimPlan derives the execution plan of a query.
+func NewSimPlan(spec *Fragmentation, icfg IndexConfig, q Query, cfg SimConfig) *SimPlan {
+	return simpad.NewPlan(spec, icfg, q, cfg)
+}
+
+// Execution engine.
+type (
+	// FactTable is a generated in-memory fact table.
+	FactTable = data.Table
+	// Engine executes star queries over fragmented fact data.
+	Engine = engine.Engine
+	// Aggregate is a star query result.
+	Aggregate = engine.Aggregate
+	// EngineStats reports work performed by a query execution.
+	EngineStats = engine.Stats
+)
+
+// GenerateData builds a deterministic fact table for the schema.
+func GenerateData(star *Star, seed int64) (*FactTable, error) {
+	return data.Generate(star, seed)
+}
+
+// BuildEngine fragments the table and constructs per-fragment bitmap
+// indices.
+func BuildEngine(t *FactTable, spec *Fragmentation, icfg IndexConfig) (*Engine, error) {
+	return engine.Build(t, spec, icfg)
+}
+
+// ScanAggregate computes a query result by naive full scan (the engine's
+// correctness oracle).
+func ScanAggregate(t *FactTable, q Query) Aggregate {
+	return engine.Scan(t, q)
+}
+
+// Workload.
+type (
+	// QueryType is a named star query template.
+	QueryType = workload.QueryType
+	// QueryGenerator produces queries with random parameters.
+	QueryGenerator = workload.Generator
+)
+
+// The paper's query types.
+var (
+	OneStore           = workload.OneStore
+	OneMonth           = workload.OneMonth
+	OneCode            = workload.OneCode
+	OneGroup           = workload.OneGroup
+	OneQuarter         = workload.OneQuarter
+	OneMonthOneGroup   = workload.OneMonthOneGroup
+	OneCodeOneMonth    = workload.OneCodeOneMonth
+	OneCodeOneQuarter  = workload.OneCodeOneQuarter
+	OneGroupOneQuarter = workload.OneGroupOneQuarter
+	OneGroupOneStore   = workload.OneGroupOneStore
+)
+
+// NewQueryGenerator returns a deterministic query generator.
+func NewQueryGenerator(star *Star, seed int64) *QueryGenerator {
+	return workload.NewGenerator(star, seed)
+}
+
+// Skewed data generation (the paper's future-work data skew study).
+type SkewConfig = data.SkewConfig
+
+// UniformSkew returns a no-skew configuration.
+func UniformSkew(star *Star) SkewConfig { return data.UniformSkew(star) }
+
+// GenerateSkewedData builds a fact table with Zipf-skewed member
+// frequencies.
+func GenerateSkewedData(star *Star, seed int64, skew SkewConfig) (*FactTable, error) {
+	return data.GenerateSkewed(star, seed, skew)
+}
+
+// Simulator architectures (Shared Nothing is the footnote-3 extension).
+const (
+	SharedDisk    = simpad.SharedDisk
+	SharedNothing = simpad.SharedNothing
+)
+
+// On-disk storage.
+type (
+	// Store is a paged on-disk fact table fragmented per an MDHF spec.
+	Store = storage.Store
+	// BitmapFile stores the surviving bitmap fragments.
+	BitmapFile = storage.BitmapFile
+	// StorageExecutor runs star queries against the files with real
+	// prefetch-granule I/O.
+	StorageExecutor = storage.Executor
+	// StorageIOStats counts the physical I/O of an execution.
+	StorageIOStats = storage.IOStats
+)
+
+// BuildStore writes the fragmented fact table into dir.
+func BuildStore(dir string, t *FactTable, spec *Fragmentation) (*Store, error) {
+	return storage.Build(dir, t, spec)
+}
+
+// OpenStore reopens a previously built store.
+func OpenStore(dir string, star *Star, spec *Fragmentation) (*Store, error) {
+	return storage.Open(dir, star, spec)
+}
+
+// BuildBitmapFile constructs and persists the surviving bitmap fragments.
+func BuildBitmapFile(dir string, s *Store, icfg IndexConfig) (*BitmapFile, error) {
+	return storage.BuildBitmaps(dir, s, icfg)
+}
+
+// BuildCompressedBitmapFile is BuildBitmapFile with WAH compression (the
+// space reduction the paper mentions in Section 3.2).
+func BuildCompressedBitmapFile(dir string, s *Store, icfg IndexConfig) (*BitmapFile, error) {
+	return storage.BuildCompressedBitmaps(dir, s, icfg)
+}
+
+// NewStorageExecutor pairs a store with its bitmap file.
+func NewStorageExecutor(s *Store, bf *BitmapFile) *StorageExecutor {
+	return storage.NewExecutor(s, bf)
+}
+
+// Dimension tables.
+type (
+	// DimCatalog holds the denormalized dimension tables with B+-tree
+	// indices and resolves name-level queries.
+	DimCatalog = dimtable.Catalog
+	// DimTable is one dimension table.
+	DimTable = dimtable.Table
+)
+
+// BuildDimCatalog materialises the dimension tables of the schema.
+func BuildDimCatalog(star *Star) *DimCatalog { return dimtable.BuildCatalog(star) }

@@ -1,0 +1,147 @@
+package mdhf
+
+import (
+	"testing"
+)
+
+func TestPublicAPIRangeFragmentation(t *testing.T) {
+	star := APB1()
+	tm := star.DimIndex("time")
+	pd := star.DimIndex("product")
+	month := star.Dims[tm].LevelIndex("month")
+	group := star.Dims[pd].LevelIndex("group")
+	spec, err := NewRangeFragmentation(star, []RangeFragAttr{
+		UniformRanges(star, tm, month, 6),
+		UniformRanges(star, pd, group, 48),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.NumFragments() != 288 {
+		t.Fatalf("fragments = %d", spec.NumFragments())
+	}
+	q, err := ParseQuery(star, "time::month=3, product::group=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := spec.RelevantCount(q); got != 1 {
+		t.Fatalf("relevant = %d, want 1", got)
+	}
+}
+
+func TestPublicAPISkewedData(t *testing.T) {
+	star := APB1Scaled(60)
+	star.Density = 0.1
+	skew := UniformSkew(star)
+	skew.Theta[0] = 1.0
+	tab, err := GenerateSkewedData(star, 4, skew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(tab.N()) != star.N() {
+		t.Fatalf("rows = %d, want %d", tab.N(), star.N())
+	}
+	// The skewed table works with the regular engine.
+	spec, err := ParseFragmentation(star, "time::month, product::group")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := BuildEngine(tab, spec, APB1Indexes(star))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := NewQueryGenerator(star, 1).Next(OneGroup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := eng.Execute(q, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := ScanAggregate(tab, q); got != want {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+}
+
+func TestPublicAPIStorageRoundTrip(t *testing.T) {
+	star := TinySchema()
+	tab, err := GenerateData(star, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := ParseFragmentation(star, "time::month, product::group")
+	if err != nil {
+		t.Fatal(err)
+	}
+	icfg := make(IndexConfig, len(star.Dims))
+	for i := range icfg {
+		icfg[i] = IndexSpec{Kind: EncodedIndex}
+	}
+	dir := t.TempDir()
+	store, err := BuildStore(dir, tab, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	bf, err := BuildBitmapFile(dir, store, icfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bf.Close()
+	ex := NewStorageExecutor(store, bf)
+	q, err := NewQueryGenerator(star, 3).Next(OneStore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, io, err := ex.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ScanAggregate(tab, q)
+	if got.Count != want.Count || got.DollarSales != want.DollarSales {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+	if io.FactPages == 0 {
+		t.Fatal("no physical I/O recorded")
+	}
+	// Reopen path.
+	re, err := OpenStore(dir, star, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.NumFragments() != store.NumFragments() {
+		t.Fatal("reopened store differs")
+	}
+}
+
+func TestPublicAPIDimCatalog(t *testing.T) {
+	star := APB1()
+	catalog := BuildDimCatalog(star)
+	q, err := catalog.ParseQuery("customer.store = 'STORE-0007'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := ParseFragmentation(star, "customer::store")
+	if got := spec.RelevantCount(q); got != 1 {
+		t.Fatalf("relevant = %d", got)
+	}
+}
+
+func TestPublicAPISharedNothingSim(t *testing.T) {
+	star := APB1()
+	spec, _ := ParseFragmentation(star, "time::month, product::group")
+	icfg := APB1Indexes(star)
+	cfg := DefaultSimConfig()
+	cfg.Architecture = SharedNothing
+	placement := Placement{Disks: cfg.Disks, Scheme: RoundRobin, Staggered: true}
+	sys, err := NewSimSystem(cfg, icfg, placement, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := ParseQuery(star, "time::month=3")
+	rs := sys.Run([]*SimPlan{NewSimPlan(spec, icfg, q, cfg)})
+	if rs[0].ResponseTime <= 0 {
+		t.Fatal("shared-nothing query did not complete")
+	}
+}
