@@ -32,6 +32,7 @@ func main() {
 	maxBitmaps := flag.Int("maxbitmaps", 0, "threshold (iii): maximal number of bitmaps (0 = off)")
 	disks := flag.Int64("disks", 100, "minimal fragments = number of disks")
 	seed := flag.Int64("seed", 1, "query parameter seed")
+	workers := flag.Int("workers", 0, "parallel candidate-analysis workers (<1 = one per CPU)")
 	flag.Parse()
 
 	if *table2 {
@@ -45,7 +46,7 @@ func main() {
 		*mix = "1MONTH1GROUP:0.4,1STORE:0.3,1CODE1QUARTER:0.3"
 		fmt.Printf("(no -mix given; using %s)\n\n", *mix)
 	}
-	if err := advise(*mix, *top, *minPages, *maxFrags, *maxBitmaps, *disks, *seed); err != nil {
+	if err := advise(*mix, *top, *minPages, *maxFrags, *maxBitmaps, *disks, *seed, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -70,7 +71,7 @@ func printTable2() {
 	fmt.Println("(values in parentheses: paper's Table 2)")
 }
 
-func advise(mixText string, top int, minPages float64, maxFrags int64, maxBitmaps int, disks, seed int64) error {
+func advise(mixText string, top int, minPages float64, maxFrags int64, maxBitmaps int, disks, seed int64, workers int) error {
 	star := schema.APB1()
 	icfg := frag.APB1Indexes(star)
 	gen := workload.NewGenerator(star, seed)
@@ -105,7 +106,7 @@ func advise(mixText string, top int, minPages float64, maxFrags int64, maxBitmap
 		MaxBitmaps:         maxBitmaps,
 		MinFragments:       disks,
 	}
-	ranked := cost.Advise(star, icfg, mix, th, cost.DefaultParams())
+	ranked := cost.AdviseParallel(star, icfg, mix, th, cost.DefaultParams(), workers)
 	fmt.Printf("Admissible fragmentations: %d of %d (thresholds: bitmap frag >= %.1f pages, <= %d fragments, >= %d fragments",
 		len(ranked), len(frag.Enumerate(star)), minPages, maxFrags, disks)
 	if maxBitmaps > 0 {

@@ -7,23 +7,37 @@
 //
 //	mdhfcost -table all
 //	mdhfcost -frag "time::month, product::group" -query "customer::store=7"
+//	mdhfcost -frag "time::month" -query "customer::store=7" -query "product::code=11" -workers 4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/cost"
+	"repro/internal/exec"
 	"repro/internal/experiments"
 	"repro/internal/frag"
 	"repro/internal/schema"
 )
 
+// queryList collects repeated -query flags.
+type queryList []string
+
+func (q *queryList) String() string { return fmt.Sprint(*q) }
+func (q *queryList) Set(v string) error {
+	*q = append(*q, v)
+	return nil
+}
+
 func main() {
 	table := flag.String("table", "", "table to print: 1, 3, 6, bitmaps, or all")
 	fragText := flag.String("frag", "", "fragmentation, e.g. \"time::month, product::group\"")
-	queryText := flag.String("query", "", "query, e.g. \"customer::store=7\"")
+	var queries queryList
+	flag.Var(&queries, "query", "query, e.g. \"customer::store=7\" (repeatable)")
+	workers := flag.Int("workers", 0, "parallel estimate workers for repeated -query flags (<1 = one per CPU)")
 	flag.Parse()
 
 	if *table == "" && *fragText == "" {
@@ -53,7 +67,7 @@ func main() {
 	}
 
 	if *fragText != "" {
-		if err := printEstimate(*fragText, *queryText); err != nil {
+		if err := printEstimates(*fragText, queries, *workers); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -100,29 +114,46 @@ func printBitmaps() {
 	fmt.Printf("surviving under FMonthGroup:     %d (paper 32)\n", inv.SurvivingUnderFMonthGroup)
 }
 
-func printEstimate(fragText, queryText string) error {
+// printEstimates estimates every -query under the fragmentation, fanning
+// the analyses out over the shared worker pool and printing the results
+// in flag order.
+func printEstimates(fragText string, queryTexts []string, workers int) error {
 	s := schema.APB1()
 	spec, err := frag.Parse(s, fragText)
 	if err != nil {
 		return err
 	}
-	if queryText == "" {
+	if len(queryTexts) == 0 {
 		fmt.Printf("%s: %d fragments, %.2f-page bitmap fragments\n",
 			spec, spec.NumFragments(), spec.BitmapFragmentPages())
 		return nil
 	}
-	q, err := frag.ParseQuery(s, queryText)
+	cfg := frag.APB1Indexes(s)
+	type estimate struct {
+		q frag.Query
+		c cost.QueryCost
+	}
+	ests, err := exec.Map(context.Background(), workers, len(queryTexts), func(i int) (estimate, error) {
+		q, err := frag.ParseQuery(s, queryTexts[i])
+		if err != nil {
+			return estimate{}, err
+		}
+		return estimate{q: q, c: cost.Estimate(spec, cfg, q, cost.DefaultParams())}, nil
+	})
 	if err != nil {
 		return err
 	}
-	cfg := frag.APB1Indexes(s)
-	c := cost.Estimate(spec, cfg, q, cost.DefaultParams())
 	fmt.Printf("fragmentation:  %s\n", spec)
-	fmt.Printf("query:          %s  (class %s, %s)\n", queryText, spec.Classify(q), c.Class)
-	fmt.Printf("fragments:      %d of %d\n", c.Fragments, spec.NumFragments())
-	fmt.Printf("bitmaps/frag:   %d\n", c.BitmapsPerFragment)
-	fmt.Printf("fact I/O:       %d pages in %d ops\n", c.FactPages, c.FactIOs)
-	fmt.Printf("bitmap I/O:     %d pages in %d ops\n", c.BitmapPages, c.BitmapIOs)
-	fmt.Printf("total:          %.1f MB\n", c.TotalMB())
+	for i, e := range ests {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("query:          %s  (class %s, %s)\n", queryTexts[i], spec.Classify(e.q), e.c.Class)
+		fmt.Printf("fragments:      %d of %d\n", e.c.Fragments, spec.NumFragments())
+		fmt.Printf("bitmaps/frag:   %d\n", e.c.BitmapsPerFragment)
+		fmt.Printf("fact I/O:       %d pages in %d ops\n", e.c.FactPages, e.c.FactIOs)
+		fmt.Printf("bitmap I/O:     %d pages in %d ops\n", e.c.BitmapPages, e.c.BitmapIOs)
+		fmt.Printf("total:          %.1f MB\n", e.c.TotalMB())
+	}
 	return nil
 }

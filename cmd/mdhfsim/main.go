@@ -8,6 +8,7 @@
 //	mdhfsim -fig 4          # 1MONTH speed-up over processors
 //	mdhfsim -fig 5          # parallel vs non-parallel bitmap I/O
 //	mdhfsim -fig 6          # fragmentation comparison (both panels)
+//	mdhfsim -fig 6 -workers 8  # same figure, 8 parallel simulation workers
 //	mdhfsim -params         # Table 4 settings
 //	mdhfsim -frag "time::month, product::group" -qt 1STORE -d 100 -p 20 -t 5
 package main
@@ -30,6 +31,7 @@ func main() {
 	params := flag.Bool("params", false, "print the Table 4 simulation parameters")
 	queries := flag.Int("queries", 1, "queries averaged per data point")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 1, "parallel simulation workers per figure (values below 1 mean 1, i.e. sequential — full-scale simulations are memory-heavy, so unlike mdhfcost/mdhfadvisor there is no one-per-CPU default; results are identical at any count)")
 
 	fragText := flag.String("frag", "", "custom run: fragmentation")
 	qtName := flag.String("qt", "1STORE", "custom run: query type")
@@ -41,7 +43,7 @@ func main() {
 	cluster := flag.Int("cluster", 1, "custom run: fragments per clustering granule (Section 6.3)")
 	flag.Parse()
 
-	opt := experiments.Options{Queries: *queries, Seed: *seed}
+	opt := experiments.Options{Queries: *queries, Seed: *seed, Workers: *workers}
 	switch {
 	case *params:
 		printParams()

@@ -43,9 +43,10 @@ func main() {
 	}
 	fmt.Printf("thresholds: bitmap fragment >= 1 page, fragments in [100, %d]\n\n", th.MaxFragments)
 
-	// Guidelines 2+3: analyze the I/O load of the remaining candidates and
-	// pick the minimum total work.
-	ranked := mdhf.Advise(star, icfg, mix, th, mdhf.DefaultCostParams())
+	// Guidelines 2+3: analyze the I/O load of the remaining candidates —
+	// fanned out over one worker per CPU on the shared pool — and pick
+	// the minimum total work.
+	ranked := mdhf.AdviseParallel(star, icfg, mix, th, mdhf.DefaultCostParams(), 0)
 	fmt.Printf("%d admissible fragmentations (of %d options); top 5 by weighted I/O work:\n\n",
 		len(ranked), len(mdhf.EnumerateFragmentations(star)))
 	for i, r := range ranked {

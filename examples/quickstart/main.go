@@ -36,7 +36,11 @@ func main() {
 	fmt.Printf("engine built: %d non-empty fragments, %d bitmaps eliminated by MDHF\n\n",
 		eng.NumFragments(), mdhf.MaxBitmaps(star, icfg)-spec.SurvivingBitmaps(icfg))
 
-	// Run the paper's query types with 8 parallel workers.
+	// Run the paper's query types on the shared fragment-parallel worker
+	// pool — one worker per CPU (workers = 0); results are identical at
+	// any worker count.
+	workers := 0
+	fmt.Printf("executing with %d fragment workers\n", mdhf.Workers(workers))
 	gen := mdhf.NewQueryGenerator(star, 7)
 	for _, qt := range []mdhf.QueryType{
 		mdhf.OneMonthOneGroup,  // Q1: confined to exactly 1 fragment
@@ -47,7 +51,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		agg, stats, err := eng.Execute(q, 8)
+		agg, stats, err := eng.Execute(q, workers)
 		if err != nil {
 			log.Fatal(err)
 		}

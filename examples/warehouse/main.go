@@ -49,7 +49,11 @@ func main() {
 	catalog := mdhf.BuildDimCatalog(star)
 	fmt.Printf("dimension tables: %.2f MB (the paper: \"only occupy 1 MB\")\n\n", float64(catalog.Bytes())/(1<<20))
 
-	exec := mdhf.NewStorageExecutor(store, bitmaps)
+	// The executor fans each query's relevant fragments out over the
+	// shared worker pool; 0 means one worker per CPU, and results are
+	// identical at any worker count.
+	exec := mdhf.NewParallelStorageExecutor(store, bitmaps, 0)
+	fmt.Printf("executing with %d fragment workers\n\n", mdhf.Workers(exec.Workers))
 	for _, text := range []string{
 		"time.month = 'MONTH-0003', product.group = 'GROUP-0012'",
 		"product.code = 'CODE-0077', time.quarter = 'QUARTER-0002'",

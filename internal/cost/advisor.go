@@ -1,8 +1,10 @@
 package cost
 
 import (
+	"context"
 	"sort"
 
+	"repro/internal/exec"
 	"repro/internal/frag"
 	"repro/internal/schema"
 )
@@ -30,14 +32,25 @@ type Ranked struct {
 //  2. analyze the I/O load of the remaining candidates over the query mix;
 //  3. rank by minimal total I/O work.
 //
-// It returns all admissible candidates, best first.
+// It returns all admissible candidates, best first. The candidate
+// analysis runs on one worker per available CPU; see AdviseParallel for
+// an explicit worker count.
 func Advise(star *schema.Star, cfg frag.IndexConfig, mix []WeightedQuery, th frag.Thresholds, p Params) []Ranked {
-	var out []Ranked
-	for _, spec := range frag.Enumerate(star) {
+	return AdviseParallel(star, cfg, mix, th, p, 0)
+}
+
+// AdviseParallel is Advise with the per-candidate I/O analysis fanned out
+// over `workers` goroutines (values below 1 mean one per CPU) on the
+// shared internal/exec pool. Candidates are gathered in enumeration order
+// before ranking, so the result is identical at any worker count.
+func AdviseParallel(star *schema.Star, cfg frag.IndexConfig, mix []WeightedQuery, th frag.Thresholds, p Params, workers int) []Ranked {
+	specs := frag.Enumerate(star)
+	ranked, err := exec.Map(context.Background(), workers, len(specs), func(i int) (*Ranked, error) {
+		spec := specs[i]
 		if !th.Admissible(spec, cfg) {
-			continue
+			return nil, nil
 		}
-		r := Ranked{
+		r := &Ranked{
 			Spec:            spec,
 			Bitmaps:         spec.SurvivingBitmaps(cfg),
 			Fragments:       spec.NumFragments(),
@@ -48,7 +61,16 @@ func Advise(star *schema.Star, cfg frag.IndexConfig, mix []WeightedQuery, th fra
 			r.PerQuery = append(r.PerQuery, c)
 			r.Work += wq.Weight * float64(c.TotalBytes)
 		}
-		out = append(out, r)
+		return r, nil
+	})
+	if err != nil { // tasks never fail; only a cancelled context could
+		return nil
+	}
+	var out []Ranked
+	for _, r := range ranked {
+		if r != nil {
+			out = append(out, *r)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Work != out[j].Work {

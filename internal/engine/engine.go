@@ -8,12 +8,12 @@
 package engine
 
 import (
+	"context"
 	"fmt"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/bitmap"
 	"repro/internal/data"
+	"repro/internal/exec"
 	"repro/internal/frag"
 	"repro/internal/schema"
 )
@@ -43,6 +43,12 @@ type Stats struct {
 	RowsScanned int64
 	// BitmapsRead is the number of bitmap(-fragment)s evaluated.
 	BitmapsRead int64
+}
+
+func (s *Stats) add(o Stats) {
+	s.FragmentsProcessed += o.FragmentsProcessed
+	s.RowsScanned += o.RowsScanned
+	s.BitmapsRead += o.BitmapsRead
 }
 
 // fragment holds one fact fragment's rows (column-oriented) and its bitmap
@@ -175,53 +181,43 @@ func (e *Engine) NumFragments() int { return len(e.frags) }
 
 // Execute runs the star query with the given number of parallel workers
 // (processing nodes) and returns the aggregate plus work statistics.
+// Values below 1 mean one worker per available CPU. Results are identical
+// at any worker count: per-fragment partials merge in fragment allocation
+// order on the shared internal/exec pool.
 func (e *Engine) Execute(q frag.Query, workers int) (Aggregate, Stats, error) {
+	return e.ExecuteContext(context.Background(), q, workers)
+}
+
+// partial is one fragment's contribution to a query result.
+type partial struct {
+	agg Aggregate
+	st  Stats
+}
+
+// ExecuteContext is Execute with cancellation.
+func (e *Engine) ExecuteContext(ctx context.Context, q frag.Query, workers int) (Aggregate, Stats, error) {
 	if err := q.Validate(e.star); err != nil {
 		return Aggregate{}, Stats{}, err
 	}
-	if workers < 1 {
-		workers = 1
-	}
 	ids := e.spec.FragmentIDs(q)
-	tasks := make(chan int64, len(ids))
-	for _, id := range ids {
-		tasks <- id
-	}
-	close(tasks)
-
-	var (
-		mu             sync.Mutex
-		total          Aggregate
-		rows           atomic.Int64
-		bms            atomic.Int64
-		fragsProcessed atomic.Int64
-		wg             sync.WaitGroup
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for id := range tasks {
-				f, ok := e.frags[id]
-				if !ok {
-					continue // fragment has no rows at this density
-				}
-				agg, st := e.processFragment(f, q)
-				rows.Add(st.RowsScanned)
-				bms.Add(st.BitmapsRead)
-				fragsProcessed.Add(1)
-				mu.Lock()
-				total.add(agg)
-				mu.Unlock()
+	res, err := exec.Reduce(ctx, workers, len(ids),
+		func(i int) (partial, error) {
+			f, ok := e.frags[ids[i]]
+			if !ok {
+				return partial{}, nil // fragment has no rows at this density
 			}
-		}()
+			agg, st := e.processFragment(f, q)
+			st.FragmentsProcessed = 1
+			return partial{agg: agg, st: st}, nil
+		},
+		func(acc *partial, p partial) {
+			acc.agg.add(p.agg)
+			acc.st.add(p.st)
+		})
+	if err != nil {
+		return Aggregate{}, Stats{}, err
 	}
-	wg.Wait()
-	return total, Stats{
-		FragmentsProcessed: int(fragsProcessed.Load()),
-		RowsScanned:        rows.Load(),
-		BitmapsRead:        bms.Load(),
-	}, nil
+	return res.agg, res.st, nil
 }
 
 // processFragment evaluates the query inside one fragment: bitmap

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -276,5 +278,53 @@ func TestScaledSchemaEndToEnd(t *testing.T) {
 		if want := Scan(tab, q); got != want {
 			t.Errorf("query %v: got %+v, want %+v", q, got, want)
 		}
+	}
+}
+
+// TestExecuteDeterministicAcrossWorkers asserts that the engine returns
+// byte-identical Aggregate and Stats at every worker count: partials merge
+// in fragment allocation order on the shared internal/exec pool.
+func TestExecuteDeterministicAcrossWorkers(t *testing.T) {
+	s, _, e := buildTiny(t, "time::month, product::group")
+	rng := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 50; iter++ {
+		var q frag.Query
+		for di := range s.Dims {
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			li := rng.Intn(s.Dims[di].Depth())
+			q = append(q, frag.Pred{Dim: di, Level: li, Member: rng.Intn(s.Dims[di].Levels[li].Card)})
+		}
+		if len(q) == 0 {
+			continue
+		}
+		wantAgg, wantSt, err := e.Execute(q, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 8, 0} { // 0 = GOMAXPROCS default
+			gotAgg, gotSt, err := e.Execute(q, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotAgg != wantAgg || gotSt != wantSt {
+				t.Fatalf("iter %d workers=%d: got %+v/%+v, want %+v/%+v",
+					iter, workers, gotAgg, gotSt, wantAgg, wantSt)
+			}
+		}
+	}
+}
+
+// TestExecuteContextCancellation asserts cancellation surfaces from the
+// pool.
+func TestExecuteContextCancellation(t *testing.T) {
+	s, _, e := buildTiny(t, "time::month, product::group")
+	cd := s.DimIndex(schema.DimCustomer)
+	q := frag.Query{{Dim: cd, Level: s.Dims[cd].LevelIndex(schema.LvlStore), Member: 1}}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := e.ExecuteContext(ctx, q, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

@@ -1,0 +1,112 @@
+// Package exec is the shared fragment-parallel scatter/gather subsystem:
+// a worker pool that fans independent tasks (typically one per MDHF
+// fragment) out over a configurable number of goroutines — the library's
+// stand-in for the paper's Shared Disk processing nodes — and gathers the
+// per-task partial results back in task order, so that parallel execution
+// is bit-for-bit identical to sequential execution regardless of worker
+// count or scheduling.
+//
+// Both the in-memory query engine (internal/engine) and the on-disk
+// executor (internal/storage) run on this pool; the cost advisor and the
+// experiment harness reuse it for their embarrassingly parallel sweeps.
+package exec
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count option: any value below 1 means "one
+// worker per available CPU" (GOMAXPROCS).
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Map runs fn(i) for every i in [0, n) on `workers` goroutines (values
+// below 1 mean GOMAXPROCS) and returns the results in index order. fn must
+// be safe for concurrent invocation.
+//
+// Error propagation is deterministic: if several tasks fail, the error of
+// the lowest task index is returned. Once any task has failed, or ctx is
+// cancelled, workers stop picking up new tasks; tasks already in flight
+// run to completion. On a non-nil error the partial results are withheld
+// (a nil slice is returned) so callers cannot mistake a partial gather for
+// a complete one.
+func Map[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+	var (
+		next    atomic.Int64
+		stopped atomic.Bool
+		wg      sync.WaitGroup
+	)
+	done := ctx.Done()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if stopped.Load() {
+					return
+				}
+				select {
+				case <-done:
+					stopped.Store(true)
+					return
+				default:
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				r, err := fn(i)
+				if err != nil {
+					errs[i] = err
+					stopped.Store(true)
+					continue
+				}
+				results[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// Reduce is Map followed by a deterministic gather: the per-task partials
+// are folded into a single accumulator strictly in task order, so
+// non-commutative merges still give identical results at any worker count.
+func Reduce[T, A any](ctx context.Context, workers, n int, fn func(i int) (T, error), merge func(acc *A, part T)) (A, error) {
+	var acc A
+	parts, err := Map(ctx, workers, n, fn)
+	if err != nil {
+		return acc, err
+	}
+	for _, p := range parts {
+		merge(&acc, p)
+	}
+	return acc, nil
+}

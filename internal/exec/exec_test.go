@@ -1,0 +1,180 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapPreservesIndexOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		got, err := Map(context.Background(), workers, 50, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 50 {
+			t.Fatalf("workers=%d: %d results", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapZeroTasks(t *testing.T) {
+	got, err := Map(context.Background(), 4, 0, func(int) (int, error) {
+		t.Fatal("fn called for n=0")
+		return 0, nil
+	})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestMapDefaultWorkers(t *testing.T) {
+	// workers < 1 must mean GOMAXPROCS, and still complete all tasks.
+	var calls atomic.Int64
+	_, err := Map(context.Background(), 0, 64, func(i int) (struct{}, error) {
+		calls.Add(1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 64 {
+		t.Fatalf("ran %d of 64 tasks", calls.Load())
+	}
+	if w := Workers(0); w != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", w, runtime.GOMAXPROCS(0))
+	}
+	if w := Workers(3); w != 3 {
+		t.Fatalf("Workers(3) = %d", w)
+	}
+}
+
+func TestMapErrorIsLowestIndex(t *testing.T) {
+	// Several tasks fail; the reported error must deterministically be the
+	// lowest failing index, whatever order workers hit them in.
+	for trial := 0; trial < 20; trial++ {
+		_, err := Map(context.Background(), 8, 40, func(i int) (int, error) {
+			if i%7 == 3 { // fails at 3, 10, 17, ...
+				return 0, fmt.Errorf("task %d failed", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "task 3 failed" {
+			t.Fatalf("trial %d: err = %v, want task 3's", trial, err)
+		}
+	}
+}
+
+func TestMapErrorStopsDispatch(t *testing.T) {
+	// After the first task errors, later tasks must (eventually) stop being
+	// dispatched: with 1 worker, exactly the tasks up to the failure run.
+	var calls atomic.Int64
+	_, err := Map(context.Background(), 1, 1000, func(i int) (int, error) {
+		calls.Add(1)
+		if i == 4 {
+			return 0, errors.New("boom")
+		}
+		return 0, nil
+	})
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if got := calls.Load(); got != 5 {
+		t.Fatalf("sequential worker ran %d tasks after failing at 5th", got)
+	}
+}
+
+func TestMapContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	started := make(chan struct{})
+	var once sync.Once
+	_, err := Map(ctx, 2, 10_000, func(i int) (int, error) {
+		calls.Add(1)
+		once.Do(func() { close(started); cancel() })
+		time.Sleep(100 * time.Microsecond)
+		return i, nil
+	})
+	<-started
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls.Load() >= 10_000 {
+		t.Fatal("cancellation did not stop dispatch")
+	}
+}
+
+func TestReduceMergesInTaskOrder(t *testing.T) {
+	// A non-commutative merge (string concatenation) must come out in task
+	// order at every worker count.
+	want := ""
+	for i := 0; i < 30; i++ {
+		want += fmt.Sprintf("[%d]", i)
+	}
+	for _, workers := range []int{1, 4, 16} {
+		got, err := Reduce(context.Background(), workers, 30,
+			func(i int) (string, error) { return fmt.Sprintf("[%d]", i), nil },
+			func(acc *string, part string) { *acc += part })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("workers=%d: merge order broken: %q", workers, got)
+		}
+	}
+}
+
+func TestReduceErrorWithheldResults(t *testing.T) {
+	got, err := Reduce(context.Background(), 4, 10,
+		func(i int) (int, error) {
+			if i == 0 {
+				return 0, errors.New("first fails")
+			}
+			return 1, nil
+		},
+		func(acc *int, part int) { *acc += part })
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if got != 0 {
+		t.Fatalf("accumulator %d leaked from failed run", got)
+	}
+}
+
+// TestMapConcurrentCallers exercises the pool under many simultaneous
+// queries — the -race target for the shared subsystem.
+func TestMapConcurrentCallers(t *testing.T) {
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				sum, err := Reduce(context.Background(), 4, 100,
+					func(i int) (int, error) { return i + c, nil },
+					func(acc *int, part int) { *acc += part })
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if want := 100*99/2 + 100*c; sum != want {
+					t.Errorf("caller %d: sum = %d, want %d", c, sum, want)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"reflect"
 	"testing"
 )
 
@@ -216,5 +217,19 @@ func TestFigure3ShapesHold(t *testing.T) {
 	}
 	if max/min > 1.3 {
 		t.Errorf("d=100 response times vary %.2fx across p; 1STORE should be disk-bound", max/min)
+	}
+}
+
+func TestFigureParallelWorkersDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale simulation")
+	}
+	// Each data point is an independent deterministic simulation, so a
+	// figure regenerated on 4 workers must be identical to the sequential
+	// one — series, points, response times, speed-ups.
+	seq := Figure6CodeQuarter(Options{Seed: 1})
+	par := Figure6CodeQuarter(Options{Seed: 1, Workers: 4})
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("parallel figure differs:\nseq %+v\npar %+v", seq, par)
 	}
 }

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/alloc"
+	"repro/internal/exec"
 	"repro/internal/frag"
 	"repro/internal/schema"
 	"repro/internal/simpad"
@@ -41,6 +43,13 @@ type Options struct {
 	Queries int
 	// Seed drives query parameter randomisation.
 	Seed int64
+	// Workers is the number of parallel simulation workers regenerating a
+	// figure's data points (each point is an independent deterministic
+	// simulation, so the figure is identical at any worker count). Values
+	// below 1 mean sequential, the memory-conservative default; 0 passed
+	// through from a CLI -workers flag therefore also means sequential,
+	// and exec.Workers semantics apply only to explicit counts.
+	Workers int
 }
 
 func (o Options) queries() int {
@@ -48,6 +57,44 @@ func (o Options) queries() int {
 		return 1
 	}
 	return o.Queries
+}
+
+func (o Options) workers() int {
+	if o.Workers < 1 {
+		return 1
+	}
+	return o.Workers
+}
+
+// pointJob is one simulated data point of a figure: a full system
+// configuration plus the series and x-position its result lands in.
+type pointJob struct {
+	series int
+	x      float64
+	cfg    simpad.Config
+	spec   *frag.Spec
+	qt     workload.QueryType
+}
+
+// simulate runs the jobs on opt.Workers parallel simulation workers via
+// the shared internal/exec pool and appends the resulting points to their
+// series in job order, then annotates speed-ups. Each job builds its own
+// simulator, so parallel regeneration is deterministic.
+func simulate(fig *Figure, jobs []pointJob, icfg frag.IndexConfig, opt Options) {
+	pts, err := exec.Map(context.Background(), opt.workers(), len(jobs), func(i int) (Point, error) {
+		j := jobs[i]
+		return Point{X: j.x, ResponseTime: runPoint(j.cfg, j.spec, icfg, j.qt, opt)}, nil
+	})
+	if err != nil { // jobs never fail; only a cancelled context could
+		panic(err)
+	}
+	for i, p := range pts {
+		s := &fig.Series[jobs[i].series]
+		s.Points = append(s.Points, p)
+	}
+	for i := range fig.Series {
+		annotateSpeedup(&fig.Series[i])
+	}
 }
 
 // runPoint simulates a stream of queries of one type and returns the mean
@@ -81,8 +128,9 @@ func Figure3(opt Options) Figure {
 
 	fig := Figure{Name: "Figure 3: 1STORE response time (disk-bound)", XLabel: "disks d"}
 	ratios := []int{2, 4, 5, 10, 20} // p = d / ratio
-	for _, ratio := range ratios {
-		s := Series{Label: fmt.Sprintf("p = d/%d", ratio)}
+	var jobs []pointJob
+	for si, ratio := range ratios {
+		fig.Series = append(fig.Series, Series{Label: fmt.Sprintf("p = d/%d", ratio)})
 		for _, d := range []int{20, 60, 100} {
 			p := d / ratio
 			if p < 1 {
@@ -92,12 +140,10 @@ func Figure3(opt Options) Figure {
 			cfg.Disks = d
 			cfg.Nodes = p
 			cfg.TasksPerNode = d / p
-			rt := runPoint(cfg, spec, icfg, workload.OneStore, opt)
-			s.Points = append(s.Points, Point{X: float64(d), ResponseTime: rt})
+			jobs = append(jobs, pointJob{series: si, x: float64(d), cfg: cfg, spec: spec, qt: workload.OneStore})
 		}
-		annotateSpeedup(&s)
-		fig.Series = append(fig.Series, s)
 	}
+	simulate(&fig, jobs, icfg, opt)
 	return fig
 }
 
@@ -122,19 +168,18 @@ func Figure4(opt Options) Figure {
 		{"d = 100 (t=4)", 100, []int{5, 10, 20, 25, 50}, 4},
 		{"d = 100 (t=5)", 100, []int{5, 10, 20, 25, 50}, 5},
 	}
-	for _, c := range curves {
-		s := Series{Label: c.label}
+	var jobs []pointJob
+	for si, c := range curves {
+		fig.Series = append(fig.Series, Series{Label: c.label})
 		for _, p := range c.ps {
 			cfg := simpad.DefaultConfig()
 			cfg.Disks = c.d
 			cfg.Nodes = p
 			cfg.TasksPerNode = c.t
-			rt := runPoint(cfg, spec, icfg, workload.OneMonth, opt)
-			s.Points = append(s.Points, Point{X: float64(p), ResponseTime: rt})
+			jobs = append(jobs, pointJob{series: si, x: float64(p), cfg: cfg, spec: spec, qt: workload.OneMonth})
 		}
-		annotateSpeedup(&s)
-		fig.Series = append(fig.Series, s)
 	}
+	simulate(&fig, jobs, icfg, opt)
 	return fig
 }
 
@@ -147,22 +192,21 @@ func Figure5(opt Options) Figure {
 	spec := frag.MustParse(star, "time::month, product::group")
 
 	fig := Figure{Name: "Figure 5: parallel bitmap I/O (1STORE)", XLabel: "subqueries per node t"}
-	for _, parallel := range []bool{false, true} {
+	var jobs []pointJob
+	for si, parallel := range []bool{false, true} {
 		label := "non-parallel I/O"
 		if parallel {
 			label = "parallel I/O"
 		}
-		s := Series{Label: label}
+		fig.Series = append(fig.Series, Series{Label: label})
 		for t := 1; t <= 13; t += 2 {
 			cfg := simpad.DefaultConfig()
 			cfg.TasksPerNode = t
 			cfg.ParallelBitmapIO = parallel
-			rt := runPoint(cfg, spec, icfg, workload.OneStore, opt)
-			s.Points = append(s.Points, Point{X: float64(t), ResponseTime: rt})
+			jobs = append(jobs, pointJob{series: si, x: float64(t), cfg: cfg, spec: spec, qt: workload.OneStore})
 		}
-		annotateSpeedup(&s)
-		fig.Series = append(fig.Series, s)
 	}
+	simulate(&fig, jobs, icfg, opt)
 	return fig
 }
 
@@ -181,19 +225,18 @@ func Figure6Store(opt Options) Figure {
 	star := schema.APB1()
 	icfg := frag.APB1Indexes(star)
 	fig := Figure{Name: "Figure 6: 1STORE by fragmentation", XLabel: "degree of parallelism"}
-	for _, f := range figure6Fragmentations {
+	var jobs []pointJob
+	for si, f := range figure6Fragmentations {
 		spec := frag.MustParse(star, f.text)
-		s := Series{Label: f.label}
+		fig.Series = append(fig.Series, Series{Label: f.label})
 		for _, dop := range []int{20, 40, 80, 160} {
 			cfg := simpad.DefaultConfig()
 			cfg.TasksPerNode = (dop + cfg.Nodes - 1) / cfg.Nodes
 			cfg.MaxConcurrentSubqueries = dop
-			rt := runPoint(cfg, spec, icfg, workload.OneStore, opt)
-			s.Points = append(s.Points, Point{X: float64(dop), ResponseTime: rt})
+			jobs = append(jobs, pointJob{series: si, x: float64(dop), cfg: cfg, spec: spec, qt: workload.OneStore})
 		}
-		annotateSpeedup(&s)
-		fig.Series = append(fig.Series, s)
 	}
+	simulate(&fig, jobs, icfg, opt)
 	return fig
 }
 
@@ -204,18 +247,17 @@ func Figure6CodeQuarter(opt Options) Figure {
 	star := schema.APB1()
 	icfg := frag.APB1Indexes(star)
 	fig := Figure{Name: "Figure 6: 1CODE1QUARTER by fragmentation", XLabel: "degree of parallelism"}
-	for _, f := range figure6Fragmentations {
+	var jobs []pointJob
+	for si, f := range figure6Fragmentations {
 		spec := frag.MustParse(star, f.text)
-		s := Series{Label: f.label}
+		fig.Series = append(fig.Series, Series{Label: f.label})
 		for dop := 1; dop <= 5; dop++ {
 			cfg := simpad.DefaultConfig()
 			cfg.MaxConcurrentSubqueries = dop
-			rt := runPoint(cfg, spec, icfg, workload.OneCodeOneQuarter, opt)
-			s.Points = append(s.Points, Point{X: float64(dop), ResponseTime: rt})
+			jobs = append(jobs, pointJob{series: si, x: float64(dop), cfg: cfg, spec: spec, qt: workload.OneCodeOneQuarter})
 		}
-		annotateSpeedup(&s)
-		fig.Series = append(fig.Series, s)
 	}
+	simulate(&fig, jobs, icfg, opt)
 	return fig
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/bitmap"
 	"repro/internal/frag"
@@ -51,7 +52,15 @@ type BitmapFile struct {
 	compressed bool
 	layouts    []*bitmap.Layout
 	skipBits   []int // per dim: number of eliminated leading bits (encoded)
+	// ioDelay is an optional simulated disk access time added to every
+	// physical read (see SetIODelay).
+	ioDelay time.Duration
 }
+
+// SetIODelay adds a simulated disk access time to every bitmap fragment
+// read — the counterpart of Store.SetIODelay for the bitmap file. Zero
+// (the default) disables it; do not change it while queries run.
+func (bf *BitmapFile) SetIODelay(d time.Duration) { bf.ioDelay = d }
 
 // survivors enumerates the surviving bitmaps of a fragmentation under an
 // index configuration, in a deterministic order.
@@ -298,6 +307,9 @@ func (bf *BitmapFile) ReadBitmapFragment(fragID int64, desc BitmapDesc) (*bitmap
 		off += int64(pagesOf[i])
 	}
 	pages := int(pagesOf[di])
+	if bf.ioDelay > 0 {
+		time.Sleep(bf.ioDelay)
+	}
 	buf := make([]byte, pages*bf.pageSize)
 	if _, err := bf.file.ReadAt(buf, off*int64(bf.pageSize)); err != nil {
 		return nil, 0, err

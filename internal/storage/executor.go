@@ -1,10 +1,12 @@
 package storage
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/bitmap"
+	"repro/internal/exec"
 	"repro/internal/frag"
 )
 
@@ -18,6 +20,14 @@ type IOStats struct {
 	RowsRead    int64
 }
 
+func (st *IOStats) add(o IOStats) {
+	st.FactPages += o.FactPages
+	st.FactIOs += o.FactIOs
+	st.BitmapPages += o.BitmapPages
+	st.BitmapIOs += o.BitmapIOs
+	st.RowsRead += o.RowsRead
+}
+
 // Aggregate is the star query result over the stored measures.
 type Aggregate struct {
 	Count       int64
@@ -26,15 +36,29 @@ type Aggregate struct {
 	Cost        int64
 }
 
+func (a *Aggregate) add(o Aggregate) {
+	a.Count += o.Count
+	a.UnitsSold += o.UnitsSold
+	a.DollarSales += o.DollarSales
+	a.Cost += o.Cost
+}
+
 // Executor runs star queries against an on-disk store following the
 // processing model of Section 4.3: determine the relevant fragments, read
 // the required bitmap fragments, AND them, read the fact pages containing
-// hits with prefetch granules, and aggregate.
+// hits with prefetch granules, and aggregate. Fragments are processed in
+// parallel by a pool of Workers goroutines standing in for the Shared
+// Disk processing nodes; per-worker partial aggregates and IOStats merge
+// in fragment allocation order, so results are identical at any worker
+// count.
 type Executor struct {
 	store   *Store
 	bitmaps *BitmapFile
 	// PrefetchFact is the fact read granule in pages (default 8).
 	PrefetchFact int
+	// Workers is the number of parallel fragment workers; values below 1
+	// (the default) mean one worker per available CPU.
+	Workers int
 }
 
 // NewExecutor pairs a fact store with its bitmap file.
@@ -42,25 +66,44 @@ func NewExecutor(store *Store, bitmaps *BitmapFile) *Executor {
 	return &Executor{store: store, bitmaps: bitmaps, PrefetchFact: 8}
 }
 
+// partial is one fragment's contribution to a query result.
+type partial struct {
+	agg Aggregate
+	st  IOStats
+}
+
 // Execute runs the query and returns the aggregate plus physical I/O
 // statistics.
 func (e *Executor) Execute(q frag.Query) (Aggregate, IOStats, error) {
+	return e.ExecuteContext(context.Background(), q)
+}
+
+// ExecuteContext is Execute with cancellation: scattering the relevant
+// fragments over the worker pool stops early when ctx is cancelled or any
+// fragment fails.
+func (e *Executor) ExecuteContext(ctx context.Context, q frag.Query) (Aggregate, IOStats, error) {
 	star := e.store.star
 	spec := e.store.spec
 	if err := q.Validate(star); err != nil {
 		return Aggregate{}, IOStats{}, err
 	}
-	var agg Aggregate
-	var st IOStats
-	var execErr error
-	spec.ForEachFragment(q, func(id int64, _ []int) bool {
-		if err := e.processFragment(id, q, &agg, &st); err != nil {
-			execErr = err
-			return false
-		}
-		return true
-	})
-	return agg, st, execErr
+	ids := spec.FragmentIDs(q)
+	res, err := exec.Reduce(ctx, e.Workers, len(ids),
+		func(i int) (partial, error) {
+			var p partial
+			if err := e.processFragment(ids[i], q, &p.agg, &p.st); err != nil {
+				return partial{}, err
+			}
+			return p, nil
+		},
+		func(acc *partial, p partial) {
+			acc.agg.add(p.agg)
+			acc.st.add(p.st)
+		})
+	if err != nil {
+		return Aggregate{}, IOStats{}, err
+	}
+	return res.agg, res.st, nil
 }
 
 // processFragment evaluates the query within one fragment.

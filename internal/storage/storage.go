@@ -17,6 +17,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"repro/internal/data"
 	"repro/internal/frag"
@@ -47,7 +48,17 @@ type Store struct {
 	dir       map[int64]FragLoc
 	// order holds the non-empty fragment ids in allocation order.
 	order []int64
+	// ioDelay is an optional simulated disk access time added to every
+	// physical read (see SetIODelay).
+	ioDelay time.Duration
 }
+
+// SetIODelay adds a simulated disk access time to every physical read —
+// the per-access latency of the paper's Table 4 disk model (seek + settle
+// + controller), for measuring intra-query I/O parallelism independently
+// of the page cache. Zero (the default) disables it. Set it before
+// executing queries; it must not be changed while queries run.
+func (s *Store) SetIODelay(d time.Duration) { s.ioDelay = d }
 
 // TupleSize returns the on-disk tuple size for a schema: 2 bytes per
 // dimension key plus 12 bytes of measures.
@@ -272,6 +283,9 @@ func (s *Store) ReadPages(id int64, start, count int) ([]byte, error) {
 	}
 	if start < 0 || start+count > int(loc.Pages) {
 		return nil, fmt.Errorf("storage: pages [%d,%d) out of fragment's %d", start, start+count, loc.Pages)
+	}
+	if s.ioDelay > 0 {
+		time.Sleep(s.ioDelay)
 	}
 	buf := make([]byte, count*s.pageSize)
 	_, err := s.file.ReadAt(buf, (loc.PageOff+int64(start))*int64(s.pageSize))

@@ -1,8 +1,11 @@
 package storage
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"repro/internal/data"
@@ -321,5 +324,119 @@ func TestBuildRejectsWideDimensions(t *testing.T) {
 	spec := frag.MustParse(s, "time::month")
 	if _, err := Build(t.TempDir(), tab, spec); err == nil {
 		t.Fatal("oversized dimension accepted")
+	}
+}
+
+// classQueries returns one query per paper query class Q1-Q4 plus an
+// unsupported one, for the tiny schema under FMonthGroup.
+func classQueries(t *testing.T, s *schema.Star, spec *frag.Spec) map[string]frag.Query {
+	t.Helper()
+	pd := s.DimIndex(schema.DimProduct)
+	td := s.DimIndex(schema.DimTime)
+	cd := s.DimIndex(schema.DimCustomer)
+	group := s.Dims[pd].LevelIndex(schema.LvlGroup)
+	code := s.Dims[pd].LevelIndex(schema.LvlCode)
+	month := s.Dims[td].LevelIndex(schema.LvlMonth)
+	quarter := s.Dims[td].LevelIndex(schema.LvlQuarter)
+	store := s.Dims[cd].LevelIndex(schema.LvlStore)
+	qs := map[string]frag.Query{
+		"Q1":          {{Dim: td, Level: month, Member: 1}, {Dim: pd, Level: group, Member: 0}},
+		"Q2":          {{Dim: pd, Level: code, Member: 3}},
+		"Q3":          {{Dim: td, Level: quarter, Member: 1}},
+		"Q4":          {{Dim: pd, Level: code, Member: 5}, {Dim: td, Level: quarter, Member: 0}},
+		"unsupported": {{Dim: cd, Level: store, Member: 2}},
+	}
+	for name, q := range qs {
+		want := name
+		if want == "unsupported" {
+			if got := spec.Classify(q); got != frag.Unsupported {
+				t.Fatalf("%s query classified %v", name, got)
+			}
+			continue
+		}
+		if got := spec.Classify(q).String(); got != want {
+			t.Fatalf("%s query classified %s", name, got)
+		}
+	}
+	return qs
+}
+
+// TestExecutorParallelMatchesSequential asserts the determinism guarantee:
+// at every worker count the parallel executor returns results identical to
+// the sequential path — same Aggregate and same IOStats — for all four
+// query classes Q1-Q4 and an unsupported query.
+func TestExecutorParallelMatchesSequential(t *testing.T) {
+	s, tab, store, bf := buildStore(t, "time::month, product::group")
+	for name, q := range classQueries(t, s, store.spec) {
+		seq := NewExecutor(store, bf)
+		seq.Workers = 1
+		wantAgg, wantSt, err := seq.Execute(q)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if oracle := engine.Scan(tab, q); wantAgg.Count != oracle.Count || wantAgg.DollarSales != oracle.DollarSales {
+			t.Fatalf("%s: sequential result %+v disagrees with scan %+v", name, wantAgg, oracle)
+		}
+		for _, workers := range []int{2, 4, 8, 0} { // 0 = GOMAXPROCS default
+			par := NewExecutor(store, bf)
+			par.Workers = workers
+			gotAgg, gotSt, err := par.Execute(q)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			if gotAgg != wantAgg {
+				t.Errorf("%s workers=%d: aggregate %+v != sequential %+v", name, workers, gotAgg, wantAgg)
+			}
+			if gotSt != wantSt {
+				t.Errorf("%s workers=%d: IOStats %+v != sequential %+v", name, workers, gotSt, wantSt)
+			}
+		}
+	}
+}
+
+// TestExecutorConcurrentQueries exercises one shared executor (and thus
+// the shared files and the internal/exec pool) under concurrent queries —
+// the -race target for the storage layer.
+func TestExecutorConcurrentQueries(t *testing.T) {
+	s, tab, store, bf := buildStore(t, "time::month, product::group")
+	ex := NewExecutor(store, bf)
+	ex.Workers = 4
+	qs := classQueries(t, s, store.spec)
+	var wg sync.WaitGroup
+	for name, q := range qs {
+		for c := 0; c < 4; c++ {
+			wg.Add(1)
+			go func(name string, q frag.Query) {
+				defer wg.Done()
+				for rep := 0; rep < 5; rep++ {
+					got, _, err := ex.Execute(q)
+					if err != nil {
+						t.Errorf("%s: %v", name, err)
+						return
+					}
+					want := engine.Scan(tab, q)
+					if got.Count != want.Count || got.DollarSales != want.DollarSales ||
+						got.UnitsSold != want.UnitsSold || got.Cost != want.Cost {
+						t.Errorf("%s: got %+v, want %+v", name, got, want)
+						return
+					}
+				}
+			}(name, q)
+		}
+	}
+	wg.Wait()
+}
+
+// TestExecutorContextCancellation asserts that a cancelled context aborts
+// the scatter and surfaces the cancellation.
+func TestExecutorContextCancellation(t *testing.T) {
+	s, _, store, bf := buildStore(t, "time::month, product::group")
+	cd := s.DimIndex(schema.DimCustomer)
+	q := frag.Query{{Dim: cd, Level: s.Dims[cd].LevelIndex(schema.LvlStore), Member: 2}}
+	ex := NewExecutor(store, bf)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := ex.ExecuteContext(ctx, q); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

@@ -12,7 +12,9 @@
 //   - the analytical I/O cost model and a fragmentation advisor;
 //   - disk allocation schemes including staggered round robin;
 //   - a discrete-event Shared Disk PDBS simulator (SIMPAD);
-//   - a real goroutine-parallel query engine over generated fact data;
+//   - a real goroutine-parallel query engine over generated fact data and
+//     a fragment-parallel on-disk executor, both running on a shared
+//     scatter/gather worker pool with deterministic merge;
 //   - the workload generator and the harness regenerating every table and
 //     figure of the paper's evaluation.
 //
@@ -35,12 +37,18 @@ import (
 	"repro/internal/data"
 	"repro/internal/dimtable"
 	"repro/internal/engine"
+	"repro/internal/exec"
 	"repro/internal/frag"
 	"repro/internal/schema"
 	"repro/internal/simpad"
 	"repro/internal/storage"
 	"repro/internal/workload"
 )
+
+// Workers resolves a fragment-worker count option shared by the parallel
+// engine, the on-disk executor and the advisor: values below 1 mean one
+// worker per available CPU (GOMAXPROCS).
+func Workers(n int) int { return exec.Workers(n) }
 
 // Schema types.
 type (
@@ -177,9 +185,17 @@ func EstimateCost(spec *Fragmentation, cfg IndexConfig, q Query, p CostParams) Q
 }
 
 // Advise ranks admissible fragmentations by total I/O work over a query
-// mix (the guidelines of Section 4.7).
+// mix (the guidelines of Section 4.7), analysing candidates on one worker
+// per available CPU.
 func Advise(star *Star, cfg IndexConfig, mix []WeightedQuery, th Thresholds, p CostParams) []Ranked {
 	return cost.Advise(star, cfg, mix, th, p)
+}
+
+// AdviseParallel is Advise with an explicit candidate-analysis worker
+// count (values below 1 mean one per CPU). The ranking is identical at
+// any worker count.
+func AdviseParallel(star *Star, cfg IndexConfig, mix []WeightedQuery, th Thresholds, p CostParams, workers int) []Ranked {
+	return cost.AdviseParallel(star, cfg, mix, th, p, workers)
 }
 
 // Allocation.
@@ -334,9 +350,20 @@ func BuildCompressedBitmapFile(dir string, s *Store, icfg IndexConfig) (*BitmapF
 	return storage.BuildCompressedBitmaps(dir, s, icfg)
 }
 
-// NewStorageExecutor pairs a store with its bitmap file.
+// NewStorageExecutor pairs a store with its bitmap file. The executor
+// fans the relevant fragments of each query out over one worker per
+// available CPU; set its Workers field (or use NewParallelStorageExecutor)
+// for an explicit count. Results are identical at any worker count.
 func NewStorageExecutor(s *Store, bf *BitmapFile) *StorageExecutor {
 	return storage.NewExecutor(s, bf)
+}
+
+// NewParallelStorageExecutor is NewStorageExecutor with an explicit
+// fragment-worker count (values below 1 mean one per CPU).
+func NewParallelStorageExecutor(s *Store, bf *BitmapFile, workers int) *StorageExecutor {
+	ex := storage.NewExecutor(s, bf)
+	ex.Workers = workers
+	return ex
 }
 
 // Dimension tables.
