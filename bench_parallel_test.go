@@ -125,3 +125,114 @@ func BenchmarkEngineParallel(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkCompressedPath compares the old materialised execution (every
+// predicate bitmap inflated to a Bitset, AND-ed word by word) against the
+// compressed fast path (one k-way run-skipping AndAll over WAH words,
+// streaming aggregation) across the paper's query classes at 1 and 4
+// workers — in memory on the engine and on disk through the storage
+// executor. Results are asserted identical before timing.
+func BenchmarkCompressedPath(b *testing.B) {
+	star := APB1Scaled(60)
+	tab, err := GenerateData(star, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := ParseFragmentation(star, "time::month, product::group")
+	if err != nil {
+		b.Fatal(err)
+	}
+	icfg := APB1Indexes(star)
+	matEng, err := BuildEngine(tab, spec, icfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	compEng, err := BuildCompressedEngine(tab, spec, icfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	dir := b.TempDir()
+	store, err := BuildStore(dir, tab, spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { store.Close() })
+	plainBF, err := BuildBitmapFile(dir, store, icfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { plainBF.Close() })
+	dirC := b.TempDir()
+	storeC, err := BuildStore(dirC, tab, spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { storeC.Close() })
+	compBF, err := BuildCompressedBitmapFile(dirC, storeC, icfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { compBF.Close() })
+
+	gen := NewQueryGenerator(star, 7)
+	// One query type per query class of Section 4.2 under the standard
+	// FMonthGroup fragmentation: 1MONTH1GROUP=Q1, 1CODE1MONTH=Q2,
+	// 1GROUP1QUARTER=Q3, 1CODE1QUARTER=Q4, plus the bitmap-heavy 1STORE.
+	for _, qt := range []QueryType{OneMonthOneGroup, OneCodeOneMonth, OneGroupOneQuarter, OneCodeOneQuarter, OneStore} {
+		q, err := gen.Next(qt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		class := spec.Classify(q)
+		wantAgg, _, err := matEng.Execute(q, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, workers := range []int{1, 4} {
+			for _, side := range []struct {
+				name string
+				eng  *Engine
+			}{{"materialized", matEng}, {"compressed", compEng}} {
+				gotAgg, _, err := side.eng.Execute(q, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if gotAgg != wantAgg {
+					b.Fatalf("%s %s: %+v != %+v", qt.Name, side.name, gotAgg, wantAgg)
+				}
+				b.Run(fmt.Sprintf("engine/%s_%v/%s/workers=%d", qt.Name, class, side.name, workers), func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if _, _, err := side.eng.Execute(q, workers); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+			for _, side := range []struct {
+				name string
+				ex   *StorageExecutor
+			}{
+				{"materialized", NewParallelStorageExecutor(store, plainBF, workers)},
+				{"compressed", NewParallelStorageExecutor(storeC, compBF, workers)},
+			} {
+				gotAgg, _, err := side.ex.Execute(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if Aggregate(gotAgg) != wantAgg {
+					b.Fatalf("%s storage %s: %+v != %+v", qt.Name, side.name, gotAgg, wantAgg)
+				}
+				b.Run(fmt.Sprintf("storage/%s_%v/%s/workers=%d", qt.Name, class, side.name, workers), func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if _, _, err := side.ex.Execute(q); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}

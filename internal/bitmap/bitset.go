@@ -59,6 +59,47 @@ func (b *Bitset) Reset() {
 	}
 }
 
+// Reinit resizes b to n bits, all zero, reusing the backing array when it
+// is large enough — the growth primitive of the per-worker scratch
+// bitsets, allocation-free once warm.
+func (b *Bitset) Reinit(n int) {
+	if n < 0 {
+		panic("bitmap: negative size")
+	}
+	k := (n + wordBits - 1) / wordBits
+	if cap(b.words) < k {
+		b.words = make([]uint64, k)
+	} else {
+		b.words = b.words[:k]
+		for i := range b.words {
+			b.words[i] = 0
+		}
+	}
+	b.n = n
+}
+
+// SetRange sets every bit in [lo, hi) to 1, word-wise.
+func (b *Bitset) SetRange(lo, hi int) {
+	if lo < 0 || hi > b.n || lo > hi {
+		panic(fmt.Sprintf("bitmap: range [%d,%d) out of range 0..%d", lo, hi, b.n))
+	}
+	if lo == hi {
+		return
+	}
+	w0, w1 := lo/wordBits, (hi-1)/wordBits
+	first := ^uint64(0) << uint(lo%wordBits)
+	last := ^uint64(0) >> uint(wordBits-1-(hi-1)%wordBits)
+	if w0 == w1 {
+		b.words[w0] |= first & last
+		return
+	}
+	b.words[w0] |= first
+	for w := w0 + 1; w < w1; w++ {
+		b.words[w] = ^uint64(0)
+	}
+	b.words[w1] |= last
+}
+
 // trim zeroes the unused high bits of the last word so that population
 // counts and comparisons stay exact.
 func (b *Bitset) trim() {
@@ -72,6 +113,17 @@ func (b *Bitset) Clone() *Bitset {
 	c := &Bitset{n: b.n, words: make([]uint64, len(b.words))}
 	copy(c.words, b.words)
 	return c
+}
+
+// CopyFrom makes b a copy of o, reusing b's storage.
+func (b *Bitset) CopyFrom(o *Bitset) {
+	k := len(o.words)
+	if cap(b.words) < k {
+		b.words = make([]uint64, k)
+	}
+	b.words = b.words[:k]
+	copy(b.words, o.words)
+	b.n = o.n
 }
 
 func (b *Bitset) check(o *Bitset) {
@@ -102,6 +154,21 @@ func (b *Bitset) AndNot(o *Bitset) {
 	for i := range b.words {
 		b.words[i] &^= o.words[i]
 	}
+}
+
+// AndInto sets b = x AND y, reusing b's storage — the destination-reuse
+// batch kernel of the fragment hot loops.
+func (b *Bitset) AndInto(x, y *Bitset) {
+	x.check(y)
+	k := len(x.words)
+	if cap(b.words) < k {
+		b.words = make([]uint64, k)
+	}
+	b.words = b.words[:k]
+	for i := range b.words {
+		b.words[i] = x.words[i] & y.words[i]
+	}
+	b.n = x.n
 }
 
 // Xor sets b = b XOR o in place.
@@ -163,6 +230,24 @@ func (b *Bitset) ForEach(fn func(i int)) {
 	}
 }
 
+// OrByte ORs the 8 bits of v into positions [base, base+8). base must be
+// a multiple of 8 and bits of v beyond Len must be zero — the byte-wise
+// deserialisation primitive.
+func (b *Bitset) OrByte(base int, v byte) {
+	b.words[base/wordBits] |= uint64(v) << uint(base%wordBits)
+}
+
+// ForEachWord calls fn once per nonzero 64-bit word with the bit index of
+// the word's least significant bit — one call per word instead of one
+// closure invocation per set bit, for batch aggregation loops.
+func (b *Bitset) ForEachWord(fn func(base int, w uint64)) {
+	for wi, w := range b.words {
+		if w != 0 {
+			fn(wi*wordBits, w)
+		}
+	}
+}
+
 // NextSet returns the index of the first set bit at or after i, or -1.
 func (b *Bitset) NextSet(i int) int {
 	if i < 0 {
@@ -190,11 +275,20 @@ func (b *Bitset) Slice(lo, hi int) *Bitset {
 		panic(fmt.Sprintf("bitmap: slice [%d,%d) out of range 0..%d", lo, hi, b.n))
 	}
 	out := New(hi - lo)
-	for i := lo; i < hi; i++ {
-		if b.Get(i) {
-			out.Set(i - lo)
-		}
+	if lo == hi {
+		return out
 	}
+	// Word-wise gather: output word i spans at most two source words.
+	w0 := lo / wordBits
+	off := uint(lo % wordBits)
+	for i := range out.words {
+		v := b.words[w0+i] >> off
+		if off != 0 && w0+i+1 < len(b.words) {
+			v |= b.words[w0+i+1] << (wordBits - off)
+		}
+		out.words[i] = v
+	}
+	out.trim()
 	return out
 }
 

@@ -1,0 +1,108 @@
+package bitmap
+
+// Compressed counterparts of the simple and encoded bitmap indices: the
+// per-row bitmaps are stored WAH-compressed and queries execute on them
+// directly (AndAll / ForEachRange) without ever inflating a Bitset —
+// the in-memory side of the compressed execution fast path.
+
+// CompressedSimpleIndex is a SimpleIndex whose member bitmaps are stored
+// WAH-compressed.
+type CompressedSimpleIndex struct {
+	card int
+	rows int
+	maps []*Compressed
+}
+
+// CompressSimpleIndex compresses every member bitmap of s.
+func CompressSimpleIndex(s *SimpleIndex) *CompressedSimpleIndex {
+	c := &CompressedSimpleIndex{card: s.card, rows: s.rows, maps: make([]*Compressed, s.card)}
+	for m, b := range s.maps {
+		c.maps[m] = Compress(b)
+	}
+	return c
+}
+
+// Card returns the number of bitmaps (the attribute's cardinality).
+func (c *CompressedSimpleIndex) Card() int { return c.card }
+
+// Rows returns the number of fact rows covered.
+func (c *CompressedSimpleIndex) Rows() int { return c.rows }
+
+// Bitmap returns the compressed bitmap for member m. The caller must not
+// modify it.
+func (c *CompressedSimpleIndex) Bitmap(m int) *Compressed { return c.maps[m] }
+
+// Bytes returns the total compressed storage in bytes.
+func (c *CompressedSimpleIndex) Bytes() int {
+	t := 0
+	for _, m := range c.maps {
+		t += m.Bytes()
+	}
+	return t
+}
+
+// CompressedEncodedIndex is an EncodedIndex whose bit-position bitmaps are
+// stored WAH-compressed, together with their precomputed complements so
+// that a selection is a single AndAll over verbatim-or-complement operands
+// — no per-query Not, no materialisation.
+type CompressedEncodedIndex struct {
+	layout *Layout
+	rows   int
+	maps   []*Compressed // bit j of every row's encoding
+	cmpl   []*Compressed // complement of maps[j]
+}
+
+// CompressEncodedIndex compresses every bit-position bitmap of e and its
+// complement.
+func CompressEncodedIndex(e *EncodedIndex) *CompressedEncodedIndex {
+	c := &CompressedEncodedIndex{
+		layout: e.layout,
+		rows:   e.rows,
+		maps:   make([]*Compressed, len(e.maps)),
+		cmpl:   make([]*Compressed, len(e.maps)),
+	}
+	for j, b := range e.maps {
+		c.maps[j] = Compress(b)
+		c.cmpl[j] = Not(c.maps[j])
+	}
+	return c
+}
+
+// Layout returns the index's encoding layout.
+func (c *CompressedEncodedIndex) Layout() *Layout { return c.layout }
+
+// Rows returns the number of fact rows covered.
+func (c *CompressedEncodedIndex) Rows() int { return c.rows }
+
+// SelectOperands appends to dst the compressed operands whose intersection
+// selects member m of the given hierarchy level using only the bit fields
+// of levels in (skipLevel, level] — the compressed counterpart of
+// EncodedIndex.SelectPartial, leaving the single AndAll to the caller so
+// operands from several predicates intersect in one k-way pass. It returns
+// the extended slice and the number of bitmaps evaluated.
+func (c *CompressedEncodedIndex) SelectOperands(dst []*Compressed, skipLevel, level, m int) ([]*Compressed, int) {
+	skip := 0
+	if skipLevel >= 0 {
+		skip = c.layout.PrefixBits(skipLevel)
+	}
+	nb := c.layout.PrefixBits(level) - skip
+	pattern := c.layout.EncodePrefix(level, m) & (1<<uint(nb) - 1)
+	for j := 0; j < nb; j++ {
+		if pattern>>uint(nb-1-j)&1 == 1 {
+			dst = append(dst, c.maps[skip+j])
+		} else {
+			dst = append(dst, c.cmpl[skip+j])
+		}
+	}
+	return dst, nb
+}
+
+// Bytes returns the total compressed storage in bytes, complements
+// included.
+func (c *CompressedEncodedIndex) Bytes() int {
+	t := 0
+	for j := range c.maps {
+		t += c.maps[j].Bytes() + c.cmpl[j].Bytes()
+	}
+	return t
+}

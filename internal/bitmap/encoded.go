@@ -198,13 +198,23 @@ func (e *EncodedIndex) Select(level, m int) (*Bitset, int) {
 // skipLevel -1 matches the full prefix (equivalent to Select). It returns
 // the result and the number of bitmaps evaluated.
 func (e *EncodedIndex) SelectPartial(skipLevel, level, m int) (*Bitset, int) {
+	out := New(e.rows)
+	return out, e.SelectPartialInto(out, skipLevel, level, m)
+}
+
+// SelectPartialInto is SelectPartial writing the selection into dst,
+// reusing dst's storage (resized to the fragment's row count) — the
+// allocation-free variant for per-worker scratch bitsets. It returns the
+// number of bitmaps evaluated.
+func (e *EncodedIndex) SelectPartialInto(dst *Bitset, skipLevel, level, m int) int {
 	skip := 0
 	if skipLevel >= 0 {
 		skip = e.layout.PrefixBits(skipLevel)
 	}
 	nb := e.layout.PrefixBits(level) - skip
 	pattern := e.layout.EncodePrefix(level, m) & (1<<uint(nb) - 1)
-	return e.selectBits(skip, nb, pattern), nb
+	e.selectBits(dst, skip, nb, pattern)
+	return nb
 }
 
 // SelectSuffix matches only the suffix bit fields of the levels strictly
@@ -216,10 +226,11 @@ func (e *EncodedIndex) SelectSuffix(prefixLevel, leafMember int) (*Bitset, int) 
 	return e.SelectPartial(prefixLevel, e.layout.dim.Leaf(), leafMember)
 }
 
-// selectBits ANDs together bitmaps [first, first+n), each taken verbatim
-// where the corresponding pattern bit is 1 and complemented where it is 0.
-func (e *EncodedIndex) selectBits(first, n int, pattern uint64) *Bitset {
-	out := New(e.rows)
+// selectBits ANDs together bitmaps [first, first+n) into out, each taken
+// verbatim where the corresponding pattern bit is 1 and complemented where
+// it is 0.
+func (e *EncodedIndex) selectBits(out *Bitset, first, n int, pattern uint64) {
+	out.Reinit(e.rows)
 	out.SetAll()
 	for j := 0; j < n; j++ {
 		b := e.maps[first+j]
@@ -229,7 +240,6 @@ func (e *EncodedIndex) selectBits(first, n int, pattern uint64) *Bitset {
 			out.AndNot(b)
 		}
 	}
-	return out
 }
 
 // Bytes returns the total storage of all bitmaps in bytes.

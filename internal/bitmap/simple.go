@@ -45,6 +45,9 @@ func (s *SimpleIndex) Bitmap(m int) *Bitset { return s.maps[m] }
 // Exactly one bitmap is read.
 func (s *SimpleIndex) Select(m int) *Bitset { return s.maps[m].Clone() }
 
+// SelectInto is Select copying into dst, reusing dst's storage.
+func (s *SimpleIndex) SelectInto(dst *Bitset, m int) { dst.CopyFrom(s.maps[m]) }
+
 // SelectRange returns a fresh bitset marking all rows whose value lies in
 // [lo, hi), OR-ing hi-lo bitmaps.
 func (s *SimpleIndex) SelectRange(lo, hi int) *Bitset {

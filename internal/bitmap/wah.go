@@ -8,6 +8,16 @@ package bitmap
 // Layout: bits are grouped into 63-bit groups. A literal word has MSB 0
 // and carries one group in its low 63 bits. A fill word has MSB 1, the
 // fill bit in bit 62, and the run length (in groups) in the low 62 bits.
+//
+// Beyond the round-trip codec this file implements the compressed
+// execution kernels of the star query fast path: logical operations
+// (AndAll, AndNot, Not) that run directly on the encoded words with
+// run skipping — a zero-fill run in any operand advances every operand
+// by the whole run without decoding a single group — and streaming
+// iterators (ForEach, ForEachRange) so hit positions flow out of a
+// compressed result without ever materialising a Bitset.
+
+import "math/bits"
 
 const (
 	groupBits = 63
@@ -37,6 +47,23 @@ func FromWords(nBits int, words []uint64) *Compressed {
 	return &Compressed{n: nBits, words: words}
 }
 
+// ResetWords reinitialises c to an n-bit bitmap backed by k encoded words,
+// reusing the existing allocation where possible, and returns the words
+// slice for the caller to fill — the deserialisation counterpart of Words
+// for allocation-free re-reads.
+func (c *Compressed) ResetWords(n, k int) []uint64 {
+	c.n = n
+	if cap(c.words) < k {
+		c.words = make([]uint64, k)
+	} else {
+		c.words = c.words[:k]
+	}
+	return c.words
+}
+
+// groups returns the number of 63-bit groups covering c.
+func (c *Compressed) groups() int { return (c.n + groupBits - 1) / groupBits }
+
 // group extracts the g-th 63-bit group of b, zero-padded at the tail.
 func group(b *Bitset, g int) uint64 {
 	var v uint64
@@ -53,87 +80,154 @@ func group(b *Bitset, g int) uint64 {
 	return v & groupMask
 }
 
+// appender accumulates 63-bit groups into canonical WAH words, merging
+// adjacent same-valued runs and converting all-zero / all-one literals
+// into fills. All compressed producers funnel through it so that equal
+// bitmaps have equal encodings regardless of which operation built them.
+type appender struct {
+	words  []uint64
+	runVal uint64 // 0 or 1
+	runLen uint64
+}
+
+func (a *appender) flush() {
+	if a.runLen == 0 {
+		return
+	}
+	w := fillFlag | a.runLen
+	if a.runVal != 0 {
+		w |= fillOne
+	}
+	a.words = append(a.words, w)
+	a.runLen = 0
+}
+
+// run appends n groups of the given fill bit (0 or 1).
+func (a *appender) run(bit, n uint64) {
+	if n == 0 {
+		return
+	}
+	if a.runLen > 0 && a.runVal != bit {
+		a.flush()
+	}
+	a.runVal = bit
+	for n > 0 {
+		take := maxRun - a.runLen
+		if take > n {
+			take = n
+		}
+		a.runLen += take
+		n -= take
+		if a.runLen == maxRun && n > 0 {
+			a.flush()
+		}
+	}
+}
+
+// group appends one 63-bit group, run-encoding it when uniform.
+func (a *appender) group(v uint64) {
+	switch v {
+	case 0:
+		a.run(0, 1)
+	case groupMask:
+		a.run(1, 1)
+	default:
+		a.flush()
+		a.words = append(a.words, v)
+	}
+}
+
 // Compress encodes a bitset.
 func Compress(b *Bitset) *Compressed {
 	c := &Compressed{n: b.Len()}
 	groups := (b.Len() + groupBits - 1) / groupBits
 	// Zero-pad semantics: the final partial group is stored as-is.
-	var runVal uint64
-	var runLen uint64
-	flush := func() {
-		if runLen == 0 {
-			return
-		}
-		w := fillFlag | runLen
-		if runVal != 0 {
-			w |= fillOne
-		}
-		c.words = append(c.words, w)
-		runLen = 0
-	}
+	var app appender
 	for g := 0; g < groups; g++ {
-		v := group(b, g)
-		if v == 0 || v == groupMask {
-			bit := uint64(0)
-			if v == groupMask {
-				bit = 1
-			}
-			if runLen > 0 && ((runVal == 1) != (bit == 1) || runLen == maxRun) {
-				flush()
-			}
-			runVal = bit
-			runLen++
-			continue
-		}
-		flush()
-		c.words = append(c.words, v)
+		app.group(group(b, g))
 	}
-	flush()
+	app.flush()
+	c.words = app.words
 	return c
+}
+
+// CompressedOnes returns the compressed all-ones bitmap of n bits — the
+// neutral element for AndNot chains when a selection has no positive
+// operand.
+func CompressedOnes(n int) *Compressed {
+	return CompressedOnesInto(nil, n)
+}
+
+// CompressedOnesInto is CompressedOnes writing into out (allocated when
+// nil), reusing its storage.
+func CompressedOnesInto(out *Compressed, n int) *Compressed {
+	if out == nil {
+		out = &Compressed{}
+	}
+	out.n = n
+	groups := (n + groupBits - 1) / groupBits
+	r := n % groupBits
+	app := appender{words: out.words[:0]}
+	if r == 0 {
+		app.run(1, uint64(groups))
+	} else {
+		app.run(1, uint64(groups-1))
+		app.group(uint64(1)<<uint(r) - 1)
+	}
+	app.flush()
+	out.words = app.words
+	return out
 }
 
 // Decompress reconstructs the bitset.
 func (c *Compressed) Decompress() *Bitset {
-	out := New(c.n)
+	return c.DecompressInto(New(c.n))
+}
+
+// DecompressInto reconstructs the bitset into dst, reusing its storage,
+// and returns dst. One-fill runs are written word-wise via SetRange
+// rather than group by group.
+func (c *Compressed) DecompressInto(dst *Bitset) *Bitset {
+	dst.Reinit(c.n)
 	g := 0
-	emit := func(v uint64) {
-		base := g * groupBits
-		w0 := base / wordBits
-		off := base % wordBits
-		if w0 < len(out.words) {
-			out.words[w0] |= v << uint(off)
-			if off > 0 && w0+1 < len(out.words) {
-				out.words[w0+1] |= v >> uint(wordBits-off)
-			}
-		}
-		g++
-	}
 	for _, w := range c.words {
 		if w&fillFlag == 0 {
-			emit(w)
+			base := g * groupBits
+			w0 := base / wordBits
+			off := base % wordBits
+			if w0 < len(dst.words) {
+				dst.words[w0] |= w << uint(off)
+				if off > 0 && w0+1 < len(dst.words) {
+					dst.words[w0+1] |= (w & groupMask) >> uint(wordBits-off)
+				}
+			}
+			g++
 			continue
 		}
-		v := uint64(0)
+		run := int(w & maxRun)
 		if w&fillOne != 0 {
-			v = groupMask
+			lo := g * groupBits
+			hi := (g + run) * groupBits
+			if hi > c.n {
+				hi = c.n
+			}
+			dst.SetRange(lo, hi)
 		}
-		for i := uint64(0); i < w&maxRun; i++ {
-			emit(v)
-		}
+		g += run
 	}
-	out.trim()
-	return out
+	dst.trim()
+	return dst
 }
 
 // OnesCount returns the number of set bits without decompressing.
 func (c *Compressed) OnesCount() int {
 	count := 0
 	g := 0
-	groups := (c.n + groupBits - 1) / groupBits
+	groups := c.groups()
 	lastBits := c.n - (groups-1)*groupBits
 	for _, w := range c.words {
 		if w&fillFlag == 0 {
-			count += popcount(w & groupMask)
+			count += bits.OnesCount64(w & groupMask)
 			g++
 			continue
 		}
@@ -141,142 +235,419 @@ func (c *Compressed) OnesCount() int {
 		if w&fillOne != 0 {
 			// Full groups of ones; the final group of the bitmap may be
 			// partial.
-			for i := 0; i < run; i++ {
-				if g == groups-1 {
-					count += lastBits
-				} else {
-					count += groupBits
-				}
-				g++
+			count += run * groupBits
+			if g+run == groups {
+				count -= groupBits - lastBits
 			}
-		} else {
-			g += run
 		}
+		g += run
 	}
 	return count
 }
 
-func popcount(v uint64) int {
-	c := 0
-	for v != 0 {
-		v &= v - 1
-		c++
+// Any reports whether at least one bit is set, without decompressing.
+func (c *Compressed) Any() bool {
+	for _, w := range c.words {
+		if w&fillFlag == 0 {
+			if w&groupMask != 0 {
+				return true
+			}
+		} else if w&fillOne != 0 && w&maxRun > 0 {
+			return true
+		}
 	}
-	return c
+	return false
 }
 
-// wahReader iterates the groups of a compressed bitmap, merging runs.
-type wahReader struct {
+// ForEachRange calls fn with every maximal run [lo, hi) of consecutive set
+// bits, in ascending order, streaming directly over the encoded words:
+// one-fill runs yield without decoding, literals are scanned with bit
+// tricks. It is the aggregation iterator of the compressed query path.
+func (c *Compressed) ForEachRange(fn func(lo, hi int)) {
+	g := 0
+	open := -1 // start of the in-progress run of ones, or -1
+	for _, w := range c.words {
+		if w&fillFlag != 0 {
+			run := int(w & maxRun)
+			if w&fillOne != 0 {
+				if open < 0 {
+					open = g * groupBits
+				}
+			} else if open >= 0 {
+				fn(open, g*groupBits)
+				open = -1
+			}
+			g += run
+			continue
+		}
+		base := g * groupBits
+		g++
+		v := w & groupMask
+		if v == 0 {
+			if open >= 0 {
+				fn(open, base)
+				open = -1
+			}
+			continue
+		}
+		off := 0
+		for v != 0 {
+			if tz := bits.TrailingZeros64(v); tz > 0 {
+				if open >= 0 {
+					fn(open, base+off)
+					open = -1
+				}
+				v >>= uint(tz)
+				off += tz
+			}
+			ones := bits.TrailingZeros64(^v)
+			if open < 0 {
+				open = base + off
+			}
+			v >>= uint(ones)
+			off += ones
+		}
+		// Trailing zeros inside the group close the run.
+		if off < groupBits && open >= 0 {
+			fn(open, base+off)
+			open = -1
+		}
+	}
+	if open >= 0 {
+		hi := c.n
+		if open < hi {
+			fn(open, hi)
+		}
+	}
+}
+
+// ForEach calls fn with the index of every set bit, in ascending order,
+// without materialising a Bitset.
+func (c *Compressed) ForEach(fn func(i int)) {
+	c.ForEachRange(func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// cursor walks the groups of a compressed bitmap with O(1) run skipping:
+// skip(n) advances n groups touching only the fill words they live in.
+type cursor struct {
 	words []uint64
 	pos   int
-	// pending run
-	runLeft uint64
-	runVal  uint64
+	fill  bool   // current item is a fill run
+	val   uint64 // literal group, or fill value (0 / groupMask)
+	left  uint64 // groups remaining in the current item (1 for a literal)
 }
 
-// next returns the next 63-bit group.
-func (r *wahReader) next() uint64 {
-	if r.runLeft > 0 {
-		r.runLeft--
-		return r.runVal
+// load ensures the cursor holds a current item.
+func (cu *cursor) load() {
+	for cu.left == 0 {
+		w := cu.words[cu.pos]
+		cu.pos++
+		if w&fillFlag == 0 {
+			cu.fill, cu.val, cu.left = false, w&groupMask, 1
+			return
+		}
+		cu.fill = true
+		cu.val = 0
+		if w&fillOne != 0 {
+			cu.val = groupMask
+		}
+		cu.left = w & maxRun
 	}
-	w := r.words[r.pos]
-	r.pos++
-	if w&fillFlag == 0 {
-		return w & groupMask
+}
+
+// skip advances n groups.
+func (cu *cursor) skip(n uint64) {
+	for n > 0 {
+		cu.load()
+		t := cu.left
+		if t > n {
+			t = n
+		}
+		cu.left -= t
+		n -= t
 	}
-	v := uint64(0)
-	if w&fillOne != 0 {
-		v = groupMask
-	}
-	r.runLeft = w&maxRun - 1
-	r.runVal = v
-	return v
+}
+
+// take consumes and returns one group.
+func (cu *cursor) take() uint64 {
+	cu.load()
+	cu.left--
+	return cu.val
 }
 
 // And intersects two compressed bitmaps of equal length, producing a
 // compressed result without materialising either side.
 func And(a, b *Compressed) *Compressed {
-	if a.n != b.n {
-		panic("bitmap: compressed length mismatch")
+	return AndAll(a, b)
+}
+
+// AndAll intersects any number of compressed bitmaps of equal length in a
+// single k-way pass. When any operand presents a zero-fill run the result
+// is zero for the run's whole extent, so every operand skips that many
+// groups without decoding them — the run-skipping core of the compressed
+// execution path.
+func AndAll(ops ...*Compressed) *Compressed {
+	return AndAllInto(nil, ops...)
+}
+
+// AndAllInto is AndAll writing the result into out (allocated when nil),
+// reusing out's storage. out must not alias any operand.
+func AndAllInto(out *Compressed, ops ...*Compressed) *Compressed {
+	if len(ops) == 0 {
+		panic("bitmap: AndAll of no operands")
 	}
-	groups := (a.n + groupBits - 1) / groupBits
-	ra := wahReader{words: a.words}
-	rb := wahReader{words: b.words}
-	out := &Compressed{n: a.n}
-	var runVal uint64
-	var runLen uint64
-	flush := func() {
-		if runLen == 0 {
-			return
+	n := ops[0].n
+	for _, o := range ops[1:] {
+		if o.n != n {
+			panic("bitmap: compressed length mismatch")
 		}
-		w := fillFlag | runLen
-		if runVal != 0 {
-			w |= fillOne
-		}
-		out.words = append(out.words, w)
-		runLen = 0
 	}
-	for g := 0; g < groups; g++ {
-		v := ra.next() & rb.next()
-		if v == 0 || v == groupMask {
-			bit := uint64(0)
-			if v == groupMask {
-				bit = 1
+	if out == nil {
+		out = &Compressed{}
+	}
+	out.n = n
+	// Cursors live on the stack for realistic operand counts (every
+	// surviving bit of every dimension is still well under 32), keeping
+	// the per-fragment hot loop allocation-free.
+	var curArr [32]cursor
+	var cur []cursor
+	if len(ops) <= len(curArr) {
+		cur = curArr[:len(ops)]
+	} else {
+		cur = make([]cursor, len(ops))
+	}
+	for i, o := range ops {
+		cur[i].words = o.words
+	}
+	app := appender{words: out.words[:0]}
+	total := ops[0].groups()
+	g := 0
+	for g < total {
+		rem := uint64(total - g)
+		var maxZero uint64
+		minOne := rem
+		allOnes := true
+		for i := range cur {
+			cu := &cur[i]
+			cu.load()
+			switch {
+			case cu.fill && cu.val == 0:
+				allOnes = false
+				if cu.left > maxZero {
+					maxZero = cu.left
+				}
+			case cu.fill: // one-fill
+				if cu.left < minOne {
+					minOne = cu.left
+				}
+			default:
+				allOnes = false
 			}
-			if runLen > 0 && ((runVal == 1) != (bit == 1) || runLen == maxRun) {
-				flush()
+		}
+		if maxZero > 0 {
+			// Result is zero for the longest zero run in view: skip it in
+			// every operand.
+			if maxZero > rem {
+				maxZero = rem
 			}
-			runVal = bit
-			runLen++
+			app.run(0, maxZero)
+			for i := range cur {
+				cur[i].skip(maxZero)
+			}
+			g += int(maxZero)
 			continue
 		}
-		flush()
-		out.words = append(out.words, v)
+		if allOnes {
+			// Every operand is inside a one-fill: emit the shortest.
+			app.run(1, minOne)
+			for i := range cur {
+				cur[i].skip(minOne)
+			}
+			g += int(minOne)
+			continue
+		}
+		// At least one literal, no zero fill: decode this one group.
+		v := groupMask
+		for i := range cur {
+			v &= cur[i].take()
+		}
+		app.group(v)
+		g++
 	}
-	flush()
+	app.flush()
+	out.words = app.words
 	return out
 }
 
-// Or unions two compressed bitmaps of equal length.
+// AndNot returns a AND NOT b over compressed operands of equal length.
+func AndNot(a, b *Compressed) *Compressed {
+	return AndNotInto(nil, a, b)
+}
+
+// AndNotInto is AndNot writing into out (allocated when nil), reusing its
+// storage. out must not alias a or b. Zero runs of a and one runs of b
+// skip whole extents without decoding; one runs of a over zero runs of b
+// emit fills directly.
+func AndNotInto(out *Compressed, a, b *Compressed) *Compressed {
+	if a.n != b.n {
+		panic("bitmap: compressed length mismatch")
+	}
+	if out == nil {
+		out = &Compressed{}
+	}
+	out.n = a.n
+	ca := cursor{words: a.words}
+	cb := cursor{words: b.words}
+	app := appender{words: out.words[:0]}
+	total := a.groups()
+	g := 0
+	for g < total {
+		rem := uint64(total - g)
+		ca.load()
+		cb.load()
+		// a&^b is zero wherever a is zero or b is one.
+		var zskip uint64
+		if ca.fill && ca.val == 0 && ca.left > zskip {
+			zskip = ca.left
+		}
+		if cb.fill && cb.val == groupMask && cb.left > zskip {
+			zskip = cb.left
+		}
+		if zskip > 0 {
+			if zskip > rem {
+				zskip = rem
+			}
+			app.run(0, zskip)
+			ca.skip(zskip)
+			cb.skip(zskip)
+			g += int(zskip)
+			continue
+		}
+		if ca.fill && ca.val == groupMask && cb.fill && cb.val == 0 {
+			n := ca.left
+			if cb.left < n {
+				n = cb.left
+			}
+			app.run(1, n)
+			ca.skip(n)
+			cb.skip(n)
+			g += int(n)
+			continue
+		}
+		// The zero padding of a's final group keeps the result's padding
+		// zero without masking.
+		app.group(ca.take() &^ cb.take())
+		g++
+	}
+	app.flush()
+	out.words = app.words
+	return out
+}
+
+// Not returns the complement of c as a compressed bitmap: fills flip
+// wholesale, literals flip word-wise, and the final partial group is
+// masked so padding bits stay zero.
+func Not(c *Compressed) *Compressed {
+	out := &Compressed{n: c.n}
+	total := c.groups()
+	lastMask := groupMask
+	if r := c.n % groupBits; r != 0 {
+		lastMask = uint64(1)<<uint(r) - 1
+	}
+	cu := cursor{words: c.words}
+	var app appender
+	g := 0
+	for g < total {
+		cu.load()
+		if cu.fill {
+			cnt := cu.left
+			if rem := uint64(total - g); cnt > rem {
+				cnt = rem
+			}
+			flip := uint64(0)
+			if cu.val == 0 {
+				flip = 1
+			}
+			if g+int(cnt) == total && lastMask != groupMask {
+				// The run reaches the padded final group: emit it masked.
+				app.run(flip, cnt-1)
+				if cu.val == 0 {
+					app.group(lastMask)
+				} else {
+					app.group(0)
+				}
+			} else {
+				app.run(flip, cnt)
+			}
+			cu.skip(cnt)
+			g += int(cnt)
+			continue
+		}
+		v := cu.take() ^ groupMask
+		if g == total-1 {
+			v &= lastMask
+		}
+		app.group(v)
+		g++
+	}
+	app.flush()
+	out.words = app.words
+	return out
+}
+
+// Or unions two compressed bitmaps of equal length. Runs are processed
+// wholesale: a one-fill in either operand forces ones, twin zero-fills
+// skip together.
 func Or(a, b *Compressed) *Compressed {
 	if a.n != b.n {
 		panic("bitmap: compressed length mismatch")
 	}
-	groups := (a.n + groupBits - 1) / groupBits
-	ra := wahReader{words: a.words}
-	rb := wahReader{words: b.words}
 	out := &Compressed{n: a.n}
-	var runVal uint64
-	var runLen uint64
-	flush := func() {
-		if runLen == 0 {
-			return
+	ca := cursor{words: a.words}
+	cb := cursor{words: b.words}
+	var app appender
+	total := a.groups()
+	g := 0
+	for g < total {
+		rem := uint64(total - g)
+		ca.load()
+		cb.load()
+		var oskip uint64
+		if ca.fill && ca.val == groupMask && ca.left > oskip {
+			oskip = ca.left
 		}
-		w := fillFlag | runLen
-		if runVal != 0 {
-			w |= fillOne
+		if cb.fill && cb.val == groupMask && cb.left > oskip {
+			oskip = cb.left
 		}
-		out.words = append(out.words, w)
-		runLen = 0
-	}
-	for g := 0; g < groups; g++ {
-		v := ra.next() | rb.next()
-		if v == 0 || v == groupMask {
-			bit := uint64(0)
-			if v == groupMask {
-				bit = 1
+		if oskip > 0 {
+			if oskip > rem {
+				oskip = rem
 			}
-			if runLen > 0 && ((runVal == 1) != (bit == 1) || runLen == maxRun) {
-				flush()
-			}
-			runVal = bit
-			runLen++
+			app.run(1, oskip)
+			ca.skip(oskip)
+			cb.skip(oskip)
+			g += int(oskip)
 			continue
 		}
-		flush()
-		out.words = append(out.words, v)
+		if ca.fill && ca.val == 0 && cb.fill && cb.val == 0 {
+			n := ca.left
+			if cb.left < n {
+				n = cb.left
+			}
+			app.run(0, n)
+			ca.skip(n)
+			cb.skip(n)
+			g += int(n)
+			continue
+		}
+		app.group(ca.take() | cb.take())
+		g++
 	}
-	flush()
+	app.flush()
+	out.words = app.words
 	return out
 }

@@ -10,6 +10,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"math/bits"
 
 	"repro/internal/bitmap"
 	"repro/internal/data"
@@ -66,6 +67,11 @@ type fragment struct {
 	// simple[d][l] is the simple bitmap index fragment on level l of
 	// dimension d (nil where not materialised).
 	simple [][]*bitmap.SimpleIndex
+
+	// Compressed-mode counterparts (only one family is populated per
+	// engine): queries execute directly on the WAH words.
+	encodedC []*bitmap.CompressedEncodedIndex
+	simpleC  [][]*bitmap.CompressedSimpleIndex
 }
 
 // Engine executes star queries over a fragmented fact table.
@@ -77,13 +83,34 @@ type Engine struct {
 	frags map[int64]*fragment
 	// layouts[d] is the encoding layout of dimension d (nil for simple).
 	layouts []*bitmap.Layout
+	// compressed selects the WAH execution path: per-fragment indices are
+	// stored compressed and queries intersect / iterate them without
+	// materialising a Bitset.
+	compressed bool
 }
+
+// Compressed reports whether the engine stores its per-fragment bitmap
+// indices WAH-compressed and executes on them directly.
+func (e *Engine) Compressed() bool { return e.compressed }
 
 // Build partitions the table per the fragmentation spec and constructs the
 // per-fragment bitmap indices that survive bitmap elimination
 // (Section 4.2): for fragmentation dimensions only levels strictly below
 // the fragmentation attribute are indexed.
 func Build(t *data.Table, spec *frag.Spec, icfg frag.IndexConfig) (*Engine, error) {
+	return build(t, spec, icfg, false)
+}
+
+// BuildCompressed is Build storing every per-fragment bitmap
+// WAH-compressed (encoded-index bit positions together with their
+// precomputed complements). Queries then run on the compressed execution
+// fast path: one k-way run-skipping AndAll per fragment and streaming
+// aggregation over the compressed result, never inflating a Bitset.
+func BuildCompressed(t *data.Table, spec *frag.Spec, icfg frag.IndexConfig) (*Engine, error) {
+	return build(t, spec, icfg, true)
+}
+
+func build(t *data.Table, spec *frag.Spec, icfg frag.IndexConfig, compressed bool) (*Engine, error) {
 	star := t.Star
 	if spec.Star() != star {
 		return nil, fmt.Errorf("engine: spec built for a different schema")
@@ -92,11 +119,12 @@ func Build(t *data.Table, spec *frag.Spec, icfg frag.IndexConfig) (*Engine, erro
 		return nil, fmt.Errorf("engine: index config has %d entries for %d dimensions", len(icfg), len(star.Dims))
 	}
 	e := &Engine{
-		star:    star,
-		spec:    spec,
-		icfg:    icfg,
-		frags:   make(map[int64]*fragment),
-		layouts: make([]*bitmap.Layout, len(star.Dims)),
+		star:       star,
+		spec:       spec,
+		icfg:       icfg,
+		frags:      make(map[int64]*fragment),
+		layouts:    make([]*bitmap.Layout, len(star.Dims)),
+		compressed: compressed,
 	}
 	for d := range star.Dims {
 		if icfg[d].Kind == frag.EncodedIndex {
@@ -133,9 +161,11 @@ func Build(t *data.Table, spec *frag.Spec, icfg frag.IndexConfig) (*Engine, erro
 		f.cost = append(f.cost, t.Cost[i])
 		f.rows++
 	}
-	// Pass 3: per-fragment index construction.
+	// Pass 3: per-fragment index construction. vals is reused across all
+	// fragments and levels.
+	var vals []int32
 	for _, f := range e.frags {
-		e.buildIndexes(f)
+		vals = e.buildIndexes(f, vals)
 	}
 	return e, nil
 }
@@ -148,10 +178,19 @@ func (e *Engine) fragLevel(d int) int {
 	return -1
 }
 
-func (e *Engine) buildIndexes(f *fragment) {
+// buildIndexes constructs the fragment's surviving bitmap indices,
+// compressing them (and dropping the uncompressed forms) in compressed
+// mode. vals is a reusable level-member buffer; the grown slice is
+// returned for the next fragment.
+func (e *Engine) buildIndexes(f *fragment, vals []int32) []int32 {
 	nd := len(e.star.Dims)
-	f.encoded = make([]*bitmap.EncodedIndex, nd)
-	f.simple = make([][]*bitmap.SimpleIndex, nd)
+	if e.compressed {
+		f.encodedC = make([]*bitmap.CompressedEncodedIndex, nd)
+		f.simpleC = make([][]*bitmap.CompressedSimpleIndex, nd)
+	} else {
+		f.encoded = make([]*bitmap.EncodedIndex, nd)
+		f.simple = make([][]*bitmap.SimpleIndex, nd)
+	}
 	for d := 0; d < nd; d++ {
 		dim := &e.star.Dims[d]
 		fl := e.fragLevel(d)
@@ -161,19 +200,37 @@ func (e *Engine) buildIndexes(f *fragment) {
 			// bitmaps below the fragmentation level carry information and
 			// only they are evaluated (SelectPartial).
 			if fl != dim.Leaf() { // fully eliminated when fragmenting on the leaf
-				f.encoded[d] = bitmap.NewEncodedIndex(e.layouts[d], f.dims[d])
+				idx := bitmap.NewEncodedIndex(e.layouts[d], f.dims[d])
+				if e.compressed {
+					f.encodedC[d] = bitmap.CompressEncodedIndex(idx)
+				} else {
+					f.encoded[d] = idx
+				}
 			}
 		default:
-			f.simple[d] = make([]*bitmap.SimpleIndex, dim.Depth())
+			if e.compressed {
+				f.simpleC[d] = make([]*bitmap.CompressedSimpleIndex, dim.Depth())
+			} else {
+				f.simple[d] = make([]*bitmap.SimpleIndex, dim.Depth())
+			}
 			for l := fl + 1; l < dim.Depth(); l++ {
-				vals := make([]int32, f.rows)
+				if cap(vals) < f.rows {
+					vals = make([]int32, f.rows)
+				}
+				vals = vals[:f.rows]
 				for i, leaf := range f.dims[d] {
 					vals[i] = int32(dim.Ancestor(dim.Leaf(), int(leaf), l))
 				}
-				f.simple[d][l] = bitmap.NewSimpleIndex(dim.Levels[l].Card, vals)
+				idx := bitmap.NewSimpleIndex(dim.Levels[l].Card, vals)
+				if e.compressed {
+					f.simpleC[d][l] = bitmap.CompressSimpleIndex(idx)
+				} else {
+					f.simple[d][l] = idx
+				}
 			}
 		}
 	}
+	return vals
 }
 
 // NumFragments returns the number of non-empty fragments materialised.
@@ -194,19 +251,41 @@ type partial struct {
 	st  Stats
 }
 
+// scratch is the per-worker buffer set threaded through internal/exec:
+// selection bitsets for the materialised path, operand and result buffers
+// for the compressed path. Every buffer is reused across all fragments a
+// worker processes, so the hot loops run allocation-free once warm.
+type scratch struct {
+	hits *bitmap.Bitset // running AND of predicate selections
+	sel  *bitmap.Bitset // current predicate's selection
+
+	ops  []*bitmap.Compressed // operands of the fragment's single AndAll
+	cres *bitmap.Compressed   // compressed intersection result
+}
+
+func newScratch() *scratch {
+	return &scratch{hits: bitmap.New(0), sel: bitmap.New(0), cres: &bitmap.Compressed{}}
+}
+
 // ExecuteContext is Execute with cancellation.
 func (e *Engine) ExecuteContext(ctx context.Context, q frag.Query, workers int) (Aggregate, Stats, error) {
 	if err := q.Validate(e.star); err != nil {
 		return Aggregate{}, Stats{}, err
 	}
 	ids := e.spec.FragmentIDs(q)
-	res, err := exec.Reduce(ctx, workers, len(ids),
-		func(i int) (partial, error) {
+	res, err := exec.ReduceWith(ctx, workers, len(ids), newScratch,
+		func(sc *scratch, i int) (partial, error) {
 			f, ok := e.frags[ids[i]]
 			if !ok {
 				return partial{}, nil // fragment has no rows at this density
 			}
-			agg, st := e.processFragment(f, q)
+			var agg Aggregate
+			var st Stats
+			if e.compressed {
+				agg, st = e.processFragmentCompressed(f, q, sc)
+			} else {
+				agg, st = e.processFragment(f, q, sc)
+			}
 			st.FragmentsProcessed = 1
 			return partial{agg: agg, st: st}, nil
 		},
@@ -223,33 +302,35 @@ func (e *Engine) ExecuteContext(ctx context.Context, q frag.Query, workers int) 
 // processFragment evaluates the query inside one fragment: bitmap
 // selections for the predicates that need them (Section 4.3 step 2), AND
 // them, then aggregate the hit rows — or all rows when no bitmap is needed
-// (query types Q1/Q3).
-func (e *Engine) processFragment(f *fragment, q frag.Query) (Aggregate, Stats) {
+// (query types Q1/Q3). All selections land in sc's reusable bitsets and
+// aggregation runs word-wise, so the loop performs no allocation.
+func (e *Engine) processFragment(f *fragment, q frag.Query, sc *scratch) (Aggregate, Stats) {
 	var st Stats
-	var hits *bitmap.Bitset
+	first := true
 	for _, p := range q {
 		if !e.spec.NeedsBitmap(p) {
 			continue
 		}
-		var sel *bitmap.Bitset
+		dst := sc.hits
+		if !first {
+			dst = sc.sel
+		}
 		switch e.icfg[p.Dim].Kind {
 		case frag.EncodedIndex:
-			var nb int
-			sel, nb = f.encoded[p.Dim].SelectPartial(e.fragLevel(p.Dim), p.Level, p.Member)
+			nb := f.encoded[p.Dim].SelectPartialInto(dst, e.fragLevel(p.Dim), p.Level, p.Member)
 			st.BitmapsRead += int64(nb)
 		default:
-			sel = f.simple[p.Dim][p.Level].Select(p.Member)
+			f.simple[p.Dim][p.Level].SelectInto(dst, p.Member)
 			st.BitmapsRead++
 		}
-		if hits == nil {
-			hits = sel
-		} else {
-			hits.And(sel)
+		if !first {
+			sc.hits.And(sc.sel)
 		}
+		first = false
 	}
 
 	var agg Aggregate
-	if hits == nil {
+	if first {
 		// All fragment rows are relevant (no bitmap access, IOC1-style).
 		st.RowsScanned += int64(f.rows)
 		for i := 0; i < f.rows; i++ {
@@ -260,13 +341,65 @@ func (e *Engine) processFragment(f *fragment, q frag.Query) (Aggregate, Stats) {
 		}
 		return agg, st
 	}
-	hits.ForEach(func(i int) {
-		st.RowsScanned++
-		agg.Count++
-		agg.UnitsSold += f.unitsSold[i]
-		agg.DollarSales += f.dollarSales[i]
-		agg.Cost += f.cost[i]
+	sc.hits.ForEachWord(func(base int, w uint64) {
+		for w != 0 {
+			i := base + bits.TrailingZeros64(w)
+			w &= w - 1
+			agg.Count++
+			agg.UnitsSold += f.unitsSold[i]
+			agg.DollarSales += f.dollarSales[i]
+			agg.Cost += f.cost[i]
+		}
 	})
+	st.RowsScanned += agg.Count
+	return agg, st
+}
+
+// processFragmentCompressed is the compressed-execution counterpart: the
+// predicates' bitmaps stay WAH-encoded, intersect in one k-way
+// run-skipping AndAll, and the hit rows stream out of the compressed
+// result range-wise — no Bitset is materialised at any point.
+func (e *Engine) processFragmentCompressed(f *fragment, q frag.Query, sc *scratch) (Aggregate, Stats) {
+	var st Stats
+	ops := sc.ops[:0]
+	for _, p := range q {
+		if !e.spec.NeedsBitmap(p) {
+			continue
+		}
+		switch e.icfg[p.Dim].Kind {
+		case frag.EncodedIndex:
+			var nb int
+			ops, nb = f.encodedC[p.Dim].SelectOperands(ops, e.fragLevel(p.Dim), p.Level, p.Member)
+			st.BitmapsRead += int64(nb)
+		default:
+			ops = append(ops, f.simpleC[p.Dim][p.Level].Bitmap(p.Member))
+			st.BitmapsRead++
+		}
+	}
+	sc.ops = ops
+
+	var agg Aggregate
+	if len(ops) == 0 {
+		// All fragment rows are relevant (no bitmap access, IOC1-style).
+		st.RowsScanned += int64(f.rows)
+		for i := 0; i < f.rows; i++ {
+			agg.Count++
+			agg.UnitsSold += f.unitsSold[i]
+			agg.DollarSales += f.dollarSales[i]
+			agg.Cost += f.cost[i]
+		}
+		return agg, st
+	}
+	sc.cres = bitmap.AndAllInto(sc.cres, ops...)
+	sc.cres.ForEachRange(func(lo, hi int) {
+		agg.Count += int64(hi - lo)
+		for i := lo; i < hi; i++ {
+			agg.UnitsSold += f.unitsSold[i]
+			agg.DollarSales += f.dollarSales[i]
+			agg.Cost += f.cost[i]
+		}
+	})
+	st.RowsScanned += agg.Count
 	return agg, st
 }
 

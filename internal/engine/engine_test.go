@@ -328,3 +328,107 @@ func TestExecuteContextCancellation(t *testing.T) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
+
+// buildBoth builds the materialised and the compressed engine over the
+// same table and fragmentation.
+func buildBoth(t testing.TB, fragText string) (*schema.Star, *data.Table, *Engine, *Engine) {
+	t.Helper()
+	s, tab, e := buildTiny(t, fragText)
+	ce, err := BuildCompressed(tab, e.spec, e.icfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ce.Compressed() || e.Compressed() {
+		t.Fatal("compressed flags wrong")
+	}
+	return s, tab, e, ce
+}
+
+// TestCompressedEngineEquivalence is the tentpole oracle: for every single
+// predicate query shape (covering Q1-Q4 under the paper's standard
+// fragmentation) and a sample of multi-predicate queries, the compressed
+// execution path must produce results and work statistics identical to the
+// materialised path and aggregates identical to the full scan, at every
+// worker count.
+func TestCompressedEngineEquivalence(t *testing.T) {
+	for _, fragText := range []string{
+		"time::month, product::group",
+		"customer::store",
+		"time::quarter",
+	} {
+		s, tab, e, ce := buildBoth(t, fragText)
+		check := func(q frag.Query) {
+			t.Helper()
+			wantAgg, wantSt, err := e.Execute(q, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 3} {
+				gotAgg, gotSt, err := ce.Execute(q, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gotAgg != wantAgg || gotSt != wantSt {
+					t.Fatalf("frag %q query %v workers=%d: compressed %+v/%+v != materialised %+v/%+v",
+						fragText, q, workers, gotAgg, gotSt, wantAgg, wantSt)
+				}
+			}
+			if scan := Scan(tab, q); scan != wantAgg {
+				t.Fatalf("frag %q query %v: engine %+v != scan %+v", fragText, q, wantAgg, scan)
+			}
+		}
+		spec := e.spec
+		classes := make(map[frag.QueryClass]bool)
+		for di := range s.Dims {
+			for li := 0; li < s.Dims[di].Depth(); li++ {
+				for m := 0; m < s.Dims[di].Levels[li].Card; m++ {
+					q := frag.Query{{Dim: di, Level: li, Member: m}}
+					classes[spec.Classify(q)] = true
+					check(q)
+				}
+			}
+		}
+		rng := rand.New(rand.NewSource(23))
+		for iter := 0; iter < 60; iter++ {
+			var q frag.Query
+			for di := range s.Dims {
+				if rng.Intn(2) == 0 {
+					continue
+				}
+				li := rng.Intn(s.Dims[di].Depth())
+				q = append(q, frag.Pred{Dim: di, Level: li, Member: rng.Intn(s.Dims[di].Levels[li].Card)})
+			}
+			if len(q) == 0 {
+				continue
+			}
+			classes[spec.Classify(q)] = true
+			check(q)
+		}
+		for _, cl := range []frag.QueryClass{frag.Q1, frag.Q2, frag.Q3, frag.Q4} {
+			if !classes[cl] && fragText == "time::month, product::group" {
+				t.Errorf("frag %q: query class %v never exercised", fragText, cl)
+			}
+		}
+	}
+}
+
+func TestCompressedEngineDeterministicAcrossWorkers(t *testing.T) {
+	_, _, _, ce := buildBoth(t, "time::month, product::group")
+	q, err := frag.ParseQuery(ce.star, "customer::store=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAgg, wantSt, err := ce.Execute(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		gotAgg, gotSt, err := ce.Execute(q, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotAgg != wantAgg || gotSt != wantSt {
+			t.Fatalf("workers=%d diverged", workers)
+		}
+	}
+}

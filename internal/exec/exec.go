@@ -38,6 +38,19 @@ func Workers(n int) int {
 // (a nil slice is returned) so callers cannot mistake a partial gather for
 // a complete one.
 func Map[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapWith(ctx, workers, n,
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, i int) (T, error) { return fn(i) },
+	)
+}
+
+// MapWith is Map with a per-worker scratch: every worker goroutine calls
+// newScratch exactly once and passes the value to each task it runs, so
+// buffers allocated there are reused across all of a worker's tasks
+// without synchronisation — the pooling behind the allocation-free
+// fragment hot loops of the query engines. fn must be safe for concurrent
+// invocation with distinct scratch values.
+func MapWith[S, T any](ctx context.Context, workers, n int, newScratch func() S, fn func(s S, i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -60,6 +73,7 @@ func Map[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			scratch := newScratch()
 			for {
 				if stopped.Load() {
 					return
@@ -74,7 +88,7 @@ func Map[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) 
 				if i >= n {
 					return
 				}
-				r, err := fn(i)
+				r, err := fn(scratch, i)
 				if err != nil {
 					errs[i] = err
 					stopped.Store(true)
@@ -102,6 +116,19 @@ func Map[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) 
 func Reduce[T, A any](ctx context.Context, workers, n int, fn func(i int) (T, error), merge func(acc *A, part T)) (A, error) {
 	var acc A
 	parts, err := Map(ctx, workers, n, fn)
+	if err != nil {
+		return acc, err
+	}
+	for _, p := range parts {
+		merge(&acc, p)
+	}
+	return acc, nil
+}
+
+// ReduceWith is Reduce with MapWith's per-worker scratch threading.
+func ReduceWith[S, T, A any](ctx context.Context, workers, n int, newScratch func() S, fn func(s S, i int) (T, error), merge func(acc *A, part T)) (A, error) {
+	var acc A
+	parts, err := MapWith(ctx, workers, n, newScratch, fn)
 	if err != nil {
 		return acc, err
 	}

@@ -178,3 +178,65 @@ func TestMapConcurrentCallers(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestMapWithScratchPerWorker(t *testing.T) {
+	// Each worker must create exactly one scratch and thread it through
+	// every task it runs.
+	for _, workers := range []int{1, 2, 4} {
+		var created atomic.Int64
+		type scratch struct{ buf []int }
+		got, err := MapWith(context.Background(), workers, 64,
+			func() *scratch {
+				created.Add(1)
+				return &scratch{buf: make([]int, 0, 8)}
+			},
+			func(s *scratch, i int) (int, error) {
+				// Reuse the scratch buffer; a shared scratch across workers
+				// would race here (caught by -race).
+				s.buf = append(s.buf[:0], i, i, i)
+				return s.buf[0] + s.buf[1] + s.buf[2], nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != 3*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, 3*i)
+			}
+		}
+		if n := created.Load(); n != int64(workers) {
+			t.Fatalf("workers=%d: %d scratches created", workers, n)
+		}
+	}
+}
+
+func TestReduceWithMatchesReduce(t *testing.T) {
+	for _, workers := range []int{1, 3, 7} {
+		want, err := Reduce(context.Background(), workers, 40,
+			func(i int) (int, error) { return i, nil },
+			func(acc *int, p int) { *acc = *acc*31 + p })
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReduceWith(context.Background(), workers, 40,
+			func() struct{} { return struct{}{} },
+			func(_ struct{}, i int) (int, error) { return i, nil },
+			func(acc *int, p int) { *acc = *acc*31 + p })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("workers=%d: ReduceWith %d != Reduce %d", workers, got, want)
+		}
+	}
+}
+
+func TestMapWithErrorPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := MapWith(context.Background(), 4, 32,
+		func() int { return 0 },
+		func(int, int) (int, error) { return 0, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}

@@ -193,15 +193,15 @@ func encodeCompressed(c *bitmap.Compressed) []byte {
 	return out
 }
 
-// decodeCompressed deserialises a WAH bitmap.
-func decodeCompressed(buf []byte) *bitmap.Compressed {
+// decodeCompressedInto deserialises a WAH bitmap into dst, reusing its
+// word storage.
+func decodeCompressedInto(dst *bitmap.Compressed, buf []byte) {
 	n := int(getU32(buf))
 	k := int(getU32(buf[4:]))
-	words := make([]uint64, k)
+	words := dst.ResetWords(n, k)
 	for i := range words {
 		words[i] = getU64(buf[8+8*i:])
 	}
-	return bitmap.FromWords(n, words)
 }
 
 func putU32(b []byte, v uint32) {
@@ -247,15 +247,16 @@ func packBits(bs *bitmap.Bitset, buf []byte) {
 	})
 }
 
-// unpackBits deserialises n bits from buf.
-func unpackBits(buf []byte, n int) *bitmap.Bitset {
-	bs := bitmap.New(n)
-	for i := 0; i < n; i++ {
-		if buf[i/8]&(1<<uint(i%8)) != 0 {
-			bs.Set(i)
+// unpackBitsInto deserialises n bits from buf into bs, reusing its
+// storage, 8 bits per byte byte-wise rather than bit probing.
+func unpackBitsInto(bs *bitmap.Bitset, buf []byte, n int) {
+	bs.Reinit(n)
+	nb := (n + 7) / 8
+	for i := 0; i < nb; i++ {
+		if b := buf[i]; b != 0 {
+			bs.OrByte(i*8, b)
 		}
 	}
-	return bs
 }
 
 // NumBitmaps returns the number of surviving bitmaps stored per fragment.
@@ -289,14 +290,10 @@ func (bf *BitmapFile) TotalPages() int64 {
 	return t
 }
 
-// ReadBitmapFragment reads (one physical I/O per page run) the bitmap
-// fragment identified by desc for the given fact fragment. It returns the
-// bitset and the number of pages read.
-func (bf *BitmapFile) ReadBitmapFragment(fragID int64, desc BitmapDesc) (*bitmap.Bitset, int, error) {
-	di := bf.descIndex(desc)
-	if di < 0 {
-		return nil, 0, fmt.Errorf("storage: bitmap %+v not stored (eliminated by the fragmentation?)", desc)
-	}
+// readPayload reads the raw page-padded payload of bitmap di of the
+// fragment into buf (reused when large enough), returning the filled
+// slice and the number of pages read — one physical I/O.
+func (bf *BitmapFile) readPayload(buf []byte, fragID int64, di int) ([]byte, int, error) {
 	base, ok := bf.loc[fragID]
 	if !ok {
 		return nil, 0, fmt.Errorf("storage: fragment %d has no bitmaps", fragID)
@@ -310,14 +307,77 @@ func (bf *BitmapFile) ReadBitmapFragment(fragID int64, desc BitmapDesc) (*bitmap
 	if bf.ioDelay > 0 {
 		time.Sleep(bf.ioDelay)
 	}
-	buf := make([]byte, pages*bf.pageSize)
+	n := pages * bf.pageSize
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
 	if _, err := bf.file.ReadAt(buf, off*int64(bf.pageSize)); err != nil {
 		return nil, 0, err
 	}
-	if bf.compressed {
-		return decodeCompressed(buf).Decompress(), pages, nil
+	return buf, pages, nil
+}
+
+// ReadBitmapFragment reads (one physical I/O per page run) the bitmap
+// fragment identified by desc for the given fact fragment. It returns the
+// bitset and the number of pages read.
+func (bf *BitmapFile) ReadBitmapFragment(fragID int64, desc BitmapDesc) (*bitmap.Bitset, int, error) {
+	bs, _, pages, err := bf.readBitmapInto(nil, nil, fragID, desc)
+	return bs, pages, err
+}
+
+// readBitmapInto is ReadBitmapFragment decoding into dst (allocated when
+// nil) with buf as the reusable page buffer. It returns the bitset, the
+// grown page buffer and the page count.
+func (bf *BitmapFile) readBitmapInto(dst *bitmap.Bitset, buf []byte, fragID int64, desc BitmapDesc) (*bitmap.Bitset, []byte, int, error) {
+	di := bf.descIndex(desc)
+	if di < 0 {
+		return nil, buf, 0, fmt.Errorf("storage: bitmap %+v not stored (eliminated by the fragmentation?)", desc)
 	}
-	return unpackBits(buf, int(bf.rowsOf[fragID])), pages, nil
+	buf, pages, err := bf.readPayload(buf, fragID, di)
+	if err != nil {
+		return nil, buf, 0, err
+	}
+	if dst == nil {
+		dst = bitmap.New(0)
+	}
+	if bf.compressed {
+		var c bitmap.Compressed
+		decodeCompressedInto(&c, buf)
+		return c.DecompressInto(dst), buf, pages, nil
+	}
+	unpackBitsInto(dst, buf, int(bf.rowsOf[fragID]))
+	return dst, buf, pages, nil
+}
+
+// ReadCompressedFragment reads the bitmap fragment identified by desc and
+// returns its on-page WAH words directly, without decompressing — the
+// entry point of the compressed execution fast path. The file must have
+// been built with compression.
+func (bf *BitmapFile) ReadCompressedFragment(fragID int64, desc BitmapDesc) (*bitmap.Compressed, int, error) {
+	c, _, pages, err := bf.readCompressedInto(nil, nil, fragID, desc)
+	return c, pages, err
+}
+
+// readCompressedInto is ReadCompressedFragment decoding into dst
+// (allocated when nil) with buf as the reusable page buffer.
+func (bf *BitmapFile) readCompressedInto(dst *bitmap.Compressed, buf []byte, fragID int64, desc BitmapDesc) (*bitmap.Compressed, []byte, int, error) {
+	if !bf.compressed {
+		return nil, buf, 0, fmt.Errorf("storage: bitmap file is not compressed")
+	}
+	di := bf.descIndex(desc)
+	if di < 0 {
+		return nil, buf, 0, fmt.Errorf("storage: bitmap %+v not stored (eliminated by the fragmentation?)", desc)
+	}
+	buf, pages, err := bf.readPayload(buf, fragID, di)
+	if err != nil {
+		return nil, buf, 0, err
+	}
+	if dst == nil {
+		dst = &bitmap.Compressed{}
+	}
+	decodeCompressedInto(dst, buf)
+	return dst, buf, pages, nil
 }
 
 // Close releases the underlying file.

@@ -110,3 +110,168 @@ func TestCompressedExecutorCorrectAndCheaper(t *testing.T) {
 		t.Errorf("compressed bitmaps use %d pages, plain %d", comp.TotalPages(), plain.TotalPages())
 	}
 }
+
+func TestReadCompressedFragmentMatchesDecompressed(t *testing.T) {
+	_, _, store, plain, comp := buildBoth(t)
+	for _, id := range store.Fragments() {
+		for _, desc := range comp.Descs() {
+			want, wantPages, err := comp.ReadBitmapFragment(id, desc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, pages, err := comp.ReadCompressedFragment(id, desc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pages != wantPages {
+				t.Fatalf("fragment %d bitmap %+v: %d pages, want %d", id, desc, pages, wantPages)
+			}
+			if !c.Decompress().Equal(want) {
+				t.Fatalf("fragment %d bitmap %+v: raw WAH words decode differently", id, desc)
+			}
+			if c.OnesCount() != want.OnesCount() {
+				t.Fatalf("fragment %d bitmap %+v: OnesCount %d != %d", id, desc, c.OnesCount(), want.OnesCount())
+			}
+		}
+	}
+	// The fast-path read is refused on an uncompressed file.
+	if _, _, err := plain.ReadCompressedFragment(store.Fragments()[0], comp.Descs()[0]); err == nil {
+		t.Fatal("ReadCompressedFragment on an uncompressed file did not fail")
+	}
+}
+
+// TestCompressedFastPathIOStatsMatch asserts the compressed execution
+// path performs exactly the physical fact I/O of the materialised path:
+// identical granule reads, pages and rows — only the bitmap
+// representation differs.
+func TestCompressedFastPathIOStatsMatch(t *testing.T) {
+	s, _, store, plain, comp := buildBoth(t)
+	exPlain := NewExecutor(store, plain)
+	exComp := NewExecutor(store, comp)
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 40; iter++ {
+		var q frag.Query
+		for di := range s.Dims {
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			li := rng.Intn(s.Dims[di].Depth())
+			q = append(q, frag.Pred{Dim: di, Level: li, Member: rng.Intn(s.Dims[di].Levels[li].Card)})
+		}
+		if len(q) == 0 {
+			continue
+		}
+		aggP, stP, err := exPlain.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aggC, stC, err := exComp.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if aggP != aggC {
+			t.Fatalf("iter %d: aggregates diverge", iter)
+		}
+		if stP.FactIOs != stC.FactIOs || stP.FactPages != stC.FactPages || stP.RowsRead != stC.RowsRead {
+			t.Fatalf("iter %d: fact I/O diverges: plain %+v, compressed %+v", iter, stP, stC)
+		}
+		if stP.BitmapIOs != stC.BitmapIOs {
+			t.Fatalf("iter %d: bitmap read count diverges: %d != %d", iter, stP.BitmapIOs, stC.BitmapIOs)
+		}
+	}
+}
+
+// TestCompressedExecutorWorkerInvariance runs the compressed fast path at
+// several worker counts; with -race this also exercises the per-worker
+// scratch isolation.
+func TestCompressedExecutorWorkerInvariance(t *testing.T) {
+	s, _, store, _, comp := buildBoth(t)
+	q, err := frag.ParseQuery(s, "customer::store=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := NewExecutor(store, comp)
+	seq.Workers = 1
+	wantAgg, wantSt, err := seq.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		ex := NewExecutor(store, comp)
+		ex.Workers = workers
+		gotAgg, gotSt, err := ex.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotAgg != wantAgg || gotSt != wantSt {
+			t.Fatalf("workers=%d: %+v/%+v != %+v/%+v", workers, gotAgg, gotSt, wantAgg, wantSt)
+		}
+	}
+}
+
+// TestCompressedFastPathSimpleIndexes covers the compressed execution
+// path through simple (one-bitmap-per-member) indices, which buildBoth's
+// all-encoded configuration misses.
+func TestCompressedFastPathSimpleIndexes(t *testing.T) {
+	s := sparseSchema()
+	tab := data.MustGenerate(s, 41)
+	spec := frag.MustParse(s, "time::month")
+	icfg := make(frag.IndexConfig, len(s.Dims))
+	for i := range icfg {
+		icfg[i] = frag.IndexSpec{Kind: frag.SimpleIndexes}
+	}
+	dirPlain, dirComp := t.TempDir(), t.TempDir()
+	storePlain, err := Build(dirPlain, tab, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer storePlain.Close()
+	plain, err := BuildBitmaps(dirPlain, storePlain, icfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	storeComp, err := Build(dirComp, tab, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer storeComp.Close()
+	comp, err := BuildCompressedBitmaps(dirComp, storeComp, icfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer comp.Close()
+	exPlain := NewExecutor(storePlain, plain)
+	exComp := NewExecutor(storeComp, comp)
+	rng := rand.New(rand.NewSource(9))
+	for iter := 0; iter < 40; iter++ {
+		var q frag.Query
+		for di := range s.Dims {
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			li := rng.Intn(s.Dims[di].Depth())
+			q = append(q, frag.Pred{Dim: di, Level: li, Member: rng.Intn(s.Dims[di].Levels[li].Card)})
+		}
+		if len(q) == 0 {
+			continue
+		}
+		aggP, stP, err := exPlain.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aggC, stC, err := exComp.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if aggP != aggC {
+			t.Fatalf("iter %d: aggregates diverge: %+v != %+v", iter, aggP, aggC)
+		}
+		if stP.RowsRead != stC.RowsRead || stP.FactPages != stC.FactPages {
+			t.Fatalf("iter %d: fact I/O diverges", iter)
+		}
+		if want := engine.Scan(tab, q); aggP.Count != want.Count {
+			t.Fatalf("iter %d: executor disagrees with scan", iter)
+		}
+	}
+}

@@ -72,6 +72,44 @@ type partial struct {
 	st  IOStats
 }
 
+// execScratch is the per-worker buffer set threaded through internal/exec.
+// All slices and bitsets grow to the working-set size of the first
+// fragments a worker touches and are reused for every later one, making
+// the fragment hot loop allocation-free once warm.
+type execScratch struct {
+	keys []uint16 // decodeTuple key buffer
+	page []byte   // fact prefetch-granule buffer
+	bbuf []byte   // bitmap page buffer
+
+	// Materialised path.
+	hits *bitmap.Bitset // running AND of predicate selections
+	sel  *bitmap.Bitset // current bitmap fragment read
+
+	// Compressed fast path.
+	cpool      []*bitmap.Compressed // operand bitmaps, reused across fragments
+	pos, neg   []*bitmap.Compressed // verbatim / complemented operand views
+	cres, ctmp *bitmap.Compressed   // AndAll / AndNot ping-pong results
+}
+
+func (e *Executor) newScratch() *execScratch {
+	return &execScratch{
+		keys: make([]uint16, len(e.store.star.Dims)),
+		hits: bitmap.New(0),
+		sel:  bitmap.New(0),
+		cres: &bitmap.Compressed{},
+		ctmp: &bitmap.Compressed{},
+	}
+}
+
+// operand returns the i-th pooled compressed bitmap, growing the pool on
+// first use.
+func (sc *execScratch) operand(i int) *bitmap.Compressed {
+	for len(sc.cpool) <= i {
+		sc.cpool = append(sc.cpool, &bitmap.Compressed{})
+	}
+	return sc.cpool[i]
+}
+
 // Execute runs the query and returns the aggregate plus physical I/O
 // statistics.
 func (e *Executor) Execute(q frag.Query) (Aggregate, IOStats, error) {
@@ -88,10 +126,10 @@ func (e *Executor) ExecuteContext(ctx context.Context, q frag.Query) (Aggregate,
 		return Aggregate{}, IOStats{}, err
 	}
 	ids := spec.FragmentIDs(q)
-	res, err := exec.Reduce(ctx, e.Workers, len(ids),
-		func(i int) (partial, error) {
+	res, err := exec.ReduceWith(ctx, e.Workers, len(ids), e.newScratch,
+		func(sc *execScratch, i int) (partial, error) {
 			var p partial
-			if err := e.processFragment(ids[i], q, &p.agg, &p.st); err != nil {
+			if err := e.processFragment(ids[i], q, &p.agg, &p.st, sc); err != nil {
 				return partial{}, err
 			}
 			return p, nil
@@ -106,47 +144,64 @@ func (e *Executor) ExecuteContext(ctx context.Context, q frag.Query) (Aggregate,
 	return res.agg, res.st, nil
 }
 
-// processFragment evaluates the query within one fragment.
-func (e *Executor) processFragment(id int64, q frag.Query, agg *Aggregate, st *IOStats) error {
+// processFragment evaluates the query within one fragment. On a
+// compressed bitmap file it takes the compressed fast path: bitmap
+// fragments are read as raw WAH words, intersected by one run-skipping
+// AndAll (complemented operands folded in via AndNot), and the hit rows
+// stream out of the compressed result — nothing is ever decompressed.
+func (e *Executor) processFragment(id int64, q frag.Query, agg *Aggregate, st *IOStats, sc *execScratch) error {
 	loc, ok := e.store.Loc(id)
 	if !ok {
 		return nil // no rows at this density
 	}
+	if e.bitmaps.compressed {
+		return e.processFragmentCompressed(id, loc, q, agg, st, sc)
+	}
 	spec := e.store.spec
 
 	// Step 2 (Section 4.3): bitmap access for the predicates that need it.
-	var hits *bitmap.Bitset
+	first := true
 	for _, p := range q {
 		if !spec.NeedsBitmap(p) {
 			continue
 		}
-		sel, pages, err := e.selectPred(id, p, st)
+		pages, err := e.selectPred(id, p, st, sc, first)
 		if err != nil {
 			return err
 		}
 		st.BitmapPages += int64(pages)
-		if hits == nil {
-			hits = sel
-		} else {
-			hits.And(sel)
-		}
+		first = false
 	}
 
-	if hits == nil {
+	if first {
 		// IOC1: every page of the fragment is read with full prefetch.
-		return e.scanWhole(id, loc, agg, st)
+		return e.scanWhole(id, loc, agg, st, sc)
 	}
-	return e.readHits(id, loc, hits, agg, st)
+	return e.readHits(id, loc, sc.hits, agg, st, sc)
 }
 
-// selectPred evaluates one predicate via the stored bitmap fragments.
-func (e *Executor) selectPred(id int64, p frag.Pred, st *IOStats) (*bitmap.Bitset, int, error) {
+// selectPred evaluates one predicate via the stored bitmap fragments,
+// ANDing the selection into sc.hits (or initialising it when first). It
+// returns the number of bitmap pages read.
+func (e *Executor) selectPred(id int64, p frag.Pred, st *IOStats, sc *execScratch, first bool) (int, error) {
 	star := e.store.star
 	dim := &star.Dims[p.Dim]
 	if e.bitmaps.icfg[p.Dim].Kind == frag.SimpleIndexes {
-		bs, pages, err := e.bitmaps.ReadBitmapFragment(id, BitmapDesc{Dim: p.Dim, Level: p.Level, Member: p.Member, Simple: true})
+		dst := sc.hits
+		if !first {
+			dst = sc.sel
+		}
+		var pages int
+		var err error
+		_, sc.bbuf, pages, err = e.bitmaps.readBitmapInto(dst, sc.bbuf, id, BitmapDesc{Dim: p.Dim, Level: p.Level, Member: p.Member, Simple: true})
 		st.BitmapIOs++
-		return bs, pages, err
+		if err != nil {
+			return pages, err
+		}
+		if !first {
+			sc.hits.And(sc.sel)
+		}
+		return pages, nil
 	}
 	// Encoded: AND the bit-position bitmaps in (skip, prefix(level)],
 	// taking each verbatim or complemented per the member's pattern.
@@ -156,45 +211,138 @@ func (e *Executor) selectPred(id int64, p frag.Pred, st *IOStats) (*bitmap.Bitse
 	if hi <= skip {
 		// The fragmentation already fixes this level: all rows match by
 		// fragment confinement (should not happen when NeedsBitmap holds).
-		return nil, 0, fmt.Errorf("storage: predicate on %s.%s needs no bitmaps", dim.Name, dim.Levels[p.Level].Name)
+		return 0, fmt.Errorf("storage: predicate on %s.%s needs no bitmaps", dim.Name, dim.Levels[p.Level].Name)
 	}
 	pattern := layout.EncodePrefix(p.Level, p.Member)
-	var out *bitmap.Bitset
 	pagesTotal := 0
 	for b := skip; b < hi; b++ {
-		bs, pages, err := e.bitmaps.ReadBitmapFragment(id, BitmapDesc{Dim: p.Dim, Bit: b})
+		verbatim := pattern>>uint(hi-1-b)&1 == 1
+		dst := sc.sel
+		if first && b == skip {
+			// The first bitmap initialises the running selection directly.
+			dst = sc.hits
+		}
+		var pages int
+		var err error
+		_, sc.bbuf, pages, err = e.bitmaps.readBitmapInto(dst, sc.bbuf, id, BitmapDesc{Dim: p.Dim, Bit: b})
 		if err != nil {
-			return nil, pagesTotal, err
+			return pagesTotal, err
 		}
 		st.BitmapIOs++
 		pagesTotal += pages
-		if pattern>>uint(hi-1-b)&1 == 0 {
-			bs.Not()
+		if dst == sc.hits {
+			if !verbatim {
+				sc.hits.Not()
+			}
+			continue
 		}
-		if out == nil {
-			out = bs
+		if verbatim {
+			sc.hits.And(sc.sel)
 		} else {
-			out.And(bs)
+			sc.hits.AndNot(sc.sel)
 		}
 	}
-	return out, pagesTotal, nil
+	return pagesTotal, nil
+}
+
+// processFragmentCompressed is the compressed fast path of Section 4.3's
+// step 2-4: collect each predicate's bit-position bitmaps as raw WAH
+// words, split them into verbatim and complemented operands, intersect
+// all verbatim ones with a single k-way AndAll, fold complements in with
+// run-skipping AndNot, and drive the prefetch-granule fact reads from the
+// compressed result's range iterator.
+func (e *Executor) processFragmentCompressed(id int64, loc FragLoc, q frag.Query, agg *Aggregate, st *IOStats, sc *execScratch) error {
+	star := e.store.star
+	spec := e.store.spec
+	pos, neg := sc.pos[:0], sc.neg[:0]
+	nread := 0
+	read := func(desc BitmapDesc) (*bitmap.Compressed, error) {
+		c := sc.operand(nread)
+		nread++
+		var pages int
+		var err error
+		_, sc.bbuf, pages, err = e.bitmaps.readCompressedInto(c, sc.bbuf, id, desc)
+		if err != nil {
+			return nil, err
+		}
+		st.BitmapIOs++
+		st.BitmapPages += int64(pages)
+		return c, nil
+	}
+	anyBitmap := false
+	for _, p := range q {
+		if !spec.NeedsBitmap(p) {
+			continue
+		}
+		anyBitmap = true
+		if e.bitmaps.icfg[p.Dim].Kind == frag.SimpleIndexes {
+			c, err := read(BitmapDesc{Dim: p.Dim, Level: p.Level, Member: p.Member, Simple: true})
+			if err != nil {
+				return err
+			}
+			pos = append(pos, c)
+			continue
+		}
+		layout := e.bitmaps.layouts[p.Dim]
+		skip := e.bitmaps.skipBits[p.Dim]
+		hi := layout.PrefixBits(p.Level)
+		if hi <= skip {
+			dim := &star.Dims[p.Dim]
+			return fmt.Errorf("storage: predicate on %s.%s needs no bitmaps", dim.Name, dim.Levels[p.Level].Name)
+		}
+		pattern := layout.EncodePrefix(p.Level, p.Member)
+		for b := skip; b < hi; b++ {
+			c, err := read(BitmapDesc{Dim: p.Dim, Bit: b})
+			if err != nil {
+				return err
+			}
+			if pattern>>uint(hi-1-b)&1 == 1 {
+				pos = append(pos, c)
+			} else {
+				neg = append(neg, c)
+			}
+		}
+	}
+	sc.pos, sc.neg = pos, neg
+
+	if !anyBitmap {
+		// IOC1: every page of the fragment is read with full prefetch.
+		return e.scanWhole(id, loc, agg, st, sc)
+	}
+	var res *bitmap.Compressed
+	if len(pos) > 0 {
+		res = bitmap.AndAllInto(sc.cres, pos...)
+	} else {
+		// Every operand is complemented (an all-zero pattern): start from
+		// the all-ones bitmap and fold the complements in below.
+		res = bitmap.CompressedOnesInto(sc.cres, int(loc.Rows))
+	}
+	sc.cres = res
+	for _, n := range neg {
+		res = bitmap.AndNotInto(sc.ctmp, res, n)
+		sc.cres, sc.ctmp = res, sc.cres
+	}
+	if !res.Any() {
+		return nil // empty intersection: no fact page is touched
+	}
+	return e.readHitsCompressed(id, loc, res, agg, st, sc)
 }
 
 // scanWhole aggregates every tuple of the fragment, reading it in
 // prefetch-granule runs.
-func (e *Executor) scanWhole(id int64, loc FragLoc, agg *Aggregate, st *IOStats) error {
+func (e *Executor) scanWhole(id int64, loc FragLoc, agg *Aggregate, st *IOStats, sc *execScratch) error {
 	tpp := TuplesPerPage(e.store.star)
-	keys := make([]uint16, len(e.store.star.Dims))
 	remaining := int(loc.Rows)
 	for start := 0; start < int(loc.Pages); start += e.PrefetchFact {
 		count := e.PrefetchFact
 		if start+count > int(loc.Pages) {
 			count = int(loc.Pages) - start
 		}
-		buf, err := e.store.ReadPages(id, start, count)
+		buf, err := e.store.ReadPagesInto(sc.page, id, start, count)
 		if err != nil {
 			return err
 		}
+		sc.page = buf
 		st.FactIOs++
 		st.FactPages += int64(count)
 		for p := 0; p < count; p++ {
@@ -205,7 +353,7 @@ func (e *Executor) scanWhole(id int64, loc FragLoc, agg *Aggregate, st *IOStats)
 			off := p * e.store.pageSize
 			for i := 0; i < n; i++ {
 				var tp Tuple
-				tp, off = e.store.decodeTuple(buf, off, keys)
+				tp, off = e.store.decodeTuple(buf, off, sc.keys)
 				addTuple(agg, tp)
 				st.RowsRead++
 			}
@@ -216,9 +364,8 @@ func (e *Executor) scanWhole(id int64, loc FragLoc, agg *Aggregate, st *IOStats)
 }
 
 // readHits reads only the prefetch granules containing hit rows.
-func (e *Executor) readHits(id int64, loc FragLoc, hits *bitmap.Bitset, agg *Aggregate, st *IOStats) error {
+func (e *Executor) readHits(id int64, loc FragLoc, hits *bitmap.Bitset, agg *Aggregate, st *IOStats, sc *execScratch) error {
 	tpp := TuplesPerPage(e.store.star)
-	keys := make([]uint16, len(e.store.star.Dims))
 	g := e.PrefetchFact
 	granules := int(math.Ceil(float64(loc.Pages) / float64(g)))
 	for gi := 0; gi < granules; gi++ {
@@ -238,21 +385,65 @@ func (e *Executor) readHits(id int64, loc FragLoc, hits *bitmap.Bitset, agg *Agg
 		if start+count > int(loc.Pages) {
 			count = int(loc.Pages) - start
 		}
-		buf, err := e.store.ReadPages(id, start, count)
+		buf, err := e.store.ReadPagesInto(sc.page, id, start, count)
 		if err != nil {
 			return err
 		}
+		sc.page = buf
 		st.FactIOs++
 		st.FactPages += int64(count)
 		for r := first; r >= 0 && r < rowHi; r = hits.NextSet(r + 1) {
 			pageIn := r/tpp - start
 			off := pageIn*e.store.pageSize + (r%tpp)*e.store.tupleSize
-			tp, _ := e.store.decodeTuple(buf, off, keys)
+			tp, _ := e.store.decodeTuple(buf, off, sc.keys)
 			addTuple(agg, tp)
 			st.RowsRead++
 		}
 	}
 	return nil
+}
+
+// readHitsCompressed is readHits driven by the compressed result's range
+// iterator: hit positions stream out of the WAH words and prefetch
+// granules load lazily as the ranges cross their boundaries — granules
+// without hits are never read, exactly as the materialised path skips
+// them.
+func (e *Executor) readHitsCompressed(id int64, loc FragLoc, hits *bitmap.Compressed, agg *Aggregate, st *IOStats, sc *execScratch) error {
+	tpp := TuplesPerPage(e.store.star)
+	g := e.PrefetchFact
+	rowsPerGranule := g * tpp
+	loaded := -1
+	var buf []byte
+	var readErr error
+	hits.ForEachRange(func(lo, hi int) {
+		if readErr != nil {
+			return
+		}
+		for r := lo; r < hi; r++ {
+			gi := r / rowsPerGranule
+			if gi != loaded {
+				start := gi * g
+				count := g
+				if start+count > int(loc.Pages) {
+					count = int(loc.Pages) - start
+				}
+				buf, readErr = e.store.ReadPagesInto(sc.page, id, start, count)
+				if readErr != nil {
+					return
+				}
+				sc.page = buf
+				st.FactIOs++
+				st.FactPages += int64(count)
+				loaded = gi
+			}
+			pageIn := r/tpp - loaded*g
+			off := pageIn*e.store.pageSize + (r%tpp)*e.store.tupleSize
+			tp, _ := e.store.decodeTuple(buf, off, sc.keys)
+			addTuple(agg, tp)
+			st.RowsRead++
+		}
+	})
+	return readErr
 }
 
 func addTuple(agg *Aggregate, tp Tuple) {

@@ -277,6 +277,13 @@ func (s *Store) Loc(id int64) (FragLoc, bool) {
 // ReadPages reads `count` pages of fragment id starting at page `start`
 // within the fragment (one physical I/O).
 func (s *Store) ReadPages(id int64, start, count int) ([]byte, error) {
+	return s.ReadPagesInto(nil, id, start, count)
+}
+
+// ReadPagesInto is ReadPages reading into buf when its capacity suffices
+// (allocating otherwise) — the buffer-reuse variant for the executor's
+// per-worker scratch. It returns the filled slice.
+func (s *Store) ReadPagesInto(buf []byte, id int64, start, count int) ([]byte, error) {
 	loc, ok := s.dir[id]
 	if !ok {
 		return nil, fmt.Errorf("storage: fragment %d not stored", id)
@@ -287,9 +294,16 @@ func (s *Store) ReadPages(id int64, start, count int) ([]byte, error) {
 	if s.ioDelay > 0 {
 		time.Sleep(s.ioDelay)
 	}
-	buf := make([]byte, count*s.pageSize)
+	n := count * s.pageSize
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
 	_, err := s.file.ReadAt(buf, (loc.PageOff+int64(start))*int64(s.pageSize))
-	return buf, err
+	if err != nil {
+		return nil, err
+	}
+	return buf, nil
 }
 
 // ScanFragment calls fn for every tuple of the fragment, reading it page

@@ -14,7 +14,9 @@
 //   - a discrete-event Shared Disk PDBS simulator (SIMPAD);
 //   - a real goroutine-parallel query engine over generated fact data and
 //     a fragment-parallel on-disk executor, both running on a shared
-//     scatter/gather worker pool with deterministic merge;
+//     scatter/gather worker pool with deterministic merge and per-worker
+//     scratch reuse, with a compressed execution fast path that queries
+//     WAH bitmaps without decompressing them;
 //   - the workload generator and the harness regenerating every table and
 //     figure of the paper's evaluation.
 //
@@ -263,6 +265,16 @@ func GenerateData(star *Star, seed int64) (*FactTable, error) {
 // indices.
 func BuildEngine(t *FactTable, spec *Fragmentation, icfg IndexConfig) (*Engine, error) {
 	return engine.Build(t, spec, icfg)
+}
+
+// BuildCompressedEngine is BuildEngine storing every per-fragment bitmap
+// WAH-compressed (the space reduction of Section 3.2) and executing
+// queries directly on the compressed words: each fragment's predicates
+// intersect in a single k-way run-skipping AndAll and the hit rows stream
+// out of the compressed result, never materialising an uncompressed
+// bitmap.
+func BuildCompressedEngine(t *FactTable, spec *Fragmentation, icfg IndexConfig) (*Engine, error) {
+	return engine.BuildCompressed(t, spec, icfg)
 }
 
 // ScanAggregate computes a query result by naive full scan (the engine's
