@@ -7,6 +7,8 @@
 //
 //	mdhfadvisor -table2
 //	mdhfadvisor -mix "1MONTH1GROUP:0.5,1STORE:0.3,1CODE1QUARTER:0.2" -top 10
+//	mdhfadvisor -diskadvise -maxdisks 16   # also recommend disk count and
+//	                                       # placement scheme (queue model)
 package main
 
 import (
@@ -15,7 +17,9 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
+	"repro/internal/alloc"
 	"repro/internal/cost"
 	"repro/internal/experiments"
 	"repro/internal/frag"
@@ -33,6 +37,9 @@ func main() {
 	disks := flag.Int64("disks", 100, "minimal fragments = number of disks")
 	seed := flag.Int64("seed", 1, "query parameter seed")
 	workers := flag.Int("workers", 0, "parallel candidate-analysis workers (<1 = one per CPU)")
+	diskAdvise := flag.Bool("diskadvise", false, "also recommend a disk count and placement scheme for the best fragmentation (per-disk queue model)")
+	maxDisks := flag.Int("maxdisks", 16, "diskadvise: largest power-of-two disk count considered (primes next to each candidate are included)")
+	access := flag.Duration("access", 12*time.Millisecond, "diskadvise: per-disk access time (Table 4: seek + settle)")
 	flag.Parse()
 
 	if *table2 {
@@ -46,9 +53,44 @@ func main() {
 		*mix = "1MONTH1GROUP:0.4,1STORE:0.3,1CODE1QUARTER:0.3"
 		fmt.Printf("(no -mix given; using %s)\n\n", *mix)
 	}
-	if err := advise(*mix, *top, *minPages, *maxFrags, *maxBitmaps, *disks, *seed, *workers); err != nil {
+	if err := advise(*mix, *top, *minPages, *maxFrags, *maxBitmaps, *disks, *seed, *workers, *diskAdvise, *maxDisks, *access); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+}
+
+// diskCandidates returns the powers of two up to maxDisks plus the next
+// prime at or above each — the paper's gcd counter-measure candidates.
+// The prime companion of the largest power of two may slightly exceed
+// maxDisks (e.g. 17 for 16); dropping it would exclude the prime
+// counter-measure exactly where it matters most.
+func diskCandidates(maxDisks int) []int {
+	seen := map[int]bool{}
+	var out []int
+	add := func(d int) {
+		if d >= 1 && !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	for d := 1; d <= maxDisks; d *= 2 {
+		add(d)
+		add(alloc.NextPrime(d))
+	}
+	return out
+}
+
+func printDiskAdvice(spec *frag.Spec, icfg frag.IndexConfig, mix []cost.WeightedQuery, maxDisks int, access time.Duration) {
+	dp := cost.DiskParams{
+		Placement:  alloc.Placement{Staggered: true},
+		AccessTime: access,
+	}
+	ranked := cost.AdviseDisks(spec, icfg, mix, cost.DefaultParams(), dp, diskCandidates(maxDisks))
+	fmt.Println("\nDisk allocation advice (per-disk queue model, staggered bitmaps):")
+	fmt.Printf("%-4s %6s %-16s %14s %9s %10s\n", "rank", "disks", "scheme", "response [s]", "speed-up", "imbalance")
+	for i, r := range ranked {
+		fmt.Printf("%-4d %6d %-16s %14.1f %9.2f %10.2f\n",
+			i+1, r.Placement.Disks, r.Placement.Scheme, r.Response.Seconds(), r.Speedup, r.Imbalance)
 	}
 }
 
@@ -71,7 +113,7 @@ func printTable2() {
 	fmt.Println("(values in parentheses: paper's Table 2)")
 }
 
-func advise(mixText string, top int, minPages float64, maxFrags int64, maxBitmaps int, disks, seed int64, workers int) error {
+func advise(mixText string, top int, minPages float64, maxFrags int64, maxBitmaps int, disks, seed int64, workers int, diskAdvise bool, maxDisks int, access time.Duration) error {
 	star := schema.APB1()
 	icfg := frag.APB1Indexes(star)
 	gen := workload.NewGenerator(star, seed)
@@ -129,6 +171,9 @@ func advise(mixText string, top int, minPages float64, maxFrags int64, maxBitmap
 			c := best.PerQuery[i]
 			fmt.Printf("  %-16s weight %.2f: %s, %d fragments, %.1f MB\n",
 				wq.Name, wq.Weight, c.Class, c.Fragments, c.TotalMB())
+		}
+		if diskAdvise {
+			printDiskAdvice(best.Spec, icfg, mix, maxDisks, access)
 		}
 	}
 	return nil

@@ -8,6 +8,7 @@
 //	mdhfcost -table all
 //	mdhfcost -frag "time::month, product::group" -query "customer::store=7"
 //	mdhfcost -frag "time::month" -query "customer::store=7" -query "product::code=11" -workers 4
+//	mdhfcost -frag "time::month, product::group" -query "product::code=11" -disks 100 -scheme gap
 package main
 
 import (
@@ -15,7 +16,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"repro/internal/alloc"
 	"repro/internal/cost"
 	"repro/internal/exec"
 	"repro/internal/experiments"
@@ -38,6 +41,9 @@ func main() {
 	var queries queryList
 	flag.Var(&queries, "query", "query, e.g. \"customer::store=7\" (repeatable)")
 	workers := flag.Int("workers", 0, "parallel estimate workers for repeated -query flags (<1 = one per CPU)")
+	disks := flag.Int("disks", 0, "also model response time on this many declustered disks (per-disk queue model)")
+	scheme := flag.String("scheme", "rr", "disk placement scheme: rr (round-robin) or gap")
+	access := flag.Duration("access", 12*time.Millisecond, "per-disk access time for the queue model (Table 4: seek + settle)")
 	flag.Parse()
 
 	if *table == "" && *fragText == "" {
@@ -67,7 +73,7 @@ func main() {
 	}
 
 	if *fragText != "" {
-		if err := printEstimates(*fragText, queries, *workers); err != nil {
+		if err := printEstimates(*fragText, queries, *workers, *disks, *scheme, *access); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -116,12 +122,25 @@ func printBitmaps() {
 
 // printEstimates estimates every -query under the fragmentation, fanning
 // the analyses out over the shared worker pool and printing the results
-// in flag order.
-func printEstimates(fragText string, queryTexts []string, workers int) error {
+// in flag order. With -disks it also prints the per-disk queue model's
+// response estimate for each query.
+func printEstimates(fragText string, queryTexts []string, workers, disks int, schemeName string, access time.Duration) error {
 	s := schema.APB1()
 	spec, err := frag.Parse(s, fragText)
 	if err != nil {
 		return err
+	}
+	var placement alloc.Placement
+	if disks > 0 {
+		sch := alloc.RoundRobin
+		switch schemeName {
+		case "rr", "round-robin":
+		case "gap", "gap-round-robin":
+			sch = alloc.GapRoundRobin
+		default:
+			return fmt.Errorf("unknown scheme %q (want rr or gap)", schemeName)
+		}
+		placement = alloc.Placement{Disks: disks, Scheme: sch, Staggered: true}
 	}
 	if len(queryTexts) == 0 {
 		fmt.Printf("%s: %d fragments, %.2f-page bitmap fragments\n",
@@ -154,6 +173,11 @@ func printEstimates(fragText string, queryTexts []string, workers int) error {
 		fmt.Printf("fact I/O:       %d pages in %d ops\n", e.c.FactPages, e.c.FactIOs)
 		fmt.Printf("bitmap I/O:     %d pages in %d ops\n", e.c.BitmapPages, e.c.BitmapIOs)
 		fmt.Printf("total:          %.1f MB\n", e.c.TotalMB())
+		if disks > 0 {
+			r := cost.EstimateResponse(spec, cfg, e.q, cost.DefaultParams(), cost.DiskParams{Placement: placement, AccessTime: access})
+			fmt.Printf("on %d disks (%s, staggered): %.1f s response, %d disks used, bottleneck %.0f of %d I/Os, imbalance %.2f\n",
+				disks, placement.Scheme, r.Response.Seconds(), r.DisksUsed, r.BottleneckIOs, r.Cost.TotalIOs(), r.Imbalance)
+		}
 	}
 	return nil
 }

@@ -11,12 +11,15 @@
 //	mdhfsim -fig 6 -workers 8  # same figure, 8 parallel simulation workers
 //	mdhfsim -params         # Table 4 settings
 //	mdhfsim -frag "time::month, product::group" -qt 1STORE -d 100 -p 20 -t 5
+//	mdhfsim -diskcurve      # measured 1STORE speed-up over 1/2/4/8/16 real
+//	                        # declustered disks (per-disk queues), vs model
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/alloc"
 	"repro/internal/experiments"
@@ -41,10 +44,34 @@ func main() {
 	noParIO := flag.Bool("no-parallel-bitmap-io", false, "custom run: disable parallel bitmap I/O")
 	sharedNothing := flag.Bool("shared-nothing", false, "custom run: Shared Nothing architecture (footnote 3)")
 	cluster := flag.Int("cluster", 1, "custom run: fragments per clustering granule (Section 6.3)")
+
+	diskCurve := flag.Bool("diskcurve", false, "measure 1STORE speed-up over declustered disk counts on the real on-disk executor (vs the per-disk queue model)")
+	diskDelay := flag.Duration("diskdelay", 500*time.Microsecond, "diskcurve: simulated per-disk access time")
+	diskScale := flag.Int("diskscale", 60, "diskcurve: APB1Scaled reduction factor of the generated warehouse")
+	diskWorkers := flag.Int("diskworkers", 16, "diskcurve: executor fragment workers")
+	gap := flag.Bool("gap", false, "diskcurve: use the gap round-robin placement scheme")
 	flag.Parse()
 
 	opt := experiments.Options{Queries: *queries, Seed: *seed, Workers: *workers}
 	switch {
+	case *diskCurve:
+		scheme := alloc.RoundRobin
+		if *gap {
+			scheme = alloc.GapRoundRobin
+		}
+		fig, err := experiments.DiskScalingCurve(experiments.DiskCurveOptions{
+			Scale:   *diskScale,
+			Delay:   *diskDelay,
+			Workers: *diskWorkers,
+			Queries: *queries,
+			Seed:    *seed,
+			Scheme:  scheme,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		printFigure(fig)
 	case *params:
 		printParams()
 	case *fig == 3:

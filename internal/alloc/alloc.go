@@ -51,6 +51,18 @@ type Placement struct {
 	Cluster int
 }
 
+// Validate checks the placement is well-formed: at least one disk and a
+// non-negative clustering granule.
+func (p Placement) Validate() error {
+	if p.Disks < 1 {
+		return fmt.Errorf("alloc: placement needs >= 1 disk (got %d)", p.Disks)
+	}
+	if p.Cluster < 0 {
+		return fmt.Errorf("alloc: negative clustering granule %d", p.Cluster)
+	}
+	return nil
+}
+
 // FactDisk returns the disk of fact fragment id.
 func (p Placement) FactDisk(id int64) int {
 	if p.Cluster > 1 {

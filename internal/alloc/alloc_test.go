@@ -151,3 +151,139 @@ func TestGcdProperties(t *testing.T) {
 		}
 	}
 }
+
+// TestStrideDisksCoprimeProperty is the counter-measure property behind
+// the paper's prime-disk recommendation: accessing every stride-th
+// fragment under round robin reaches all d disks exactly when stride and
+// d are coprime — in particular for any stride against a prime d that
+// does not divide it.
+func TestStrideDisksCoprimeProperty(t *testing.T) {
+	for d := int64(1); d <= 128; d++ {
+		for stride := int64(1); stride <= 256; stride++ {
+			got := StrideDisks(stride, d)
+			if Gcd(stride, d) == 1 && got != d {
+				t.Fatalf("coprime stride %d over %d disks reaches %d disks", stride, d, got)
+			}
+			if got != d/Gcd(stride, d) {
+				t.Fatalf("StrideDisks(%d,%d) = %d", stride, d, got)
+			}
+		}
+	}
+	// NextPrime(d) restores full declustering for every stride it does
+	// not divide (a prime is coprime with everything else).
+	for _, d := range []int{4, 8, 16, 100} {
+		p := int64(NextPrime(d))
+		for stride := int64(1); stride <= 512; stride++ {
+			if stride%p == 0 {
+				continue
+			}
+			if got := StrideDisks(stride, p); got != p {
+				t.Fatalf("stride %d over prime %d disks reaches %d", stride, p, got)
+			}
+		}
+	}
+}
+
+// bruteDisksUsed recomputes DisksUsed by materialising the full relevant
+// fragment list and counting distinct disks without any early exit.
+func bruteDisksUsed(spec *frag.Spec, q frag.Query, p Placement) int {
+	used := map[int]bool{}
+	spec.ForEachFragment(q, func(id int64, _ []int) bool {
+		used[p.FactDisk(id)] = true
+		return true
+	})
+	return len(used)
+}
+
+// TestDisksUsedMatchesBruteForce cross-checks DisksUsed (which stops
+// early once every disk is hit) against the brute-force count over the
+// paper's query classes, both placement schemes, clustering granules and
+// a range of disk counts including primes.
+func TestDisksUsedMatchesBruteForce(t *testing.T) {
+	s := schema.APB1()
+	spec := frag.MustParse(s, "time::month, product::group")
+	pd := s.DimIndex(schema.DimProduct)
+	td := s.DimIndex(schema.DimTime)
+	cd := s.DimIndex(schema.DimCustomer)
+	queries := map[string]frag.Query{
+		"1CODE":    {{Dim: pd, Level: s.Dims[pd].LevelIndex(schema.LvlCode), Member: 77}},
+		"1MONTH":   {{Dim: td, Level: s.Dims[td].LevelIndex(schema.LvlMonth), Member: 3}},
+		"1GROUP":   {{Dim: pd, Level: s.Dims[pd].LevelIndex(schema.LvlGroup), Member: 2}},
+		"1STORE":   {{Dim: cd, Level: s.Dims[cd].LevelIndex(schema.LvlStore), Member: 9}},
+		"1QUARTER": {{Dim: td, Level: s.Dims[td].LevelIndex(schema.LvlQuarter), Member: 1}},
+	}
+	for name, q := range queries {
+		for _, disks := range []int{1, 2, 3, 5, 7, 16, 97, 100, 101} {
+			for _, scheme := range []Scheme{RoundRobin, GapRoundRobin} {
+				for _, cluster := range []int{0, 1, 4} {
+					p := Placement{Disks: disks, Scheme: scheme, Cluster: cluster}
+					got := DisksUsed(spec, q, p)
+					want := bruteDisksUsed(spec, q, p)
+					if got != want {
+						t.Errorf("%s d=%d %v cluster=%d: DisksUsed = %d, brute force = %d", name, disks, scheme, cluster, got, want)
+					}
+					if got > disks {
+						t.Errorf("%s d=%d %v: DisksUsed %d exceeds disk count", name, disks, scheme, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRoundRobinCoversCoprimeFragmentCounts is the placement-level form
+// of the coprime property: n consecutive fragments land on min(n, d)
+// distinct disks, and a stride-s subset on d/gcd(s,d) disks, for both
+// schemes on consecutive fragments.
+func TestRoundRobinCoversCoprimeFragmentCounts(t *testing.T) {
+	for _, d := range []int{2, 3, 5, 8, 13, 16, 101} {
+		for _, scheme := range []Scheme{RoundRobin, GapRoundRobin} {
+			p := Placement{Disks: d, Scheme: scheme}
+			for _, n := range []int{1, d - 1, d, d + 1, 3 * d} {
+				if n < 1 {
+					continue
+				}
+				seen := map[int]bool{}
+				for id := int64(0); id < int64(n); id++ {
+					disk := p.FactDisk(id)
+					if disk < 0 || disk >= d {
+						t.Fatalf("d=%d %v: FactDisk(%d) = %d out of range", d, scheme, id, disk)
+					}
+					seen[disk] = true
+				}
+				want := n
+				if want > d {
+					want = d
+				}
+				if len(seen) != want {
+					t.Errorf("d=%d %v: %d consecutive fragments cover %d disks, want %d", d, scheme, n, len(seen), want)
+				}
+			}
+		}
+	}
+	// Strided access under plain round robin: exactly d/gcd(s,d) disks.
+	for _, d := range []int{6, 10, 12, 100} {
+		p := Placement{Disks: d, Scheme: RoundRobin}
+		for _, stride := range []int64{2, 3, 4, 5, 24, 480} {
+			seen := map[int]bool{}
+			for k := int64(0); k < int64(4*d); k++ {
+				seen[p.FactDisk(k*stride)] = true
+			}
+			if want := int(StrideDisks(stride, int64(d))); len(seen) != want {
+				t.Errorf("d=%d stride=%d: %d disks, want %d", d, stride, len(seen), want)
+			}
+		}
+	}
+}
+
+func TestPlacementValidate(t *testing.T) {
+	if err := (Placement{Disks: 4}).Validate(); err != nil {
+		t.Errorf("valid placement rejected: %v", err)
+	}
+	if err := (Placement{Disks: 0}).Validate(); err == nil {
+		t.Error("zero-disk placement accepted")
+	}
+	if err := (Placement{Disks: 2, Cluster: -1}).Validate(); err == nil {
+		t.Error("negative cluster accepted")
+	}
+}

@@ -1,0 +1,202 @@
+package cost
+
+import (
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/frag"
+)
+
+// Per-disk queue model (Section 4.6 made quantitative): the analytical
+// cost model of cost.go yields the I/O operation counts of a query; this
+// file distributes those operations over the disks of an alloc.Placement
+// and estimates response time from the bottleneck queue — the measured
+// behaviour of storage.DiskSet, where every disk serializes its accesses.
+
+// DiskParams configures the per-disk queue response model.
+type DiskParams struct {
+	// Placement maps fact and bitmap fragments to disks.
+	Placement alloc.Placement
+	// AccessTime is the per-access latency of one disk (seek + settle +
+	// controller), the Table 4 disk model.
+	AccessTime time.Duration
+	// TransferPerPage is the per-page transfer time added to each access.
+	TransferPerPage time.Duration
+	// Workers bounds the number of concurrent fragment subqueries issuing
+	// I/O (0 = unbounded, i.e. only the disks limit parallelism).
+	Workers int
+}
+
+// ResponseEstimate is the modelled response of one query under a
+// placement with serialized per-disk queues.
+type ResponseEstimate struct {
+	// Cost is the underlying single-disk I/O estimate.
+	Cost QueryCost
+	// DiskIOs is the number of I/O operations routed to each disk.
+	DiskIOs []float64
+	// BottleneckIOs is the largest per-disk queue — the I/O completion
+	// bound on response time.
+	BottleneckIOs float64
+	// EffectiveIOs is the modelled critical-path I/O count:
+	// max(BottleneckIOs, TotalIOs/Workers).
+	EffectiveIOs float64
+	// Response is EffectiveIOs worth of access plus the critical path's
+	// share of page transfer.
+	Response time.Duration
+	// DisksUsed is the number of disks receiving any I/O.
+	DisksUsed int
+	// Imbalance is BottleneckIOs divided by the mean nonzero-disk load
+	// (1.0 = perfectly balanced over the used disks).
+	Imbalance float64
+}
+
+// EstimateResponse models the response time of query q under the
+// fragmentation, index configuration and disk placement: every relevant
+// fragment contributes its (uniform) share of fact I/Os to its disk and
+// its bitmap reads to the staggered (or co-located) bitmap disks, and the
+// response is the bottleneck disk's serialized service time, bounded
+// below by the worker-limited critical path.
+func EstimateResponse(spec *frag.Spec, cfg frag.IndexConfig, q frag.Query, p Params, dp DiskParams) ResponseEstimate {
+	c := Estimate(spec, cfg, q, p)
+	pl := dp.Placement
+	if pl.Disks < 1 {
+		pl.Disks = 1
+	}
+	d := pl.Disks
+	out := ResponseEstimate{Cost: c, DiskIOs: make([]float64, d)}
+	if c.Fragments == 0 {
+		return out
+	}
+
+	// Route each relevant fragment's I/O to its disks. The model assumes
+	// (as cost.go does) uniform work per relevant fragment.
+	factPerFrag := float64(c.FactIOs) / float64(c.Fragments)
+	bmIOsPerBitmap := 0.0
+	if c.BitmapsPerFragment > 0 {
+		bmIOsPerBitmap = float64(c.BitmapIOs) / float64(c.Fragments) / float64(c.BitmapsPerFragment)
+	}
+	spec.ForEachFragment(q, func(id int64, _ []int) bool {
+		out.DiskIOs[pl.FactDisk(id)] += factPerFrag
+		for k := 0; k < c.BitmapsPerFragment; k++ {
+			out.DiskIOs[pl.BitmapDisk(id, k)] += bmIOsPerBitmap
+		}
+		return true
+	})
+
+	var used int
+	var sum float64
+	for _, l := range out.DiskIOs {
+		if l > 0 {
+			used++
+			sum += l
+		}
+		if l > out.BottleneckIOs {
+			out.BottleneckIOs = l
+		}
+	}
+	out.DisksUsed = used
+	if used > 0 {
+		out.Imbalance = out.BottleneckIOs / (sum / float64(used))
+	}
+
+	out.EffectiveIOs = out.BottleneckIOs
+	if dp.Workers > 0 {
+		if lower := sum / float64(dp.Workers); lower > out.EffectiveIOs {
+			out.EffectiveIOs = lower
+		}
+	}
+	totalIOs := float64(c.TotalIOs())
+	totalPages := float64(c.FactPages + c.BitmapPages)
+	pagesPerIO := 1.0
+	if totalIOs > 0 {
+		pagesPerIO = totalPages / totalIOs
+	}
+	perIO := float64(dp.AccessTime) + pagesPerIO*float64(dp.TransferPerPage)
+	out.Response = time.Duration(out.EffectiveIOs * perIO)
+	return out
+}
+
+// DiskRanked is one disk-configuration candidate of AdviseDisks.
+type DiskRanked struct {
+	Placement alloc.Placement
+	// Response is the weighted mean response over the query mix.
+	Response time.Duration
+	// Speedup is relative to the same mix on one disk.
+	Speedup float64
+	// Imbalance is the weighted mean load imbalance.
+	Imbalance float64
+}
+
+// AdviseDisks extends the Section 4.7 guidelines to the physical layer:
+// it models the query mix on every combination of the candidate disk
+// counts with the round-robin and gap placement schemes (staggered bitmap
+// placement, as Figure 2 recommends), and ranks the configurations by
+// modelled response time — ties broken toward fewer disks, then the
+// simpler scheme. The paper's prime-disk counter-measure emerges
+// naturally: a disk count with a large gcd against the query's fragment
+// stride gets a clustered, slow placement and ranks below a coprime one.
+func AdviseDisks(spec *frag.Spec, cfg frag.IndexConfig, mix []WeightedQuery, p Params, dp DiskParams, diskCounts []int) []DiskRanked {
+	base := weightedResponse(spec, cfg, mix, p, DiskParams{
+		Placement:       alloc.Placement{Disks: 1, Scheme: alloc.RoundRobin, Staggered: dp.Placement.Staggered},
+		AccessTime:      dp.AccessTime,
+		TransferPerPage: dp.TransferPerPage,
+		Workers:         dp.Workers,
+	})
+	var out []DiskRanked
+	for _, d := range diskCounts {
+		if d < 1 {
+			continue
+		}
+		for _, scheme := range []alloc.Scheme{alloc.RoundRobin, alloc.GapRoundRobin} {
+			cand := dp
+			cand.Placement = alloc.Placement{Disks: d, Scheme: scheme, Staggered: dp.Placement.Staggered, Cluster: dp.Placement.Cluster}
+			resp, imb := weightedResponseImbalance(spec, cfg, mix, p, cand)
+			r := DiskRanked{Placement: cand.Placement, Response: resp, Imbalance: imb}
+			if resp > 0 {
+				r.Speedup = float64(base) / float64(resp)
+			}
+			out = append(out, r)
+		}
+	}
+	sortDiskRanked(out)
+	return out
+}
+
+func weightedResponse(spec *frag.Spec, cfg frag.IndexConfig, mix []WeightedQuery, p Params, dp DiskParams) time.Duration {
+	resp, _ := weightedResponseImbalance(spec, cfg, mix, p, dp)
+	return resp
+}
+
+func weightedResponseImbalance(spec *frag.Spec, cfg frag.IndexConfig, mix []WeightedQuery, p Params, dp DiskParams) (time.Duration, float64) {
+	var resp, imb, wsum float64
+	for _, wq := range mix {
+		e := EstimateResponse(spec, cfg, wq.Query, p, dp)
+		resp += wq.Weight * float64(e.Response)
+		imb += wq.Weight * e.Imbalance
+		wsum += wq.Weight
+	}
+	if wsum > 0 {
+		imb /= wsum
+	}
+	return time.Duration(resp), imb
+}
+
+func sortDiskRanked(out []DiskRanked) {
+	// Insertion sort: candidate lists are tiny and the order must be
+	// deterministic (response, then fewer disks, then simpler scheme).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && diskRankedLess(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+}
+
+func diskRankedLess(a, b DiskRanked) bool {
+	if a.Response != b.Response {
+		return a.Response < b.Response
+	}
+	if a.Placement.Disks != b.Placement.Disks {
+		return a.Placement.Disks < b.Placement.Disks
+	}
+	return a.Placement.Scheme < b.Placement.Scheme
+}

@@ -110,6 +110,118 @@ func MapWith[S, T any](ctx context.Context, workers, n int, newScratch func() S,
 	return results, nil
 }
 
+// MapShardedWith is MapWith with placement-keyed dispatch: every task i
+// belongs to shard shardOf(i) (clamped into [0, shards)), typically the
+// disk holding the fragment the task reads. Tasks are queued per shard;
+// each worker is homed on the shards congruent to its index modulo the
+// worker count and drains those queues first, so concurrent tasks spread
+// across shards (disks) instead of piling onto one queue. A worker whose
+// home shards are empty steals from the fullest remaining queue, keeping
+// all workers busy under skewed shard loads. Results are still gathered
+// in task-index order, and error propagation matches MapWith, so sharded
+// execution is bit-for-bit identical to MapWith at any worker count.
+func MapShardedWith[S, T any](ctx context.Context, workers, n int, shardOf func(i int) int, shards int, newScratch func() S, fn func(s S, i int) (T, error)) ([]T, error) {
+	if shards <= 1 || n <= 1 {
+		return MapWith(ctx, workers, n, newScratch, fn)
+	}
+	// Per-shard FIFO queues of task indices, consumed via atomic heads.
+	queues := make([][]int32, shards)
+	for i := 0; i < n; i++ {
+		k := shardOf(i)
+		if k < 0 || k >= shards {
+			k = ((k % shards) + shards) % shards
+		}
+		queues[k] = append(queues[k], int32(i))
+	}
+	heads := make([]atomic.Int64, shards)
+	pop := func(k int) (int, bool) {
+		h := int(heads[k].Add(1)) - 1
+		if h >= len(queues[k]) {
+			return 0, false
+		}
+		return int(queues[k][h]), true
+	}
+	// remaining reports a snapshot of shard k's queue length (never
+	// negative; heads overshoot when polled empty).
+	remaining := func(k int) int {
+		r := len(queues[k]) - int(heads[k].Load())
+		if r < 0 {
+			r = 0
+		}
+		return r
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+	var (
+		stopped atomic.Bool
+		wg      sync.WaitGroup
+	)
+	done := ctx.Done()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			scratch := newScratch()
+			for {
+				if stopped.Load() {
+					return
+				}
+				select {
+				case <-done:
+					stopped.Store(true)
+					return
+				default:
+				}
+				// Home shards first: k ≡ w (mod workers).
+				i, ok := 0, false
+				for k := w % shards; k < shards; k += workers {
+					if i, ok = pop(k); ok {
+						break
+					}
+				}
+				if !ok {
+					// Steal from the fullest queue.
+					for {
+						best, bestLen := -1, 0
+						for k := 0; k < shards; k++ {
+							if r := remaining(k); r > bestLen {
+								best, bestLen = k, r
+							}
+						}
+						if best < 0 {
+							return // every queue drained
+						}
+						if i, ok = pop(best); ok {
+							break
+						}
+					}
+				}
+				r, err := fn(scratch, i)
+				if err != nil {
+					errs[i] = err
+					stopped.Store(true)
+					continue
+				}
+				results[i] = r
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
 // Reduce is Map followed by a deterministic gather: the per-task partials
 // are folded into a single accumulator strictly in task order, so
 // non-commutative merges still give identical results at any worker count.
@@ -129,6 +241,21 @@ func Reduce[T, A any](ctx context.Context, workers, n int, fn func(i int) (T, er
 func ReduceWith[S, T, A any](ctx context.Context, workers, n int, newScratch func() S, fn func(s S, i int) (T, error), merge func(acc *A, part T)) (A, error) {
 	var acc A
 	parts, err := MapWith(ctx, workers, n, newScratch, fn)
+	if err != nil {
+		return acc, err
+	}
+	for _, p := range parts {
+		merge(&acc, p)
+	}
+	return acc, nil
+}
+
+// ReduceShardedWith is ReduceWith dispatched through MapShardedWith's
+// per-shard queues with work stealing. The fold remains strictly
+// task-ordered, so the result is identical to ReduceWith.
+func ReduceShardedWith[S, T, A any](ctx context.Context, workers, n int, shardOf func(i int) int, shards int, newScratch func() S, fn func(s S, i int) (T, error), merge func(acc *A, part T)) (A, error) {
+	var acc A
+	parts, err := MapShardedWith(ctx, workers, n, shardOf, shards, newScratch, fn)
 	if err != nil {
 		return acc, err
 	}

@@ -240,3 +240,134 @@ func TestMapWithErrorPropagation(t *testing.T) {
 		t.Fatalf("err = %v, want boom", err)
 	}
 }
+
+func TestMapShardedPreservesIndexOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		for _, shards := range []int{1, 2, 5, 16} {
+			got, err := MapShardedWith(context.Background(), workers, 50,
+				func(i int) int { return i % shards }, shards,
+				func() struct{} { return struct{}{} },
+				func(_ struct{}, i int) (int, error) { return i * i, nil })
+			if err != nil {
+				t.Fatalf("workers=%d shards=%d: %v", workers, shards, err)
+			}
+			if len(got) != 50 {
+				t.Fatalf("workers=%d shards=%d: %d results", workers, shards, len(got))
+			}
+			for i, v := range got {
+				if v != i*i {
+					t.Fatalf("workers=%d shards=%d: result[%d] = %d, want %d", workers, shards, i, v, i*i)
+				}
+			}
+		}
+	}
+}
+
+func TestMapShardedRunsEveryTaskOnce(t *testing.T) {
+	// Extreme skew: every task in one shard — stealing must still run each
+	// task exactly once with every worker able to participate.
+	counts := make([]atomic.Int64, 200)
+	_, err := MapShardedWith(context.Background(), 8, 200,
+		func(i int) int { return 3 }, 7,
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, i int) (struct{}, error) {
+			counts[i].Add(1)
+			return struct{}{}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("task %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestMapShardedOutOfRangeShards(t *testing.T) {
+	// Negative and oversized shard keys are folded into range rather than
+	// panicking.
+	got, err := MapShardedWith(context.Background(), 4, 20,
+		func(i int) int { return i - 10 }, 4,
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, i int) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("result[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapShardedErrorPropagation(t *testing.T) {
+	// As with Map, the lowest failing task's error surfaces and results
+	// are withheld.
+	wantErr := errors.New("boom")
+	got, err := MapShardedWith(context.Background(), 4, 32,
+		func(i int) int { return i % 4 }, 4,
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, i int) (int, error) {
+			if i == 5 || i == 20 {
+				return 0, fmt.Errorf("task %d: %w", i, wantErr)
+			}
+			return i, nil
+		})
+	if got != nil {
+		t.Fatal("partial results returned with error")
+	}
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMapShardedContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := MapShardedWith(ctx, 4, 100,
+		func(i int) int { return i % 4 }, 4,
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, i int) (int, error) { return i, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestReduceShardedMatchesReduce(t *testing.T) {
+	sum := func(acc *int, part int) { *acc += part }
+	want, err := ReduceWith(context.Background(), 3, 100,
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, i int) (int, error) { return i, nil }, sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReduceShardedWith(context.Background(), 5, 100,
+		func(i int) int { return i % 6 }, 6,
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, i int) (int, error) { return i, nil }, sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("sharded sum %d != %d", got, want)
+	}
+}
+
+func TestMapShardedScratchPerWorker(t *testing.T) {
+	// Each worker allocates exactly one scratch.
+	var scratches atomic.Int64
+	_, err := MapShardedWith(context.Background(), 4, 64,
+		func(i int) int { return i % 8 }, 8,
+		func() int64 { return scratches.Add(1) },
+		func(s int64, i int) (struct{}, error) {
+			time.Sleep(time.Microsecond)
+			return struct{}{}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := scratches.Load(); n < 1 || n > 4 {
+		t.Fatalf("scratch count %d outside [1,4]", n)
+	}
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDiskScalingCurveShape builds a very reduced warehouse and checks
+// the measured curve's invariants: both series present, one point per
+// disk count, responses positive, and the modelled speedup monotone in
+// the disk count (the measured series is timing-dependent, so only its
+// shape is sanity-checked loosely).
+func TestDiskScalingCurveShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds an on-disk warehouse")
+	}
+	disks := []int{1, 2, 4}
+	fig, err := DiskScalingCurve(DiskCurveOptions{
+		Scale:   240,
+		Disks:   disks,
+		Workers: 8,
+		Delay:   200 * time.Microsecond,
+		Queries: 1,
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("got %d series, want measured + modelled", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Points) != len(disks) {
+			t.Fatalf("%s: %d points, want %d", s.Label, len(s.Points), len(disks))
+		}
+		for i, pt := range s.Points {
+			if pt.X != float64(disks[i]) {
+				t.Errorf("%s point %d at x=%v, want %d", s.Label, i, pt.X, disks[i])
+			}
+			if pt.ResponseTime <= 0 {
+				t.Errorf("%s point %d: non-positive response %v", s.Label, i, pt.ResponseTime)
+			}
+		}
+	}
+	model := fig.Series[1]
+	for i := 1; i < len(model.Points); i++ {
+		if model.Points[i].Speedup <= model.Points[i-1].Speedup {
+			t.Errorf("modelled speedup not increasing: %v", model.Points)
+		}
+	}
+	// The measured curve must at least improve from 1 disk to the widest.
+	meas := fig.Series[0]
+	if last := meas.Points[len(meas.Points)-1].Speedup; last <= 1.2 {
+		t.Errorf("measured speedup at %d disks = %.2f, want > 1.2", disks[len(disks)-1], last)
+	}
+}

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/alloc"
 	"repro/internal/bitmap"
 	"repro/internal/frag"
 	"repro/internal/schema"
@@ -52,15 +54,28 @@ type BitmapFile struct {
 	compressed bool
 	layouts    []*bitmap.Layout
 	skipBits   []int // per dim: number of eliminated leading bits (encoded)
-	// ioDelay is an optional simulated disk access time added to every
-	// physical read (see SetIODelay).
-	ioDelay time.Duration
+	// ioDelay is an optional simulated disk access time (ns) added to
+	// every physical read on the single implicit disk (see SetIODelay).
+	// Atomic: read by N fragment workers while SetIODelay may store.
+	ioDelay atomic.Int64
+	// disks and placement decluster bitmap reads across per-disk
+	// serialized queues when non-nil (see Decluster in disk.go).
+	disks     *DiskSet
+	placement alloc.Placement
 }
 
 // SetIODelay adds a simulated disk access time to every bitmap fragment
 // read — the counterpart of Store.SetIODelay for the bitmap file. Zero
-// (the default) disables it; do not change it while queries run.
-func (bf *BitmapFile) SetIODelay(d time.Duration) { bf.ioDelay = d }
+// (the default) disables it. Safe to call concurrently with running
+// queries. On a declustered file the delay is applied to every disk of
+// the shared set.
+func (bf *BitmapFile) SetIODelay(d time.Duration) {
+	if bf.disks != nil {
+		bf.disks.SetIODelay(d)
+		return
+	}
+	bf.ioDelay.Store(int64(d))
+}
 
 // survivors enumerates the surviving bitmaps of a fragmentation under an
 // index configuration, in a deterministic order.
@@ -304,15 +319,25 @@ func (bf *BitmapFile) readPayload(buf []byte, fragID int64, di int) ([]byte, int
 		off += int64(pagesOf[i])
 	}
 	pages := int(pagesOf[di])
-	if bf.ioDelay > 0 {
-		time.Sleep(bf.ioDelay)
-	}
 	n := pages * bf.pageSize
 	if cap(buf) < n {
 		buf = make([]byte, n)
 	}
 	buf = buf[:n]
-	if _, err := bf.file.ReadAt(buf, off*int64(bf.pageSize)); err != nil {
+	read := func() error {
+		_, err := bf.file.ReadAt(buf, off*int64(bf.pageSize))
+		return err
+	}
+	var err error
+	if bf.disks != nil {
+		err = bf.disks.do(bf.placement.BitmapDisk(fragID, di), pages, read)
+	} else {
+		if d := bf.ioDelay.Load(); d > 0 {
+			time.Sleep(time.Duration(d))
+		}
+		err = read()
+	}
+	if err != nil {
 		return nil, 0, err
 	}
 	return buf, pages, nil

@@ -1,0 +1,169 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/alloc"
+)
+
+// DiskSet models the D disks of the paper's Shared Disk configuration as
+// D independent serialized I/O queues: every physical read of a page run
+// is routed to one disk (per an alloc.Placement) and holds that disk
+// exclusively for the configured access delay plus the transfer, so two
+// reads on the same disk queue behind each other while reads on distinct
+// disks proceed in parallel. This makes declustering measurable — with a
+// nonzero per-disk delay, query response time is bounded below by the
+// bottleneck disk's queue length, exactly the quantity the paper's
+// allocation schemes minimise.
+//
+// A DiskSet is shared between a Store and its BitmapFile (see Decluster)
+// so that staggered bitmap placement competes for the same D disks as the
+// fact fragments, as in Figure 2.
+type DiskSet struct {
+	disks []diskQueue
+}
+
+// diskQueue is one virtual disk: a mutex serializing its accesses, an
+// atomically adjustable per-access delay, and access counters.
+type diskQueue struct {
+	mu    sync.Mutex
+	delay atomic.Int64 // simulated access time, ns
+	ios   atomic.Int64
+	pages atomic.Int64
+	_     [5]int64 // keep queues off each other's cache line
+}
+
+// DiskStats is one disk's access counters — the observable per-disk load
+// used to measure allocation balance.
+type DiskStats struct {
+	IOs   int64
+	Pages int64
+}
+
+// NewDiskSet builds a set of d idle virtual disks (d >= 1).
+func NewDiskSet(d int) *DiskSet {
+	if d < 1 {
+		d = 1
+	}
+	return &DiskSet{disks: make([]diskQueue, d)}
+}
+
+// Disks returns the number of disks in the set.
+func (ds *DiskSet) Disks() int { return len(ds.disks) }
+
+// SetIODelay sets every disk's simulated access time — the seek + settle +
+// controller latency of the paper's Table 4 disk model. Zero disables the
+// delay (reads still serialize per disk). Safe to call concurrently with
+// running queries.
+func (ds *DiskSet) SetIODelay(d time.Duration) {
+	for i := range ds.disks {
+		ds.disks[i].delay.Store(int64(d))
+	}
+}
+
+// SetDiskIODelay sets one disk's access time, for modelling heterogeneous
+// devices or a degraded disk.
+func (ds *DiskSet) SetDiskIODelay(disk int, d time.Duration) {
+	ds.disks[disk].delay.Store(int64(d))
+}
+
+// Stats snapshots the per-disk access counters accumulated since the last
+// ResetStats.
+func (ds *DiskSet) Stats() []DiskStats {
+	out := make([]DiskStats, len(ds.disks))
+	for i := range ds.disks {
+		out[i] = DiskStats{IOs: ds.disks[i].ios.Load(), Pages: ds.disks[i].pages.Load()}
+	}
+	return out
+}
+
+// ResetStats zeroes the per-disk access counters.
+func (ds *DiskSet) ResetStats() {
+	for i := range ds.disks {
+		ds.disks[i].ios.Store(0)
+		ds.disks[i].pages.Store(0)
+	}
+}
+
+// do performs one physical access of `pages` pages on disk `disk`: the
+// disk is held exclusively for the simulated access delay and the read
+// itself, serializing concurrent accesses to the same disk.
+func (ds *DiskSet) do(disk, pages int, read func() error) error {
+	q := &ds.disks[disk]
+	q.mu.Lock()
+	if d := q.delay.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+	err := read()
+	q.mu.Unlock()
+	q.ios.Add(1)
+	q.pages.Add(int64(pages))
+	return err
+}
+
+// validatePlacement checks that a placement is usable with this set.
+func (ds *DiskSet) validatePlacement(p alloc.Placement) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if p.Disks != len(ds.disks) {
+		return fmt.Errorf("storage: placement over %d disks, disk set has %d", p.Disks, len(ds.disks))
+	}
+	return nil
+}
+
+// Decluster shards the store's fact fragments across the disk set per the
+// placement's fact scheme: every subsequent physical read of fragment id
+// routes through disk p.FactDisk(id)'s serialized queue instead of the
+// store's single implicit disk. Passing a nil set restores the single-disk
+// behaviour. The executor detects a declustered store and switches to
+// placement-keyed dispatch with work stealing.
+func (s *Store) Decluster(p alloc.Placement, ds *DiskSet) error {
+	if ds == nil {
+		s.disks, s.placement = nil, alloc.Placement{}
+		return nil
+	}
+	if err := ds.validatePlacement(p); err != nil {
+		return err
+	}
+	s.disks, s.placement = ds, p
+	return nil
+}
+
+// Declustered reports the store's disk set (nil when single-disk).
+func (s *Store) Declustered() *DiskSet { return s.disks }
+
+// Placement returns the active placement (zero value when single-disk).
+func (s *Store) Placement() alloc.Placement { return s.placement }
+
+// DiskOf returns the disk holding fact fragment id (0 when single-disk).
+func (s *Store) DiskOf(id int64) int {
+	if s.disks == nil {
+		return 0
+	}
+	return s.placement.FactDisk(id)
+}
+
+// Decluster shards the bitmap fragments across the disk set: the i-th
+// surviving bitmap of fact fragment id routes through disk
+// p.BitmapDisk(id, i) — the staggered placement of Figure 2 when
+// p.Staggered is set, co-located with the fact fragment otherwise. Use
+// the same DiskSet as the fact store so both compete for the same disks.
+// Passing a nil set restores the single-disk behaviour.
+func (bf *BitmapFile) Decluster(p alloc.Placement, ds *DiskSet) error {
+	if ds == nil {
+		bf.disks, bf.placement = nil, alloc.Placement{}
+		return nil
+	}
+	if err := ds.validatePlacement(p); err != nil {
+		return err
+	}
+	bf.disks, bf.placement = ds, p
+	return nil
+}
+
+// Declustered reports the bitmap file's disk set (nil when single-disk).
+func (bf *BitmapFile) Declustered() *DiskSet { return bf.disks }

@@ -59,11 +59,16 @@ type Executor struct {
 	// Workers is the number of parallel fragment workers; values below 1
 	// (the default) mean one worker per available CPU.
 	Workers int
+	// AsyncPrefetch overlaps fact I/O with aggregation: the next granule
+	// read is issued while the current granule is being unpacked and
+	// aggregated (see prefetch.go). On by default via NewExecutor;
+	// results are identical either way.
+	AsyncPrefetch bool
 }
 
 // NewExecutor pairs a fact store with its bitmap file.
 func NewExecutor(store *Store, bitmaps *BitmapFile) *Executor {
-	return &Executor{store: store, bitmaps: bitmaps, PrefetchFact: 8}
+	return &Executor{store: store, bitmaps: bitmaps, PrefetchFact: 8, AsyncPrefetch: true}
 }
 
 // partial is one fragment's contribution to a query result.
@@ -89,6 +94,12 @@ type execScratch struct {
 	cpool      []*bitmap.Compressed // operand bitmaps, reused across fragments
 	pos, neg   []*bitmap.Compressed // verbatim / complemented operand views
 	cres, ctmp *bitmap.Compressed   // AndAll / AndNot ping-pong results
+
+	// Async prefetch pipeline (see prefetch.go).
+	gran   []granule   // the fragment's granule read list
+	gpipe  granulePipe // in-flight pipeline state
+	free   chan []byte // empty pipeline buffers (capacity 2)
+	filled chan gread  // completed granule reads
 }
 
 func (e *Executor) newScratch() *execScratch {
@@ -118,7 +129,11 @@ func (e *Executor) Execute(q frag.Query) (Aggregate, IOStats, error) {
 
 // ExecuteContext is Execute with cancellation: scattering the relevant
 // fragments over the worker pool stops early when ctx is cancelled or any
-// fragment fails.
+// fragment fails. On a declustered store the scatter is disk-aware:
+// fragment tasks dispatch through per-disk queues keyed by the placement
+// (with work stealing), so concurrent fragment reads spread over the
+// disks instead of convoying on one queue. Results are identical at any
+// worker and disk count.
 func (e *Executor) ExecuteContext(ctx context.Context, q frag.Query) (Aggregate, IOStats, error) {
 	star := e.store.star
 	spec := e.store.spec
@@ -126,18 +141,27 @@ func (e *Executor) ExecuteContext(ctx context.Context, q frag.Query) (Aggregate,
 		return Aggregate{}, IOStats{}, err
 	}
 	ids := spec.FragmentIDs(q)
-	res, err := exec.ReduceWith(ctx, e.Workers, len(ids), e.newScratch,
-		func(sc *execScratch, i int) (partial, error) {
-			var p partial
-			if err := e.processFragment(ids[i], q, &p.agg, &p.st, sc); err != nil {
-				return partial{}, err
-			}
-			return p, nil
-		},
-		func(acc *partial, p partial) {
-			acc.agg.add(p.agg)
-			acc.st.add(p.st)
-		})
+	run := func(sc *execScratch, i int) (partial, error) {
+		var p partial
+		if err := e.processFragment(ids[i], q, &p.agg, &p.st, sc); err != nil {
+			return partial{}, err
+		}
+		return p, nil
+	}
+	merge := func(acc *partial, p partial) {
+		acc.agg.add(p.agg)
+		acc.st.add(p.st)
+	}
+	var res partial
+	var err error
+	if ds := e.store.disks; ds != nil && ds.Disks() > 1 {
+		placement := e.store.placement
+		res, err = exec.ReduceShardedWith(ctx, e.Workers, len(ids),
+			func(i int) int { return placement.FactDisk(ids[i]) }, ds.Disks(),
+			e.newScratch, run, merge)
+	} else {
+		res, err = exec.ReduceWith(ctx, e.Workers, len(ids), e.newScratch, run, merge)
+	}
 	if err != nil {
 		return Aggregate{}, IOStats{}, err
 	}
@@ -329,23 +353,14 @@ func (e *Executor) processFragmentCompressed(id int64, loc FragLoc, q frag.Query
 }
 
 // scanWhole aggregates every tuple of the fragment, reading it in
-// prefetch-granule runs.
+// prefetch-granule runs with the next granule read in flight while the
+// current one aggregates.
 func (e *Executor) scanWhole(id int64, loc FragLoc, agg *Aggregate, st *IOStats, sc *execScratch) error {
 	tpp := TuplesPerPage(e.store.star)
+	sc.gran = appendWholeGranules(sc.gran[:0], int(loc.Pages), e.PrefetchFact)
 	remaining := int(loc.Rows)
-	for start := 0; start < int(loc.Pages); start += e.PrefetchFact {
-		count := e.PrefetchFact
-		if start+count > int(loc.Pages) {
-			count = int(loc.Pages) - start
-		}
-		buf, err := e.store.ReadPagesInto(sc.page, id, start, count)
-		if err != nil {
-			return err
-		}
-		sc.page = buf
-		st.FactIOs++
-		st.FactPages += int64(count)
-		for p := 0; p < count; p++ {
+	return e.forEachGranule(sc, st, id, sc.gran, func(g granule, buf []byte) {
+		for p := 0; p < int(g.count); p++ {
 			n := tpp
 			if remaining < n {
 				n = remaining
@@ -359,62 +374,77 @@ func (e *Executor) scanWhole(id int64, loc FragLoc, agg *Aggregate, st *IOStats,
 			}
 			remaining -= n
 		}
-	}
-	return nil
+	})
 }
 
-// readHits reads only the prefetch granules containing hit rows.
+// readHits reads only the prefetch granules containing hit rows (the
+// prefetch-efficiency effect of Section 4.5), prefetching one granule
+// ahead of aggregation.
 func (e *Executor) readHits(id int64, loc FragLoc, hits *bitmap.Bitset, agg *Aggregate, st *IOStats, sc *execScratch) error {
 	tpp := TuplesPerPage(e.store.star)
 	g := e.PrefetchFact
 	granules := int(math.Ceil(float64(loc.Pages) / float64(g)))
-	for gi := 0; gi < granules; gi++ {
-		rowLo := gi * g * tpp
-		rowHi := rowLo + g*tpp
-		if rowHi > int(loc.Rows) {
-			rowHi = int(loc.Rows)
-		}
-		// Skip granules without hits (the prefetch-efficiency effect of
-		// Section 4.5).
-		first := hits.NextSet(rowLo)
-		if first < 0 || first >= rowHi {
-			continue
+	sc.gran = sc.gran[:0]
+	next := hits.NextSet(0)
+	for gi := 0; gi < granules && next >= 0; gi++ {
+		rowHi := (gi + 1) * g * tpp
+		if next >= rowHi {
+			continue // no hit in this granule
 		}
 		start := gi * g
 		count := g
 		if start+count > int(loc.Pages) {
 			count = int(loc.Pages) - start
 		}
-		buf, err := e.store.ReadPagesInto(sc.page, id, start, count)
-		if err != nil {
-			return err
+		sc.gran = append(sc.gran, granule{start: int32(start), count: int32(count)})
+		next = hits.NextSet(rowHi) // first hit beyond this granule
+	}
+	return e.forEachGranule(sc, st, id, sc.gran, func(g granule, buf []byte) {
+		rowLo := int(g.start) * tpp
+		rowHi := rowLo + int(g.count)*tpp
+		if rowHi > int(loc.Rows) {
+			rowHi = int(loc.Rows)
 		}
-		sc.page = buf
-		st.FactIOs++
-		st.FactPages += int64(count)
-		for r := first; r >= 0 && r < rowHi; r = hits.NextSet(r + 1) {
-			pageIn := r/tpp - start
+		for r := hits.NextSet(rowLo); r >= 0 && r < rowHi; r = hits.NextSet(r + 1) {
+			pageIn := r/tpp - int(g.start)
 			off := pageIn*e.store.pageSize + (r%tpp)*e.store.tupleSize
 			tp, _ := e.store.decodeTuple(buf, off, sc.keys)
 			addTuple(agg, tp)
 			st.RowsRead++
 		}
-	}
-	return nil
+	})
 }
 
 // readHitsCompressed is readHits driven by the compressed result's range
-// iterator: hit positions stream out of the WAH words and prefetch
-// granules load lazily as the ranges cross their boundaries — granules
-// without hits are never read, exactly as the materialised path skips
-// them.
+// iterator: one I/O-free pass over the WAH words lists the granules
+// containing hits (granules without hits are never read, exactly as the
+// materialised path skips them), the prefetch pipeline reads them ahead,
+// and a second streaming pass aggregates the hit rows as the granule
+// buffers arrive in order.
 func (e *Executor) readHitsCompressed(id int64, loc FragLoc, hits *bitmap.Compressed, agg *Aggregate, st *IOStats, sc *execScratch) error {
 	tpp := TuplesPerPage(e.store.star)
 	g := e.PrefetchFact
 	rowsPerGranule := g * tpp
-	loaded := -1
+	sc.gran = sc.gran[:0]
+	last := -1
+	hits.ForEachRange(func(lo, hi int) {
+		for gi := lo / rowsPerGranule; gi <= (hi-1)/rowsPerGranule; gi++ {
+			if gi == last {
+				continue
+			}
+			last = gi
+			start := gi * g
+			count := g
+			if start+count > int(loc.Pages) {
+				count = int(loc.Pages) - start
+			}
+			sc.gran = append(sc.gran, granule{start: int32(start), count: int32(count)})
+		}
+	})
+	pipe := e.startGranules(sc, st, id, sc.gran)
 	var buf []byte
 	var readErr error
+	loaded := -1 // granule index of buf
 	hits.ForEachRange(func(lo, hi int) {
 		if readErr != nil {
 			return
@@ -422,19 +452,15 @@ func (e *Executor) readHitsCompressed(id int64, loc FragLoc, hits *bitmap.Compre
 		for r := lo; r < hi; r++ {
 			gi := r / rowsPerGranule
 			if gi != loaded {
-				start := gi * g
-				count := g
-				if start+count > int(loc.Pages) {
-					count = int(loc.Pages) - start
-				}
-				buf, readErr = e.store.ReadPagesInto(sc.page, id, start, count)
+				// Hit rows arrive in increasing order and every hit
+				// granule is listed, so the pipe's next granule is
+				// exactly this one.
+				var gr granule
+				gr, buf, readErr = pipe.next()
 				if readErr != nil {
 					return
 				}
-				sc.page = buf
-				st.FactIOs++
-				st.FactPages += int64(count)
-				loaded = gi
+				loaded = int(gr.start) / g
 			}
 			pageIn := r/tpp - loaded*g
 			off := pageIn*e.store.pageSize + (r%tpp)*e.store.tupleSize
@@ -443,7 +469,11 @@ func (e *Executor) readHitsCompressed(id int64, loc FragLoc, hits *bitmap.Compre
 			st.RowsRead++
 		}
 	})
-	return readErr
+	if readErr != nil {
+		return readErr
+	}
+	pipe.finish()
+	return nil
 }
 
 func addTuple(agg *Aggregate, tp Tuple) {

@@ -1,0 +1,147 @@
+package storage
+
+// Async granule prefetch: the executor's fact reads are issued one
+// prefetch granule ahead of aggregation, so the disk (or the simulated
+// per-disk queue) works on granule g+1 while the CPU unpacks and
+// aggregates granule g — the read-ahead the paper's prefetching assumes
+// within one subquery. The pipeline is a classic two-buffer exchange: a
+// reader goroutine takes an empty buffer from `free`, fills it with one
+// granule, and hands it over through `filled`; the consumer returns each
+// buffer after aggregating it. With channel capacity 2 and two buffers,
+// at most one granule is in flight ahead of the consumer and no buffer is
+// ever written while it is being read.
+
+// granule is one prefetch-granule read: fragment pages
+// [start, start+count).
+type granule struct {
+	start, count int32
+}
+
+// gread is one completed granule read.
+type gread struct {
+	buf []byte
+	err error
+}
+
+// granulePipe hands out the page buffers of a granule list in order,
+// reading ahead on a background goroutine when async. The struct lives in
+// the per-worker scratch and is reused across fragments; only the
+// channels and the two pipeline buffers persist.
+type granulePipe struct {
+	e     *Executor
+	sc    *execScratch
+	st    *IOStats
+	id    int64
+	grans []granule
+	k     int    // next granule index to hand out
+	prev  []byte // buffer owned by the consumer, returned on the next call
+	async bool
+}
+
+// startGranules begins reading the fragment's granules in list order.
+// Async prefetch engages when enabled and there is more than one granule
+// (a single granule has nothing to overlap with).
+func (e *Executor) startGranules(sc *execScratch, st *IOStats, id int64, grans []granule) *granulePipe {
+	p := &sc.gpipe
+	*p = granulePipe{e: e, sc: sc, st: st, id: id, grans: grans,
+		async: e.AsyncPrefetch && len(grans) > 1}
+	if p.async {
+		if sc.free == nil {
+			sc.free = make(chan []byte, 2)
+			sc.filled = make(chan gread, 2)
+			// Two empty slots; ReadPagesInto allocates and grows the
+			// actual buffers, which then circulate for good.
+			sc.free <- nil
+			sc.free <- nil
+		}
+		go p.reader()
+	}
+	return p
+}
+
+// reader is the prefetch goroutine: it reads every granule of the list in
+// order, blocking on `free` until the consumer is at most one granule
+// behind. On a read error it reports it and exits; the consumer then
+// discards the channels, so the pipeline never observes a stale result.
+func (p *granulePipe) reader() {
+	for _, g := range p.grans {
+		buf := <-p.sc.free
+		buf, err := p.e.store.ReadPagesInto(buf, p.id, int(g.start), int(g.count))
+		p.sc.filled <- gread{buf: buf, err: err}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// next returns the next granule of the list and its filled page buffer,
+// recycling the previously handed-out buffer into the pipeline. The
+// buffer is valid until the following next (or finish) call.
+func (p *granulePipe) next() (granule, []byte, error) {
+	g := p.grans[p.k]
+	p.k++
+	var buf []byte
+	if p.async {
+		if p.prev != nil {
+			p.sc.free <- p.prev
+			p.prev = nil
+		}
+		r := <-p.sc.filled
+		if r.err != nil {
+			// The reader has exited; drop the channels (and any buffer
+			// still inside) so the next fragment starts a fresh pipeline.
+			p.sc.free, p.sc.filled = nil, nil
+			return g, nil, r.err
+		}
+		p.prev = r.buf
+		buf = r.buf
+	} else {
+		var err error
+		p.sc.page, err = p.e.store.ReadPagesInto(p.sc.page, p.id, int(g.start), int(g.count))
+		if err != nil {
+			return g, nil, err
+		}
+		buf = p.sc.page
+	}
+	p.st.FactIOs++
+	p.st.FactPages += int64(g.count)
+	return g, buf, nil
+}
+
+// finish returns the last buffer to the pipeline once every granule has
+// been consumed, restoring the two-buffers-in-free invariant for the next
+// fragment.
+func (p *granulePipe) finish() {
+	if p.prev != nil {
+		p.sc.free <- p.prev
+		p.prev = nil
+	}
+}
+
+// forEachGranule streams the granule list through the pipe, calling fn
+// with each granule and its pages.
+func (e *Executor) forEachGranule(sc *execScratch, st *IOStats, id int64, grans []granule, fn func(g granule, buf []byte)) error {
+	p := e.startGranules(sc, st, id, grans)
+	for range grans {
+		g, buf, err := p.next()
+		if err != nil {
+			return err
+		}
+		fn(g, buf)
+	}
+	p.finish()
+	return nil
+}
+
+// appendWholeGranules appends the granules covering every page of a
+// fragment at granule size g.
+func appendWholeGranules(dst []granule, pages, g int) []granule {
+	for start := 0; start < pages; start += g {
+		count := g
+		if start+count > pages {
+			count = pages - start
+		}
+		dst = append(dst, granule{start: int32(start), count: int32(count)})
+	}
+	return dst
+}

@@ -17,8 +17,10 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/alloc"
 	"repro/internal/data"
 	"repro/internal/frag"
 	"repro/internal/schema"
@@ -48,17 +50,29 @@ type Store struct {
 	dir       map[int64]FragLoc
 	// order holds the non-empty fragment ids in allocation order.
 	order []int64
-	// ioDelay is an optional simulated disk access time added to every
-	// physical read (see SetIODelay).
-	ioDelay time.Duration
+	// ioDelay is an optional simulated disk access time (ns) added to
+	// every physical read on the single implicit disk (see SetIODelay).
+	// Atomic: read by N fragment workers while SetIODelay may store.
+	ioDelay atomic.Int64
+	// disks and placement decluster reads across per-disk serialized
+	// queues when non-nil (see Decluster in disk.go).
+	disks     *DiskSet
+	placement alloc.Placement
 }
 
 // SetIODelay adds a simulated disk access time to every physical read —
 // the per-access latency of the paper's Table 4 disk model (seek + settle
 // + controller), for measuring intra-query I/O parallelism independently
-// of the page cache. Zero (the default) disables it. Set it before
-// executing queries; it must not be changed while queries run.
-func (s *Store) SetIODelay(d time.Duration) { s.ioDelay = d }
+// of the page cache. Zero (the default) disables it. Safe to call
+// concurrently with running queries. On a declustered store the delay is
+// applied to every disk of the set.
+func (s *Store) SetIODelay(d time.Duration) {
+	if s.disks != nil {
+		s.disks.SetIODelay(d)
+		return
+	}
+	s.ioDelay.Store(int64(d))
+}
 
 // TupleSize returns the on-disk tuple size for a schema: 2 bytes per
 // dimension key plus 12 bytes of measures.
@@ -291,15 +305,24 @@ func (s *Store) ReadPagesInto(buf []byte, id int64, start, count int) ([]byte, e
 	if start < 0 || start+count > int(loc.Pages) {
 		return nil, fmt.Errorf("storage: pages [%d,%d) out of fragment's %d", start, start+count, loc.Pages)
 	}
-	if s.ioDelay > 0 {
-		time.Sleep(s.ioDelay)
-	}
 	n := count * s.pageSize
 	if cap(buf) < n {
 		buf = make([]byte, n)
 	}
 	buf = buf[:n]
-	_, err := s.file.ReadAt(buf, (loc.PageOff+int64(start))*int64(s.pageSize))
+	read := func() error {
+		_, err := s.file.ReadAt(buf, (loc.PageOff+int64(start))*int64(s.pageSize))
+		return err
+	}
+	var err error
+	if s.disks != nil {
+		err = s.disks.do(s.placement.FactDisk(id), count, read)
+	} else {
+		if d := s.ioDelay.Load(); d > 0 {
+			time.Sleep(time.Duration(d))
+		}
+		err = read()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -307,7 +330,7 @@ func (s *Store) ReadPagesInto(buf []byte, id int64, start, count int) ([]byte, e
 }
 
 // ScanFragment calls fn for every tuple of the fragment, reading it page
-// by page. keys is reused across calls.
+// by page into one reused buffer. keys is reused across calls.
 func (s *Store) ScanFragment(id int64, fn func(Tuple)) error {
 	loc, ok := s.dir[id]
 	if !ok {
@@ -315,9 +338,11 @@ func (s *Store) ScanFragment(id int64, fn func(Tuple)) error {
 	}
 	tpp := TuplesPerPage(s.star)
 	keys := make([]uint16, len(s.star.Dims))
+	page := make([]byte, s.pageSize)
 	remaining := int(loc.Rows)
+	var err error
 	for p := 0; p < int(loc.Pages); p++ {
-		page, err := s.ReadPages(id, p, 1)
+		page, err = s.ReadPagesInto(page, id, p, 1)
 		if err != nil {
 			return err
 		}

@@ -219,6 +219,62 @@ func DisksUsed(spec *Fragmentation, q Query, p Placement) int {
 	return alloc.DisksUsed(spec, q, p)
 }
 
+// Declustered storage: the multi-disk model making the allocation schemes
+// executable. A DiskSet is D virtual disks with serialized per-disk I/O
+// queues; DeclusterStore shards a store and its bitmap file across one.
+type (
+	// DiskSet models D disks, each a serialized I/O queue with its own
+	// simulated access delay.
+	DiskSet = storage.DiskSet
+	// DiskStats is one disk's access counters.
+	DiskStats = storage.DiskStats
+	// DiskParams configures the per-disk queue response model.
+	DiskParams = cost.DiskParams
+	// ResponseEstimate is a modelled query response under a placement.
+	ResponseEstimate = cost.ResponseEstimate
+	// DiskRanked is one disk-configuration candidate of AdviseDisks.
+	DiskRanked = cost.DiskRanked
+)
+
+// NewDiskSet builds a set of d idle virtual disks.
+func NewDiskSet(d int) *DiskSet { return storage.NewDiskSet(d) }
+
+// DeclusterStore shards a store's fact fragments and its bitmap file's
+// bitmap fragments across one new DiskSet per the placement (Figure 2:
+// round-robin or gap fact placement, staggered or co-located bitmaps).
+// Subsequent executions route every physical read through its disk's
+// serialized queue and dispatch fragment tasks disk-aware with work
+// stealing; results stay byte-identical to the single-disk path at every
+// disk and worker count. Set the returned DiskSet's IODelay to make disk
+// contention observable, and read its Stats for per-disk load balance.
+func DeclusterStore(s *Store, bf *BitmapFile, p Placement) (*DiskSet, error) {
+	ds := storage.NewDiskSet(p.Disks)
+	if err := s.Decluster(p, ds); err != nil {
+		return nil, err
+	}
+	if bf != nil {
+		if err := bf.Decluster(p, ds); err != nil {
+			return nil, err
+		}
+	}
+	return ds, nil
+}
+
+// EstimateResponse models a query's response time under a placement with
+// serialized per-disk queues: the analytical I/O counts of EstimateCost
+// are routed to disks per the placement and the bottleneck queue bounds
+// the response.
+func EstimateResponse(spec *Fragmentation, cfg IndexConfig, q Query, p CostParams, dp DiskParams) ResponseEstimate {
+	return cost.EstimateResponse(spec, cfg, q, p, dp)
+}
+
+// AdviseDisks ranks disk counts and placement schemes for a query mix by
+// the modelled bottleneck-queue response time — the physical-layer
+// counterpart of Advise.
+func AdviseDisks(spec *Fragmentation, cfg IndexConfig, mix []WeightedQuery, p CostParams, dp DiskParams, diskCounts []int) []DiskRanked {
+	return cost.AdviseDisks(spec, cfg, mix, p, dp, diskCounts)
+}
+
 // Simulation.
 type (
 	// SimConfig holds SIMPAD parameters (Table 4 defaults).

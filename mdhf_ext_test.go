@@ -145,3 +145,77 @@ func TestPublicAPISharedNothingSim(t *testing.T) {
 		t.Fatal("shared-nothing query did not complete")
 	}
 }
+
+func TestPublicAPIDeclusteredStorage(t *testing.T) {
+	star := TinySchema()
+	tab, err := GenerateData(star, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := ParseFragmentation(star, "time::month, product::group")
+	if err != nil {
+		t.Fatal(err)
+	}
+	icfg := make(IndexConfig, len(star.Dims))
+	for i := range icfg {
+		icfg[i] = IndexSpec{Kind: EncodedIndex}
+	}
+	dir := t.TempDir()
+	store, err := BuildStore(dir, tab, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	bf, err := BuildBitmapFile(dir, store, icfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bf.Close()
+	q, err := NewQueryGenerator(star, 3).Next(OneStore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := NewParallelStorageExecutor(store, bf, 1)
+	wantAgg, wantIO, err := single.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	placement := Placement{Disks: 4, Scheme: GapRoundRobin, Staggered: true}
+	ds, err := DeclusterStore(store, bf, placement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Disks() != 4 {
+		t.Fatalf("disk set has %d disks", ds.Disks())
+	}
+	ex := NewParallelStorageExecutor(store, bf, 8)
+	gotAgg, gotIO, err := ex.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotAgg != wantAgg || gotIO != wantIO {
+		t.Fatalf("declustered %+v/%+v != single-disk %+v/%+v", gotAgg, gotIO, wantAgg, wantIO)
+	}
+	var ios int64
+	for _, d := range ds.Stats() {
+		ios += d.IOs
+	}
+	if ios != gotIO.FactIOs+gotIO.BitmapIOs {
+		t.Fatalf("disk stats account %d IOs, IOStats %d", ios, gotIO.FactIOs+gotIO.BitmapIOs)
+	}
+
+	// The analytical side: queue-model response and disk advice.
+	est := EstimateResponse(spec, icfg, q, DefaultCostParams(), DiskParams{Placement: placement, AccessTime: 12e6})
+	if est.Response <= 0 || est.DisksUsed < 1 {
+		t.Fatalf("bad response estimate %+v", est)
+	}
+	mix := []WeightedQuery{{Name: "1STORE", Query: q, Weight: 1}}
+	ranked := AdviseDisks(spec, icfg, mix, DefaultCostParams(), DiskParams{Placement: Placement{Staggered: true}, AccessTime: 12e6}, []int{1, 2, 4})
+	if len(ranked) != 6 {
+		t.Fatalf("AdviseDisks returned %d candidates, want 6", len(ranked))
+	}
+	if ranked[0].Placement.Disks == 1 {
+		t.Fatal("advice ranked one disk best for a full-fanout query")
+	}
+}
