@@ -1,0 +1,104 @@
+package mdhf
+
+// BenchmarkConcurrentServing establishes the serving-throughput
+// trajectory of the Warehouse: N in-flight query streams (1/4/16/64)
+// hammer one declustered warehouse whose admission scheduler multiplexes
+// them onto 16 shared workers and 8 per-disk I/O queues with a simulated
+// per-access delay. A single stream leaves most disks idle — the paper's
+// Q1/Q2 classes confine each query to a handful of fragments, hence a
+// handful of disks — so throughput (queries/sec) climbs as concurrent
+// streams fill the idle queues. Every result is asserted byte-identical
+// to the serially-obtained baseline while the benchmark runs.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func BenchmarkConcurrentServing(b *testing.B) {
+	ctx := context.Background()
+	star := APB1Scaled(60)
+	tab, err := GenerateData(star, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := Open(ctx, Config{
+		Star:          star,
+		Fragmentation: "time::month, product::group",
+		Table:         tab,
+	}, WithWorkers(16), WithDisks(8, RoundRobin))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+	})
+
+	// A served mix: confined Q1/Q2 lookups and month roll-ups with
+	// varying parameters, so concurrent queries land on different
+	// fragments and disks.
+	gen := NewQueryGenerator(star, 7)
+	var qs []Query
+	for round := 0; round < 4; round++ {
+		for _, qt := range []QueryType{OneMonthOneGroup, OneCodeOneMonth, OneCodeOneQuarter, OneMonth} {
+			q, err := gen.Next(qt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			qs = append(qs, q)
+		}
+	}
+
+	// Serial baseline results (no delay): the byte-identity reference.
+	want := make([]Aggregate, len(qs))
+	for i, q := range qs {
+		if want[i], _, err = w.Query(q).Execute(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	w.SetIODelay(200 * time.Microsecond)
+	b.Cleanup(func() { w.SetIODelay(0) })
+
+	const perStream = 8
+	for _, streams := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("streams=%d", streams), func(b *testing.B) {
+			for it := 0; it < b.N; it++ {
+				var wg sync.WaitGroup
+				errc := make(chan error, streams)
+				for s := 0; s < streams; s++ {
+					wg.Add(1)
+					go func(s int) {
+						defer wg.Done()
+						for k := 0; k < perStream; k++ {
+							idx := (s*perStream + k) % len(qs)
+							agg, _, err := w.Query(qs[idx]).Execute(ctx)
+							if err != nil {
+								errc <- err
+								return
+							}
+							if agg != want[idx] {
+								errc <- fmt.Errorf("query %d diverged under %d streams: got %+v want %+v",
+									idx, streams, agg, want[idx])
+								return
+							}
+						}
+					}(s)
+				}
+				wg.Wait()
+				select {
+				case err := <-errc:
+					b.Fatal(err)
+				default:
+				}
+			}
+			qps := float64(b.N*streams*perStream) / b.Elapsed().Seconds()
+			b.ReportMetric(qps, "queries/sec")
+		})
+	}
+}

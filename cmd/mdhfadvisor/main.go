@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,12 +20,7 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/alloc"
-	"repro/internal/cost"
-	"repro/internal/experiments"
-	"repro/internal/frag"
-	"repro/internal/schema"
-	"repro/internal/workload"
+	mdhf "repro"
 )
 
 func main() {
@@ -75,17 +71,17 @@ func diskCandidates(maxDisks int) []int {
 	}
 	for d := 1; d <= maxDisks; d *= 2 {
 		add(d)
-		add(alloc.NextPrime(d))
+		add(mdhf.NextPrime(d))
 	}
 	return out
 }
 
-func printDiskAdvice(spec *frag.Spec, icfg frag.IndexConfig, mix []cost.WeightedQuery, maxDisks int, access time.Duration) {
-	dp := cost.DiskParams{
-		Placement:  alloc.Placement{Staggered: true},
+func printDiskAdvice(spec *mdhf.Fragmentation, icfg mdhf.IndexConfig, mix []mdhf.WeightedQuery, maxDisks int, access time.Duration) {
+	dp := mdhf.DiskParams{
+		Placement:  mdhf.Placement{Staggered: true},
 		AccessTime: access,
 	}
-	ranked := cost.AdviseDisks(spec, icfg, mix, cost.DefaultParams(), dp, diskCandidates(maxDisks))
+	ranked := mdhf.AdviseDisks(spec, icfg, mix, mdhf.DefaultCostParams(), dp, diskCandidates(maxDisks))
 	fmt.Println("\nDisk allocation advice (per-disk queue model, staggered bitmaps):")
 	fmt.Printf("%-4s %6s %-16s %14s %9s %10s\n", "rank", "disks", "scheme", "response [s]", "speed-up", "imbalance")
 	for i, r := range ranked {
@@ -97,8 +93,8 @@ func printDiskAdvice(spec *frag.Spec, icfg frag.IndexConfig, mix []cost.Weighted
 func printTable2() {
 	fmt.Println("Table 2: Number of fragmentation options under size constraints")
 	fmt.Printf("%-8s %10s %12s %12s %12s\n", "#dims", "any", ">=1 page", ">=4 pages", ">=8 pages")
-	cells := experiments.Table2()
-	byDims := map[int][]experiments.Table2Cell{}
+	cells := mdhf.Table2()
+	byDims := map[int][]mdhf.Table2Cell{}
 	for _, c := range cells {
 		byDims[c.Dims] = append(byDims[c.Dims], c)
 	}
@@ -113,22 +109,29 @@ func printTable2() {
 	fmt.Println("(values in parentheses: paper's Table 2)")
 }
 
+// advise opens an advisory-only Warehouse (no fragmentation, no fact
+// data) and ranks the admissible fragmentations on its worker pool.
 func advise(mixText string, top int, minPages float64, maxFrags int64, maxBitmaps int, disks, seed int64, workers int, diskAdvise bool, maxDisks int, access time.Duration) error {
-	star := schema.APB1()
-	icfg := frag.APB1Indexes(star)
-	gen := workload.NewGenerator(star, seed)
+	ctx := context.Background()
+	w, err := mdhf.Open(ctx, mdhf.Config{Star: mdhf.APB1(), Seed: seed}, mdhf.WithWorkers(workers))
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	star := w.Star()
+	gen := mdhf.NewQueryGenerator(star, seed)
 
-	var mix []cost.WeightedQuery
+	var mix []mdhf.WeightedQuery
 	for _, part := range strings.Split(mixText, ",") {
 		nw := strings.SplitN(strings.TrimSpace(part), ":", 2)
 		if len(nw) != 2 {
 			return fmt.Errorf("malformed mix entry %q (want NAME:WEIGHT)", part)
 		}
-		qt, err := workload.ByName(nw[0])
+		qt, err := mdhf.QueryTypeByName(nw[0])
 		if err != nil {
 			return err
 		}
-		w, err := strconv.ParseFloat(nw[1], 64)
+		weight, err := strconv.ParseFloat(nw[1], 64)
 		if err != nil {
 			return fmt.Errorf("bad weight in %q: %v", part, err)
 		}
@@ -136,21 +139,21 @@ func advise(mixText string, top int, minPages float64, maxFrags int64, maxBitmap
 		if err != nil {
 			return err
 		}
-		mix = append(mix, cost.WeightedQuery{Name: qt.Name, Query: q, Weight: w})
+		mix = append(mix, mdhf.WeightedQuery{Name: qt.Name, Query: q, Weight: weight})
 	}
 
 	if maxFrags == 0 {
-		maxFrags = frag.MaxFragments(star, 1)
+		maxFrags = mdhf.MaxFragments(star, 1)
 	}
-	th := frag.Thresholds{
+	th := mdhf.Thresholds{
 		MinBitmapFragPages: minPages,
 		MaxFragments:       maxFrags,
 		MaxBitmaps:         maxBitmaps,
 		MinFragments:       disks,
 	}
-	ranked := cost.AdviseParallel(star, icfg, mix, th, cost.DefaultParams(), workers)
+	ranked := w.Advise(mix, th)
 	fmt.Printf("Admissible fragmentations: %d of %d (thresholds: bitmap frag >= %.1f pages, <= %d fragments, >= %d fragments",
-		len(ranked), len(frag.Enumerate(star)), minPages, maxFrags, disks)
+		len(ranked), len(mdhf.EnumerateFragmentations(star)), minPages, maxFrags, disks)
 	if maxBitmaps > 0 {
 		fmt.Printf(", <= %d bitmaps", maxBitmaps)
 	}
@@ -173,7 +176,7 @@ func advise(mixText string, top int, minPages float64, maxFrags int64, maxBitmap
 				wq.Name, wq.Weight, c.Class, c.Fragments, c.TotalMB())
 		}
 		if diskAdvise {
-			printDiskAdvice(best.Spec, icfg, mix, maxDisks, access)
+			printDiskAdvice(best.Spec, w.Indexes(), mix, maxDisks, access)
 		}
 	}
 	return nil

@@ -18,12 +18,7 @@ import (
 	"os"
 	"time"
 
-	"repro/internal/alloc"
-	"repro/internal/cost"
-	"repro/internal/exec"
-	"repro/internal/experiments"
-	"repro/internal/frag"
-	"repro/internal/schema"
+	mdhf "repro"
 )
 
 // queryList collects repeated -query flags.
@@ -81,7 +76,7 @@ func main() {
 }
 
 func printTable1() {
-	rows, pattern := experiments.Table1()
+	rows, pattern := mdhf.Table1()
 	fmt.Println("Table 1: Hierarchy representation in encoded bitmap join indices (PRODUCT)")
 	fmt.Printf("%-10s %15s %16s %6s %6s\n", "level", "#total elements", "#within parent", "bits", "paper")
 	for _, r := range rows {
@@ -91,7 +86,7 @@ func printTable1() {
 }
 
 func printTable3() {
-	cols := experiments.Table3()
+	cols := mdhf.Table3()
 	fmt.Println("Table 3: I/O characteristics for query 1STORE")
 	fmt.Printf("%-28s %16s %16s\n", "", cols[0].Label, cols[1].Label)
 	fmt.Printf("%-28s %16s %16s\n", "fragmentation", cols[0].Fragmentation, cols[1].Fragmentation)
@@ -108,57 +103,56 @@ func printTable3() {
 func printTable6() {
 	fmt.Println("Table 6: Fragmentation parameters for experiment 3")
 	fmt.Printf("%-35s %12s %22s\n", "fragmentation", "#fragments", "bitmap frag [pages]")
-	for _, r := range experiments.Table6() {
+	for _, r := range mdhf.Table6() {
 		fmt.Printf("%-35s %12d %12.2f (paper %.2f)\n", r.Fragmentation, r.Fragments, r.BitmapFragPages, r.PaperBitmapFragPages)
 	}
 }
 
 func printBitmaps() {
-	inv := experiments.Bitmaps()
+	inv := mdhf.Bitmaps()
 	fmt.Println("Bitmap inventory (Sections 3.2, 4.2)")
 	fmt.Printf("maximum bitmaps:                 %d (paper 76)\n", inv.MaxBitmaps)
 	fmt.Printf("surviving under FMonthGroup:     %d (paper 32)\n", inv.SurvivingUnderFMonthGroup)
 }
 
-// printEstimates estimates every -query under the fragmentation, fanning
-// the analyses out over the shared worker pool and printing the results
-// in flag order. With -disks it also prints the per-disk queue model's
-// response estimate for each query.
+// printEstimates opens an analysis-only Warehouse (no fact data is ever
+// generated) and explains every -query under the fragmentation, fanning
+// the analyses out over the warehouse's shared worker pool and printing
+// the results in flag order. With -disks the warehouse models the
+// declustered placement and each Explain carries the per-disk queue
+// response estimate.
 func printEstimates(fragText string, queryTexts []string, workers, disks int, schemeName string, access time.Duration) error {
-	s := schema.APB1()
-	spec, err := frag.Parse(s, fragText)
-	if err != nil {
-		return err
-	}
-	var placement alloc.Placement
+	ctx := context.Background()
+	opts := []mdhf.Option{mdhf.WithWorkers(workers)}
+	sch := mdhf.RoundRobin
 	if disks > 0 {
-		sch := alloc.RoundRobin
 		switch schemeName {
 		case "rr", "round-robin":
 		case "gap", "gap-round-robin":
-			sch = alloc.GapRoundRobin
+			sch = mdhf.GapRoundRobin
 		default:
 			return fmt.Errorf("unknown scheme %q (want rr or gap)", schemeName)
 		}
-		placement = alloc.Placement{Disks: disks, Scheme: sch, Staggered: true}
+		opts = append(opts, mdhf.WithDisks(disks, sch), mdhf.WithIODelay(access))
 	}
+	w, err := mdhf.Open(ctx, mdhf.Config{Star: mdhf.APB1(), Fragmentation: fragText}, opts...)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	spec := w.Fragmentation()
 	if len(queryTexts) == 0 {
 		fmt.Printf("%s: %d fragments, %.2f-page bitmap fragments\n",
 			spec, spec.NumFragments(), spec.BitmapFragmentPages())
 		return nil
 	}
-	cfg := frag.APB1Indexes(s)
-	type estimate struct {
-		q frag.Query
-		c cost.QueryCost
-	}
-	ests, err := exec.Map(context.Background(), workers, len(queryTexts), func(i int) (estimate, error) {
-		q, err := frag.ParseQuery(s, queryTexts[i])
-		if err != nil {
-			return estimate{}, err
+	qs := make([]mdhf.Query, len(queryTexts))
+	for i, text := range queryTexts {
+		if qs[i], err = mdhf.ParseQuery(w.Star(), text); err != nil {
+			return err
 		}
-		return estimate{q: q, c: cost.Estimate(spec, cfg, q, cost.DefaultParams())}, nil
-	})
+	}
+	ests, err := w.ExplainAll(ctx, qs)
 	if err != nil {
 		return err
 	}
@@ -167,16 +161,16 @@ func printEstimates(fragText string, queryTexts []string, workers, disks int, sc
 		if i > 0 {
 			fmt.Println()
 		}
-		fmt.Printf("query:          %s  (class %s, %s)\n", queryTexts[i], spec.Classify(e.q), e.c.Class)
-		fmt.Printf("fragments:      %d of %d\n", e.c.Fragments, spec.NumFragments())
-		fmt.Printf("bitmaps/frag:   %d\n", e.c.BitmapsPerFragment)
-		fmt.Printf("fact I/O:       %d pages in %d ops\n", e.c.FactPages, e.c.FactIOs)
-		fmt.Printf("bitmap I/O:     %d pages in %d ops\n", e.c.BitmapPages, e.c.BitmapIOs)
-		fmt.Printf("total:          %.1f MB\n", e.c.TotalMB())
+		fmt.Printf("query:          %s  (class %s, %s)\n", queryTexts[i], e.Class, e.Cost.Class)
+		fmt.Printf("fragments:      %d of %d\n", e.Cost.Fragments, spec.NumFragments())
+		fmt.Printf("bitmaps/frag:   %d\n", e.Cost.BitmapsPerFragment)
+		fmt.Printf("fact I/O:       %d pages in %d ops\n", e.Cost.FactPages, e.Cost.FactIOs)
+		fmt.Printf("bitmap I/O:     %d pages in %d ops\n", e.Cost.BitmapPages, e.Cost.BitmapIOs)
+		fmt.Printf("total:          %.1f MB\n", e.Cost.TotalMB())
 		if disks > 0 {
-			r := cost.EstimateResponse(spec, cfg, e.q, cost.DefaultParams(), cost.DiskParams{Placement: placement, AccessTime: access})
+			r := e.Response
 			fmt.Printf("on %d disks (%s, staggered): %.1f s response, %d disks used, bottleneck %.0f of %d I/Os, imbalance %.2f\n",
-				disks, placement.Scheme, r.Response.Seconds(), r.DisksUsed, r.BottleneckIOs, r.Cost.TotalIOs(), r.Imbalance)
+				disks, sch, r.Response.Seconds(), r.DisksUsed, r.BottleneckIOs, r.Cost.TotalIOs(), r.Imbalance)
 		}
 	}
 	return nil

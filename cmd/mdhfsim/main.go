@@ -16,17 +16,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
-	"repro/internal/alloc"
-	"repro/internal/experiments"
-	"repro/internal/frag"
-	"repro/internal/schema"
-	"repro/internal/simpad"
-	"repro/internal/workload"
+	mdhf "repro"
 )
 
 func main() {
@@ -52,14 +48,14 @@ func main() {
 	gap := flag.Bool("gap", false, "diskcurve: use the gap round-robin placement scheme")
 	flag.Parse()
 
-	opt := experiments.Options{Queries: *queries, Seed: *seed, Workers: *workers}
+	opt := mdhf.FigureOptions{Queries: *queries, Seed: *seed, Workers: *workers}
 	switch {
 	case *diskCurve:
-		scheme := alloc.RoundRobin
+		scheme := mdhf.RoundRobin
 		if *gap {
-			scheme = alloc.GapRoundRobin
+			scheme = mdhf.GapRoundRobin
 		}
-		fig, err := experiments.DiskScalingCurve(experiments.DiskCurveOptions{
+		fig, err := mdhf.DiskScalingCurve(mdhf.DiskCurveOptions{
 			Scale:   *diskScale,
 			Delay:   *diskDelay,
 			Workers: *diskWorkers,
@@ -75,15 +71,15 @@ func main() {
 	case *params:
 		printParams()
 	case *fig == 3:
-		printFigure(experiments.Figure3(opt))
+		printFigure(mdhf.Figure3(opt))
 	case *fig == 4:
-		printFigure(experiments.Figure4(opt))
+		printFigure(mdhf.Figure4(opt))
 	case *fig == 5:
-		printFigure(experiments.Figure5(opt))
+		printFigure(mdhf.Figure5(opt))
 	case *fig == 6:
-		printFigure(experiments.Figure6CodeQuarter(opt))
+		printFigure(mdhf.Figure6CodeQuarter(opt))
 		fmt.Println()
-		printFigure(experiments.Figure6Store(opt))
+		printFigure(mdhf.Figure6Store(opt))
 	case *fragText != "":
 		if err := custom(*fragText, *qtName, *d, *p, *t, !*noParIO, *sharedNothing, *cluster, *queries, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -96,7 +92,7 @@ func main() {
 }
 
 func printParams() {
-	c := simpad.DefaultConfig()
+	c := mdhf.DefaultSimConfig()
 	fmt.Println("Table 4: Parameter settings used in simulations")
 	fmt.Printf("disks (d):                      %d\n", c.Disks)
 	fmt.Printf("processing nodes (p):           %d\n", c.Nodes)
@@ -114,7 +110,7 @@ func printParams() {
 	fmt.Printf("  message                       %d + #bytes\n", c.InstrMsgBase)
 }
 
-func printFigure(f experiments.Figure) {
+func printFigure(f mdhf.Figure) {
 	fmt.Println(f.Name)
 	for _, s := range f.Series {
 		fmt.Printf("  %s:\n", s.Label)
@@ -124,43 +120,45 @@ func printFigure(f experiments.Figure) {
 	}
 }
 
+// custom runs one parameterised simulation through the Warehouse's
+// SIMPAD backend.
 func custom(fragText, qtName string, d, p, t int, parIO, sharedNothing bool, cluster, queries int, seed int64) error {
-	star := schema.APB1()
-	spec, err := frag.Parse(star, fragText)
-	if err != nil {
-		return err
-	}
-	qt, err := workload.ByName(qtName)
-	if err != nil {
-		return err
-	}
-	icfg := frag.APB1Indexes(star)
-	cfg := simpad.DefaultConfig()
+	ctx := context.Background()
+	cfg := mdhf.DefaultSimConfig()
 	cfg.Disks, cfg.Nodes, cfg.TasksPerNode, cfg.ParallelBitmapIO = d, p, t, parIO
 	if sharedNothing {
-		cfg.Architecture = simpad.SharedNothing
+		cfg.Architecture = mdhf.SharedNothing
 	}
-	placement := alloc.Placement{Disks: d, Scheme: alloc.RoundRobin, Staggered: true, Cluster: cluster}
-	sys, err := simpad.NewSystem(cfg, icfg, placement, seed)
+	w, err := mdhf.Open(ctx, mdhf.Config{
+		Star:          mdhf.APB1(),
+		Fragmentation: fragText,
+		Seed:          seed,
+	}, mdhf.WithSimConfig(cfg), mdhf.WithClustering(cluster))
 	if err != nil {
 		return err
 	}
-	gen := workload.NewGenerator(star, seed)
-	var plans []*simpad.Plan
-	for i := 0; i < queries; i++ {
-		q, err := gen.Next(qt)
-		if err != nil {
+	defer w.Close()
+	qt, err := mdhf.QueryTypeByName(qtName)
+	if err != nil {
+		return err
+	}
+	gen := mdhf.NewQueryGenerator(w.Star(), seed)
+	qs := make([]mdhf.Query, queries)
+	for i := range qs {
+		if qs[i], err = gen.Next(qt); err != nil {
 			return err
 		}
-		plans = append(plans, simpad.NewPlan(spec, icfg, q, cfg).Clustered(cluster))
 	}
-	rs := sys.Run(plans)
+	rs, err := w.Simulate(ctx, qs...)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("fragmentation %s, query %s, d=%d p=%d t=%d parallel-bitmap-io=%v arch=%v cluster=%d\n",
-		spec, qtName, d, p, t, parIO, cfg.Architecture, cluster)
+		w.Fragmentation(), qtName, d, p, t, parIO, cfg.Architecture, cluster)
 	for i, r := range rs {
 		fmt.Printf("  query %d: %8.1f s  (%d subqueries, %d disk ops, %d pages, mean disk util %.2f, buffer hit %.2f)\n",
 			i+1, r.ResponseTime, r.Subqueries, r.DiskOps, r.DiskPages, r.MeanDiskUtil, r.BufferHitRate)
 	}
-	fmt.Printf("mean response time: %.1f s\n", simpad.MeanResponseTime(rs))
+	fmt.Printf("mean response time: %.1f s\n", mdhf.MeanResponseTime(rs))
 	return nil
 }

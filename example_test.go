@@ -1,0 +1,125 @@
+package mdhf_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	mdhf "repro"
+)
+
+// ExampleOpen is the package quick start: open a Warehouse over a
+// reduced-scale APB-1, explain a query analytically, then execute it on
+// the real declustered backend.
+func ExampleOpen() {
+	ctx := context.Background()
+	w, err := mdhf.Open(ctx, mdhf.Config{
+		Star:          mdhf.APB1Scaled(60),
+		Fragmentation: "time::month, product::group",
+		Seed:          42,
+	}, mdhf.WithDisks(8, mdhf.RoundRobin))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer w.Close()
+
+	q, err := w.QueryText("customer::store=7")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ex, err := q.Explain(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("class %v, %v: %d fragments, %d bitmaps/fragment\n",
+		ex.Class, ex.Cost.Class, ex.Cost.Fragments, ex.Cost.BitmapsPerFragment)
+
+	agg, st, err := q.Execute(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d rows on the %v backend (%d fact pages in %d I/Os)\n",
+		agg.Count, st.Backend, st.IO.FactPages, st.IO.FactIOs)
+	// Output:
+	// class unsupported, IOC2-nosupp: 192 fragments, 5 bitmaps/fragment
+	// 7174 rows on the declustered backend (960 fact pages in 192 I/Os)
+}
+
+// ExampleEstimateCost analyses a query under a fragmentation with the
+// paper's analytical I/O cost model — no data needed, full APB-1 scale.
+func ExampleEstimateCost() {
+	star := mdhf.APB1()
+	spec, err := mdhf.ParseFragmentation(star, "time::month, product::group")
+	if err != nil {
+		log.Fatal(err)
+	}
+	idx := mdhf.APB1Indexes(star)
+	q, err := mdhf.ParseQuery(star, "customer::store=7")
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := mdhf.EstimateCost(spec, idx, q, mdhf.DefaultCostParams())
+	fmt.Printf("%d fragments, %.0f MB I/O\n", c.Fragments, c.TotalMB())
+	// Output:
+	// 11520 fragments, 27337 MB I/O
+}
+
+// ExampleWarehouse_Query shows Explain's disk-queue response model at
+// full scale: the warehouse is opened for analysis only (no fact data is
+// ever generated), modelling 101 declustered disks.
+func ExampleWarehouse_Query() {
+	ctx := context.Background()
+	w, err := mdhf.Open(ctx, mdhf.Config{
+		Star:          mdhf.APB1(),
+		Fragmentation: "time::month, product::group",
+	}, mdhf.WithDisks(101, mdhf.RoundRobin))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer w.Close()
+
+	q, err := w.QueryText("product::code=11")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ex, err := q.Explain(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("class %v: %d fragments over %d disks, imbalance %.2f\n",
+		ex.Class, ex.Cost.Fragments, ex.Response.DisksUsed, ex.Response.Imbalance)
+	// Output:
+	// class Q2: 24 fragments over 44 disks, imbalance 1.83
+}
+
+// ExampleWarehouse_Advise applies the Section 4.7 allocation guidelines:
+// an advisory-only warehouse (no fragmentation, no data) ranks the
+// admissible fragmentations for a query mix.
+func ExampleWarehouse_Advise() {
+	ctx := context.Background()
+	w, err := mdhf.Open(ctx, mdhf.Config{Star: mdhf.APB1()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer w.Close()
+
+	star := w.Star()
+	gen := mdhf.NewQueryGenerator(star, 1)
+	var mix []mdhf.WeightedQuery
+	for _, qt := range []mdhf.QueryType{mdhf.OneMonthOneGroup, mdhf.OneStore} {
+		q, err := gen.Next(qt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mix = append(mix, mdhf.WeightedQuery{Name: qt.Name, Query: q, Weight: 0.5})
+	}
+	th := mdhf.Thresholds{
+		MinBitmapFragPages: 1,
+		MaxFragments:       mdhf.MaxFragments(star, 1),
+		MinFragments:       100,
+	}
+	ranked := w.Advise(mix, th)
+	fmt.Printf("best of %d admissible: %s\n", len(ranked), ranked[0].Spec)
+	// Output:
+	// best of 64 admissible: {product::family, customer::retailer, time::year}
+}

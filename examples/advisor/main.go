@@ -1,9 +1,11 @@
 // Advisor: apply the Section 4.7 data allocation guidelines to a workload —
-// enumerate all fragmentation options of the full APB-1 schema, filter by
-// the three thresholds, and rank the survivors by analytical I/O work.
+// an advisory-only Warehouse (no fragmentation, no fact data) enumerates
+// all fragmentation options of the full APB-1 schema, filters by the
+// three thresholds, and ranks the survivors by analytical I/O work.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,8 +13,16 @@ import (
 )
 
 func main() {
-	star := mdhf.APB1()
-	icfg := mdhf.APB1Indexes(star)
+	ctx := context.Background()
+
+	// No Fragmentation in the Config: this warehouse exists to choose one.
+	// WithWorkers(0) analyses candidates on one worker per CPU.
+	w, err := mdhf.Open(ctx, mdhf.Config{Star: mdhf.APB1()}, mdhf.WithWorkers(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer w.Close()
+	star := w.Star()
 	gen := mdhf.NewQueryGenerator(star, 1)
 
 	// A marketing-analysis mix: mostly month/group roll-ups, some store
@@ -43,10 +53,9 @@ func main() {
 	}
 	fmt.Printf("thresholds: bitmap fragment >= 1 page, fragments in [100, %d]\n\n", th.MaxFragments)
 
-	// Guidelines 2+3: analyze the I/O load of the remaining candidates —
-	// fanned out over one worker per CPU on the shared pool — and pick
-	// the minimum total work.
-	ranked := mdhf.AdviseParallel(star, icfg, mix, th, mdhf.DefaultCostParams(), 0)
+	// Guidelines 2+3: analyze the I/O load of the remaining candidates on
+	// the warehouse's worker pool and pick the minimum total work.
+	ranked := w.Advise(mix, th)
 	fmt.Printf("%d admissible fragmentations (of %d options); top 5 by weighted I/O work:\n\n",
 		len(ranked), len(mdhf.EnumerateFragmentations(star)))
 	for i, r := range ranked {

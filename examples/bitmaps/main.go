@@ -6,17 +6,15 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/bitmap"
-	"repro/internal/data"
-	"repro/internal/schema"
+	mdhf "repro"
 )
 
 func main() {
-	star := schema.APB1()
-	product := star.Dim(schema.DimProduct)
+	star := mdhf.APB1()
+	product := star.Dim(mdhf.DimProduct)
 
 	// Table 1: the hierarchical encoding of the PRODUCT dimension.
-	layout := bitmap.NewLayout(product, nil)
+	layout := mdhf.NewBitmapLayout(product, nil)
 	fmt.Printf("PRODUCT encoding: %d bitmaps, pattern %s\n", layout.TotalBits(), layout)
 	for i, l := range product.Levels {
 		fmt.Printf("  %-10s %5d members, %d bits, selection reads %2d of %d bitmaps\n",
@@ -25,14 +23,14 @@ func main() {
 
 	// Build a real index over generated rows (reduced scale) and run the
 	// 1MONTH1GROUP star join of Section 3.1 via bitmap intersection.
-	small := schema.APB1Scaled(60)
-	table := data.MustGenerate(small, 1)
-	pd := small.DimIndex(schema.DimProduct)
-	td := small.DimIndex(schema.DimTime)
-	prodIdx := bitmap.NewEncodedIndex(bitmap.NewLayout(small.Dim(schema.DimProduct), nil), table.Dims[pd])
-	monthIdx := bitmap.NewSimpleIndex(small.Dim(schema.DimTime).LeafCard(), table.Dims[td])
+	small := mdhf.APB1Scaled(60)
+	table := mdhf.MustGenerateData(small, 1)
+	pd := small.DimIndex(mdhf.DimProduct)
+	td := small.DimIndex(mdhf.DimTime)
+	prodIdx := mdhf.NewEncodedBitmapIndex(mdhf.NewBitmapLayout(small.Dim(mdhf.DimProduct), nil), table.Dims[pd])
+	monthIdx := mdhf.NewSimpleBitmapIndex(small.Dim(mdhf.DimTime).LeafCard(), table.Dims[td])
 
-	group := small.Dim(schema.DimProduct).LevelIndex(schema.LvlGroup)
+	group := small.Dim(mdhf.DimProduct).LevelIndex(mdhf.LvlGroup)
 	g, month := 3, 5
 	sel, bitmapsRead := prodIdx.Select(group, g)
 	sel.And(monthIdx.Bitmap(month))
@@ -46,6 +44,6 @@ func main() {
 	// MDHF's bitmap elimination: fragmenting on product::group makes the
 	// 10-bit group prefix constant per fragment.
 	fmt.Printf("\nunder FMonthGroup a code lookup inside a fragment reads only %d suffix bitmaps\n",
-		layout.SuffixBits(product.LevelIndex(schema.LvlGroup)))
+		layout.SuffixBits(product.LevelIndex(mdhf.LvlGroup)))
 	fmt.Printf("and all %d TIME bitmaps disappear: 76 -> 32 bitmaps total (Section 4.2)\n", 34)
 }

@@ -1,9 +1,10 @@
-// Quickstart: build a small star schema warehouse, fragment it with MDHF,
-// run star queries on the real parallel engine, and verify the results
-// against a naive scan.
+// Quickstart: open a Warehouse over a small star schema, run star
+// queries on the real parallel engine through the serving façade, and
+// verify the results against a naive scan.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,36 +12,38 @@ import (
 )
 
 func main() {
-	// A reduced-scale APB-1: same hierarchy shape, in-memory friendly.
+	ctx := context.Background()
+
+	// A reduced-scale APB-1: same hierarchy shape, in-memory friendly,
+	// fragmented the paper's flagship way — one fragment per (month,
+	// product group) combination.
 	star := mdhf.APB1Scaled(60)
+	w, err := mdhf.Open(ctx, mdhf.Config{
+		Star:          star,
+		Fragmentation: "time::month, product::group",
+		Seed:          42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer w.Close()
+
+	spec := w.Fragmentation()
+	icfg := w.Indexes()
 	fmt.Printf("schema %s: %d fact rows over %d dimensions\n", star.Name, star.N(), len(star.Dims))
+	fmt.Printf("fragmentation %s: %d fragments, %d bitmaps eliminated by MDHF\n",
+		spec, spec.NumFragments(), mdhf.MaxBitmaps(star, icfg)-spec.SurvivingBitmaps(icfg))
+	fmt.Printf("serving on %d shared workers\n\n", w.Workers())
 
-	// The paper's flagship fragmentation: one fragment per (month, product
-	// group) combination.
-	spec, err := mdhf.ParseFragmentation(star, "time::month, product::group")
+	// The scan oracle needs the generated fact table.
+	table, err := w.Table(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("fragmentation %s: %d fragments\n", spec, spec.NumFragments())
 
-	// Generate data and build the fragmented warehouse with bitmap indices.
-	table, err := mdhf.GenerateData(star, 42)
-	if err != nil {
-		log.Fatal(err)
-	}
-	icfg := mdhf.APB1Indexes(star)
-	eng, err := mdhf.BuildEngine(table, spec, icfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("engine built: %d non-empty fragments, %d bitmaps eliminated by MDHF\n\n",
-		eng.NumFragments(), mdhf.MaxBitmaps(star, icfg)-spec.SurvivingBitmaps(icfg))
-
-	// Run the paper's query types on the shared fragment-parallel worker
-	// pool — one worker per CPU (workers = 0); results are identical at
-	// any worker count.
-	workers := 0
-	fmt.Printf("executing with %d fragment workers\n", mdhf.Workers(workers))
+	// Run the paper's query types; any number of these could Execute
+	// concurrently, multiplexed onto the shared pool with identical
+	// results.
 	gen := mdhf.NewQueryGenerator(star, 7)
 	for _, qt := range []mdhf.QueryType{
 		mdhf.OneMonthOneGroup,  // Q1: confined to exactly 1 fragment
@@ -51,7 +54,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		agg, stats, err := eng.Execute(q, workers)
+		pq := w.Query(q)
+		agg, stats, err := pq.Execute(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -61,8 +65,8 @@ func main() {
 			status = "MISMATCH"
 		}
 		fmt.Printf("%-14s class %-11s -> %6d rows, sum(DollarSales)=%d\n",
-			qt.Name, spec.Classify(q), agg.Count, agg.DollarSales)
+			qt.Name, pq.Class(), agg.Count, agg.DollarSales)
 		fmt.Printf("               fragments %4d/%d, bitmaps read %3d, rows scanned %6d  [verify vs scan: %s]\n",
-			stats.FragmentsProcessed, eng.NumFragments(), stats.BitmapsRead, stats.RowsScanned, status)
+			stats.Engine.FragmentsProcessed, spec.NumFragments(), stats.Engine.BitmapsRead, stats.Engine.RowsScanned, status)
 	}
 }

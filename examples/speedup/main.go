@@ -1,47 +1,51 @@
 // Speedup: a compact version of the paper's Section 6.1 scalability study,
-// run on the SIMPAD simulator at full APB-1 scale — the disk-bound 1STORE
-// query scaling with disks and the CPU-bound 1MONTH query scaling with
-// processors.
+// run on the SIMPAD simulator at full APB-1 scale through the Warehouse's
+// simulation backend — the disk-bound 1STORE query scaling with disks and
+// the CPU-bound 1MONTH query scaling with processors. Opening a Warehouse
+// per configuration is cheap: the simulator models the physical design,
+// so no fact data is ever generated.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	mdhf "repro"
 )
 
-func run(star *mdhf.Star, spec *mdhf.Fragmentation, icfg mdhf.IndexConfig,
-	qt mdhf.QueryType, d, p, t int) float64 {
+const frag = "time::month, product::group"
+
+func run(ctx context.Context, star *mdhf.Star, qt mdhf.QueryType, d, p, t int) float64 {
 	cfg := mdhf.DefaultSimConfig()
 	cfg.Disks, cfg.Nodes, cfg.TasksPerNode = d, p, t
-	placement := mdhf.Placement{Disks: d, Scheme: mdhf.RoundRobin, Staggered: true}
-	sys, err := mdhf.NewSimSystem(cfg, icfg, placement, 1)
+	w, err := mdhf.Open(ctx, mdhf.Config{Star: star, Fragmentation: frag},
+		mdhf.WithSimConfig(cfg))
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer w.Close()
 	q, err := mdhf.NewQueryGenerator(star, 1).Next(qt)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rs := sys.Run([]*mdhf.SimPlan{mdhf.NewSimPlan(spec, icfg, q, cfg)})
+	rs, err := w.Simulate(ctx, q)
+	if err != nil {
+		log.Fatal(err)
+	}
 	return rs[0].ResponseTime
 }
 
 func main() {
+	ctx := context.Background()
 	star := mdhf.APB1()
-	icfg := mdhf.APB1Indexes(star)
-	spec, err := mdhf.ParseFragmentation(star, "time::month, product::group")
-	if err != nil {
-		log.Fatal(err)
-	}
 
 	fmt.Println("1STORE (disk-bound, unsupported by the fragmentation): scales with disks")
 	fmt.Printf("%8s %8s %8s %14s %10s\n", "disks", "nodes", "t", "response [s]", "speed-up")
 	var base float64
 	for _, d := range []int{20, 60, 100} {
 		p := d / 5
-		rt := run(star, spec, icfg, mdhf.OneStore, d, p, d/p)
+		rt := run(ctx, star, mdhf.OneStore, d, p, d/p)
 		if base == 0 {
 			base = rt
 		}
@@ -52,7 +56,7 @@ func main() {
 	fmt.Printf("%8s %8s %8s %14s %10s\n", "disks", "nodes", "t", "response [s]", "speed-up")
 	base = 0
 	for _, p := range []int{1, 5, 10, 25, 50} {
-		rt := run(star, spec, icfg, mdhf.OneMonth, 100, p, 4)
+		rt := run(ctx, star, mdhf.OneMonth, 100, p, 4)
 		if base == 0 {
 			base = rt
 		}

@@ -1,82 +1,72 @@
-// Warehouse: a full on-disk round trip — generate fact data, write the
-// MDHF-fragmented fact file and bitmap files to disk, reopen them, resolve
-// name-level queries through the B+-tree-indexed dimension tables, and
-// execute with real page I/O, reporting the physical I/O counts that the
-// paper's Table 3 models analytically.
+// Warehouse: a full on-disk round trip through the serving façade —
+// Open writes the MDHF-fragmented fact file and bitmap files to a
+// temporary directory on first execution, name-level queries resolve
+// through the B+-tree-indexed dimension tables, and every execution
+// reports the physical I/O counts that the paper's Table 3 models
+// analytically.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"os"
 
 	mdhf "repro"
 )
 
 func main() {
+	ctx := context.Background()
 	star := mdhf.APB1Scaled(60)
-	spec, err := mdhf.ParseFragmentation(star, "time::month, product::group")
-	if err != nil {
-		log.Fatal(err)
-	}
-	icfg := mdhf.APB1Indexes(star)
 
-	dir, err := os.MkdirTemp("", "mdhf-warehouse")
+	// WithOnDisk("") stores the warehouse in a temporary directory owned
+	// by the handle (removed on Close); WithWorkers(0) serves on one
+	// worker per CPU.
+	w, err := mdhf.Open(ctx, mdhf.Config{
+		Star:          star,
+		Fragmentation: "time::month, product::group",
+		Seed:          42,
+	}, mdhf.WithOnDisk(""), mdhf.WithWorkers(0))
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer os.RemoveAll(dir)
+	defer w.Close()
 
-	// Build the on-disk warehouse.
-	table, err := mdhf.GenerateData(star, 42)
-	if err != nil {
-		log.Fatal(err)
-	}
-	store, err := mdhf.BuildStore(dir, table, spec)
-	if err != nil {
-		log.Fatal(err)
-	}
-	bitmaps, err := mdhf.BuildBitmapFile(dir, store, icfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer store.Close()
-	defer bitmaps.Close()
-	fmt.Printf("warehouse in %s: %d rows in %d fragments, %d surviving bitmaps per fragment\n",
-		dir, table.N(), store.NumFragments(), bitmaps.NumBitmaps())
+	spec := w.Fragmentation()
+	fmt.Printf("warehouse: %d rows in %d fragments, %d surviving bitmaps\n",
+		star.N(), spec.NumFragments(), spec.SurvivingBitmaps(w.Indexes()))
 
 	// Dimension tables with B+-tree indices resolve names to members.
-	catalog := mdhf.BuildDimCatalog(star)
-	fmt.Printf("dimension tables: %.2f MB (the paper: \"only occupy 1 MB\")\n\n", float64(catalog.Bytes())/(1<<20))
+	fmt.Printf("dimension tables: %.2f MB (the paper: \"only occupy 1 MB\")\n", float64(w.Catalog().Bytes())/(1<<20))
+	fmt.Printf("executing with %d fragment workers\n\n", w.Workers())
 
-	// The executor fans each query's relevant fragments out over the
-	// shared worker pool; 0 means one worker per CPU, and results are
-	// identical at any worker count.
-	exec := mdhf.NewParallelStorageExecutor(store, bitmaps, 0)
-	fmt.Printf("executing with %d fragment workers\n\n", mdhf.Workers(exec.Workers))
+	// The in-memory oracle for verification.
+	table, err := w.Table(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	for _, text := range []string{
 		"time.month = 'MONTH-0003', product.group = 'GROUP-0012'",
 		"product.code = 'CODE-0077', time.quarter = 'QUARTER-0002'",
 		"customer.store = 'STORE-0007'",
 	} {
-		q, err := catalog.ParseQuery(text)
+		q, err := w.QueryText(text)
 		if err != nil {
 			log.Fatal(err)
 		}
-		agg, io, err := exec.Execute(q)
+		agg, st, err := q.Execute(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
-		// Verify against the in-memory oracle.
-		want := mdhf.ScanAggregate(table, q)
+		want := mdhf.ScanAggregate(table, q.Query())
 		status := "OK"
 		if agg.Count != want.Count || agg.DollarSales != want.DollarSales {
 			status = "MISMATCH"
 		}
 		fmt.Printf("%s\n", text)
 		fmt.Printf("  class %-11s %6d hits  sum(DollarSales)=%-12d [verify: %s]\n",
-			spec.Classify(q), agg.Count, agg.DollarSales, status)
-		fmt.Printf("  physical I/O: %d fact pages in %d ops, %d bitmap pages in %d ops\n\n",
-			io.FactPages, io.FactIOs, io.BitmapPages, io.BitmapIOs)
+			q.Class(), agg.Count, agg.DollarSales, status)
+		fmt.Printf("  physical I/O on the %s backend: %d fact pages in %d ops, %d bitmap pages in %d ops\n\n",
+			st.Backend, st.IO.FactPages, st.IO.FactIOs, st.IO.BitmapPages, st.IO.BitmapIOs)
 	}
 }

@@ -1,0 +1,146 @@
+package mdhf
+
+import (
+	"repro/internal/alloc"
+	"repro/internal/bitmap"
+	"repro/internal/data"
+	"repro/internal/experiments"
+	"repro/internal/schema"
+	"repro/internal/simpad"
+	"repro/internal/workload"
+)
+
+// Experiment harness: the tables and figures of the paper's evaluation,
+// exported so the cmds (and any reproduction script) need only this
+// package.
+type (
+	// Figure is one reproduced figure: named series of (x, response,
+	// speedup) points.
+	Figure = experiments.Figure
+	// FigureSeries is one series of a Figure.
+	FigureSeries = experiments.Series
+	// FigurePoint is one data point of a series.
+	FigurePoint = experiments.Point
+	// FigureOptions configures a figure reproduction (repetitions, seed,
+	// parallel simulation workers).
+	FigureOptions = experiments.Options
+	// DiskCurveOptions configures the measured disk-scaling experiment.
+	DiskCurveOptions = experiments.DiskCurveOptions
+	// Table1Row is one row of Table 1 (hierarchical encoding).
+	Table1Row = experiments.Table1Row
+	// Table2Cell is one cell of Table 2 (fragmentation options).
+	Table2Cell = experiments.Table2Cell
+	// Table3Col is one column of Table 3 (I/O characteristics of 1STORE).
+	Table3Col = experiments.Table3Col
+	// Table6Row is one row of Table 6 (fragmentation parameters).
+	Table6Row = experiments.Table6Row
+	// BitmapInventory counts the bitmaps of Sections 3.2 and 4.2.
+	BitmapInventory = experiments.BitmapInventory
+)
+
+// Figure3 reproduces the 1STORE speed-up over disks.
+func Figure3(opt FigureOptions) Figure { return experiments.Figure3(opt) }
+
+// Figure4 reproduces the 1MONTH speed-up over processors.
+func Figure4(opt FigureOptions) Figure { return experiments.Figure4(opt) }
+
+// Figure5 reproduces parallel vs non-parallel bitmap I/O.
+func Figure5(opt FigureOptions) Figure { return experiments.Figure5(opt) }
+
+// Figure6Store reproduces the 1STORE panel of the fragmentation
+// comparison.
+func Figure6Store(opt FigureOptions) Figure { return experiments.Figure6Store(opt) }
+
+// Figure6CodeQuarter reproduces the 1CODE1QUARTER panel of the
+// fragmentation comparison.
+func Figure6CodeQuarter(opt FigureOptions) Figure { return experiments.Figure6CodeQuarter(opt) }
+
+// DiskScalingCurve measures 1STORE speed-up over declustered disk counts
+// on the real on-disk executor, next to the per-disk queue model.
+func DiskScalingCurve(o DiskCurveOptions) (Figure, error) { return experiments.DiskScalingCurve(o) }
+
+// Table1 returns the hierarchy representation of the encoded PRODUCT
+// index plus a sample bit pattern.
+func Table1() ([]Table1Row, string) { return experiments.Table1() }
+
+// Table2 returns the number of fragmentation options under size
+// constraints.
+func Table2() []Table2Cell { return experiments.Table2() }
+
+// Table3 returns the I/O characteristics of query 1STORE under the two
+// paper fragmentations.
+func Table3() [2]Table3Col { return experiments.Table3() }
+
+// Table6 returns the fragmentation parameters of experiment 3.
+func Table6() []Table6Row { return experiments.Table6() }
+
+// Bitmaps returns the bitmap inventory of Sections 3.2 and 4.2.
+func Bitmaps() BitmapInventory { return experiments.Bitmaps() }
+
+// QueryTypeByName resolves a paper query type by its name (e.g.
+// "1STORE", "1MONTH1GROUP").
+func QueryTypeByName(name string) (QueryType, error) { return workload.ByName(name) }
+
+// AllQueryTypes lists the paper's query types.
+func AllQueryTypes() []QueryType { return workload.All() }
+
+// MeanResponseTime averages the response times of simulated executions.
+func MeanResponseTime(rs []SimResult) float64 { return simpad.MeanResponseTime(rs) }
+
+// NextPrime returns the smallest prime >= n — the paper's counter-measure
+// against gcd clustering of round-robin allocation.
+func NextPrime(n int) int { return alloc.NextPrime(n) }
+
+// Canonical APB-1 dimension and level names (Figure 1), for use with
+// Star.Dim, Star.DimIndex and Dimension.LevelIndex.
+const (
+	DimProduct  = schema.DimProduct
+	DimCustomer = schema.DimCustomer
+	DimChannel  = schema.DimChannel
+	DimTime     = schema.DimTime
+
+	LvlGroup   = schema.LvlGroup
+	LvlClass   = schema.LvlClass
+	LvlCode    = schema.LvlCode
+	LvlStore   = schema.LvlStore
+	LvlMonth   = schema.LvlMonth
+	LvlQuarter = schema.LvlQuarter
+)
+
+// Bitmap join indices (Section 3.2): the building blocks behind the
+// engines, exported for direct experimentation (see examples/bitmaps).
+type (
+	// Bitset is an uncompressed bitmap.
+	Bitset = bitmap.Bitset
+	// BitmapLayout is the hierarchical encoding layout of one dimension
+	// (Table 1).
+	BitmapLayout = bitmap.Layout
+	// EncodedBitmapIndex is an encoded (hierarchical) bitmap join index.
+	EncodedBitmapIndex = bitmap.EncodedIndex
+	// SimpleBitmapIndex is a one-bitmap-per-member join index.
+	SimpleBitmapIndex = bitmap.SimpleIndex
+)
+
+// NewBitmapLayout derives the hierarchical encoding of a dimension;
+// padBits optionally widens each level's field (nil = minimal widths).
+func NewBitmapLayout(dim *Dimension, padBits []int) *BitmapLayout {
+	return bitmap.NewLayout(dim, padBits)
+}
+
+// NewEncodedBitmapIndex builds an encoded bitmap join index over leaf
+// member values.
+func NewEncodedBitmapIndex(layout *BitmapLayout, values []int32) *EncodedBitmapIndex {
+	return bitmap.NewEncodedIndex(layout, values)
+}
+
+// NewSimpleBitmapIndex builds a simple bitmap join index over leaf
+// member values.
+func NewSimpleBitmapIndex(card int, values []int32) *SimpleBitmapIndex {
+	return bitmap.NewSimpleIndex(card, values)
+}
+
+// MustGenerateData is GenerateData panicking on error, for examples and
+// tests.
+func MustGenerateData(star *Star, seed int64) *FactTable {
+	return data.MustGenerate(star, seed)
+}

@@ -267,6 +267,31 @@ func newScratch() *scratch {
 	return &scratch{hits: bitmap.New(0), sel: bitmap.New(0), cres: &bitmap.Compressed{}}
 }
 
+// fragmentTask returns the per-fragment task body shared by the private
+// worker-pool path and the scheduler path.
+func (e *Engine) fragmentTask(ids []int64, q frag.Query) func(sc *scratch, i int) (partial, error) {
+	return func(sc *scratch, i int) (partial, error) {
+		f, ok := e.frags[ids[i]]
+		if !ok {
+			return partial{}, nil // fragment has no rows at this density
+		}
+		var agg Aggregate
+		var st Stats
+		if e.compressed {
+			agg, st = e.processFragmentCompressed(f, q, sc)
+		} else {
+			agg, st = e.processFragment(f, q, sc)
+		}
+		st.FragmentsProcessed = 1
+		return partial{agg: agg, st: st}, nil
+	}
+}
+
+func mergePartial(acc *partial, p partial) {
+	acc.agg.add(p.agg)
+	acc.st.add(p.st)
+}
+
 // ExecuteContext is Execute with cancellation.
 func (e *Engine) ExecuteContext(ctx context.Context, q frag.Query, workers int) (Aggregate, Stats, error) {
 	if err := q.Validate(e.star); err != nil {
@@ -274,25 +299,29 @@ func (e *Engine) ExecuteContext(ctx context.Context, q frag.Query, workers int) 
 	}
 	ids := e.spec.FragmentIDs(q)
 	res, err := exec.ReduceWith(ctx, workers, len(ids), newScratch,
-		func(sc *scratch, i int) (partial, error) {
-			f, ok := e.frags[ids[i]]
-			if !ok {
-				return partial{}, nil // fragment has no rows at this density
-			}
-			var agg Aggregate
-			var st Stats
-			if e.compressed {
-				agg, st = e.processFragmentCompressed(f, q, sc)
-			} else {
-				agg, st = e.processFragment(f, q, sc)
-			}
-			st.FragmentsProcessed = 1
-			return partial{agg: agg, st: st}, nil
-		},
-		func(acc *partial, p partial) {
-			acc.agg.add(p.agg)
-			acc.st.add(p.st)
-		})
+		e.fragmentTask(ids, q), mergePartial)
+	if err != nil {
+		return Aggregate{}, Stats{}, err
+	}
+	return res.agg, res.st, nil
+}
+
+// ExecuteOn is ExecuteContext dispatched through a shared admission
+// scheduler instead of a private per-query worker set: the query's
+// fragment tasks interleave with every other execution admitted to the
+// scheduler, multiplexing concurrent queries onto one fixed pool. The
+// task-ordered gather makes the result bit-for-bit identical to Execute
+// at any pool size or admission mix.
+func (e *Engine) ExecuteOn(ctx context.Context, s *exec.Scheduler, q frag.Query) (Aggregate, Stats, error) {
+	if s == nil {
+		return e.ExecuteContext(ctx, q, 0)
+	}
+	if err := q.Validate(e.star); err != nil {
+		return Aggregate{}, Stats{}, err
+	}
+	ids := e.spec.FragmentIDs(q)
+	res, err := exec.ReduceOn(ctx, s, len(ids), newScratch,
+		e.fragmentTask(ids, q), mergePartial)
 	if err != nil {
 		return Aggregate{}, Stats{}, err
 	}

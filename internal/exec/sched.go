@@ -1,0 +1,247 @@
+package exec
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Scheduler is the serving layer's admission scheduler: one fixed pool of
+// worker goroutines that concurrent query executions share. Each admitted
+// execution (one MapOn/ReduceOn call) submits its fragment tasks into the
+// pool's single task channel, so M in-flight queries multiplex onto the
+// same W workers — and, through the executors' disk-aware task bodies,
+// onto the same DiskSet — instead of each spawning a private worker set.
+// Tasks from different queries interleave at fragment granularity, which
+// fills the idle disk and CPU time that a single query's straggler tail
+// and setup leave behind; per-query results are still gathered in task
+// index order, so every execution is bit-for-bit identical to running it
+// alone (or serially via MapWith).
+//
+// A Scheduler is safe for concurrent use. Close stops the workers once
+// every admitted execution has drained; no execution may be submitted
+// after Close.
+type Scheduler struct {
+	workers int
+	tasks   chan func(worker int)
+	wg      sync.WaitGroup
+
+	admitted atomic.Int64
+	done     atomic.Int64
+	inflight atomic.Int64
+	peak     atomic.Int64
+	tasksRun atomic.Int64
+}
+
+// SchedStats is a snapshot of a scheduler's admission accounting.
+type SchedStats struct {
+	// Workers is the fixed size of the shared pool.
+	Workers int
+	// QueriesAdmitted counts executions ever admitted.
+	QueriesAdmitted int64
+	// QueriesDone counts executions that finished (or failed).
+	QueriesDone int64
+	// InFlight is the number of executions currently admitted.
+	InFlight int64
+	// PeakInFlight is the high-water mark of InFlight.
+	PeakInFlight int64
+	// TasksRun counts fragment tasks executed by the pool.
+	TasksRun int64
+}
+
+// NewScheduler starts a shared pool of `workers` goroutines (values below
+// 1 mean one per available CPU).
+func NewScheduler(workers int) *Scheduler {
+	s := &Scheduler{workers: Workers(workers), tasks: make(chan func(int))}
+	for w := 0; w < s.workers; w++ {
+		s.wg.Add(1)
+		go func(w int) {
+			defer s.wg.Done()
+			for fn := range s.tasks {
+				fn(w)
+				s.tasksRun.Add(1)
+			}
+		}(w)
+	}
+	return s
+}
+
+// Workers returns the fixed pool size.
+func (s *Scheduler) Workers() int { return s.workers }
+
+// Stats snapshots the admission accounting.
+func (s *Scheduler) Stats() SchedStats {
+	return SchedStats{
+		Workers:         s.workers,
+		QueriesAdmitted: s.admitted.Load(),
+		QueriesDone:     s.done.Load(),
+		InFlight:        s.inflight.Load(),
+		PeakInFlight:    s.peak.Load(),
+		TasksRun:        s.tasksRun.Load(),
+	}
+}
+
+// Close stops the pool's workers after the tasks of every admitted
+// execution have drained. Submitting an execution after (or concurrently
+// with) Close is a caller error.
+func (s *Scheduler) Close() {
+	close(s.tasks)
+	s.wg.Wait()
+}
+
+// admit registers one execution and returns its release func.
+func (s *Scheduler) admit() func() {
+	s.admitted.Add(1)
+	in := s.inflight.Add(1)
+	for {
+		p := s.peak.Load()
+		if in <= p || s.peak.CompareAndSwap(p, in) {
+			break
+		}
+	}
+	return func() {
+		s.inflight.Add(-1)
+		s.done.Add(1)
+	}
+}
+
+// MapOn is MapWith dispatched through a shared Scheduler: the n tasks are
+// submitted to the pool's task channel and run on whichever of the pool's
+// workers picks them up, interleaved with the tasks of every other
+// execution currently admitted. Scratch values are per pool worker and
+// per call, so fn sees the same reuse guarantees as MapWith; results
+// gather in task index order and error propagation (lowest failing index,
+// partial results withheld) matches MapWith, making MapOn bit-for-bit
+// identical to MapWith at any pool size or admission mix.
+func MapOn[S, T any](ctx context.Context, s *Scheduler, n int, newScratch func() S, fn func(sc S, i int) (T, error)) ([]T, error) {
+	return mapOnOrdered(ctx, s, n, nil, newScratch, fn)
+}
+
+// MapShardedOn is MapOn with placement-aware submission: tasks are
+// submitted round-robin across their shards (typically the disk holding
+// each task's fragment, clamped into [0, shards)), so the first tasks an
+// execution gets running are spread over distinct disks instead of
+// convoying on one queue. The gather order is unchanged, so results are
+// identical to MapOn and MapWith.
+func MapShardedOn[S, T any](ctx context.Context, s *Scheduler, n int, shardOf func(i int) int, shards int, newScratch func() S, fn func(sc S, i int) (T, error)) ([]T, error) {
+	if shards <= 1 || n <= 1 {
+		return mapOnOrdered(ctx, s, n, nil, newScratch, fn)
+	}
+	queues := make([][]int32, shards)
+	for i := 0; i < n; i++ {
+		k := shardOf(i)
+		if k < 0 || k >= shards {
+			k = ((k % shards) + shards) % shards
+		}
+		queues[k] = append(queues[k], int32(i))
+	}
+	order := make([]int32, 0, n)
+	for len(order) < n {
+		for k := 0; k < shards; k++ {
+			if len(queues[k]) > 0 {
+				order = append(order, queues[k][0])
+				queues[k] = queues[k][1:]
+			}
+		}
+	}
+	return mapOnOrdered(ctx, s, n, order, newScratch, fn)
+}
+
+// mapOnOrdered submits the tasks in `order` (identity when nil) and
+// gathers results by task index.
+func mapOnOrdered[S, T any](ctx context.Context, s *Scheduler, n int, order []int32, newScratch func() S, fn func(sc S, i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+	release := s.admit()
+	defer release()
+	var (
+		results = make([]T, n)
+		errs    = make([]error, n)
+		// scratches[w] belongs to pool worker w: only that worker's
+		// goroutine touches it, and tasks of one call on one worker run
+		// sequentially, so no synchronisation is needed.
+		scratches = make([]S, s.workers)
+		made      = make([]bool, s.workers)
+		stopped   atomic.Bool
+		wg        sync.WaitGroup
+	)
+	done := ctx.Done()
+submit:
+	for k := 0; k < n; k++ {
+		i := k
+		if order != nil {
+			i = int(order[k])
+		}
+		if stopped.Load() {
+			break
+		}
+		wg.Add(1)
+		task := func(w int) {
+			defer wg.Done()
+			if stopped.Load() {
+				return
+			}
+			if !made[w] {
+				scratches[w] = newScratch()
+				made[w] = true
+			}
+			r, err := fn(scratches[w], i)
+			if err != nil {
+				errs[i] = err
+				stopped.Store(true)
+				return
+			}
+			results[i] = r
+		}
+		select {
+		case s.tasks <- task:
+		case <-done:
+			wg.Done()
+			stopped.Store(true)
+			break submit
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// ReduceOn is MapOn followed by the deterministic task-order fold of
+// Reduce, so the accumulated result is identical to ReduceWith at any
+// pool size or admission mix.
+func ReduceOn[S, T, A any](ctx context.Context, s *Scheduler, n int, newScratch func() S, fn func(sc S, i int) (T, error), merge func(acc *A, part T)) (A, error) {
+	var acc A
+	parts, err := MapOn(ctx, s, n, newScratch, fn)
+	if err != nil {
+		return acc, err
+	}
+	for _, p := range parts {
+		merge(&acc, p)
+	}
+	return acc, nil
+}
+
+// ReduceShardedOn is ReduceOn submitted through MapShardedOn's
+// round-robin-across-shards order. The fold remains strictly task-ordered.
+func ReduceShardedOn[S, T, A any](ctx context.Context, s *Scheduler, n int, shardOf func(i int) int, shards int, newScratch func() S, fn func(sc S, i int) (T, error), merge func(acc *A, part T)) (A, error) {
+	var acc A
+	parts, err := MapShardedOn(ctx, s, n, shardOf, shards, newScratch, fn)
+	if err != nil {
+		return acc, err
+	}
+	for _, p := range parts {
+		merge(&acc, p)
+	}
+	return acc, nil
+}

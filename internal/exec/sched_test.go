@@ -1,0 +1,153 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestMapOnMatchesMapWith runs many concurrent executions on one shared
+// scheduler and checks every result is identical to the serial MapWith
+// gather.
+func TestMapOnMatchesMapWith(t *testing.T) {
+	s := NewScheduler(4)
+	defer s.Close()
+	ctx := context.Background()
+
+	fn := func(q int) func(sc *int, i int) (int, error) {
+		return func(sc *int, i int) (int, error) {
+			*sc++ // exercise scratch reuse
+			return q*1000 + i*i, nil
+		}
+	}
+	newScratch := func() *int { return new(int) }
+
+	const queries = 16
+	var wg sync.WaitGroup
+	errsCh := make(chan error, queries)
+	for q := 0; q < queries; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			n := 1 + q*7%53
+			want, err := MapWith(ctx, 1, n, newScratch, fn(q))
+			if err != nil {
+				errsCh <- err
+				return
+			}
+			got, err := MapOn(ctx, s, n, newScratch, fn(q))
+			if err != nil {
+				errsCh <- err
+				return
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					errsCh <- fmt.Errorf("query %d task %d: got %d want %d", q, i, got[i], want[i])
+					return
+				}
+			}
+		}(q)
+	}
+	wg.Wait()
+	close(errsCh)
+	for err := range errsCh {
+		t.Error(err)
+	}
+
+	st := s.Stats()
+	if st.QueriesAdmitted != queries || st.QueriesDone != queries {
+		t.Fatalf("accounting: admitted %d done %d, want %d", st.QueriesAdmitted, st.QueriesDone, queries)
+	}
+	if st.InFlight != 0 {
+		t.Fatalf("in-flight %d after drain", st.InFlight)
+	}
+	if st.PeakInFlight < 1 || st.PeakInFlight > queries {
+		t.Fatalf("peak in-flight %d out of range", st.PeakInFlight)
+	}
+	if st.Workers != 4 {
+		t.Fatalf("workers %d, want 4", st.Workers)
+	}
+}
+
+// TestMapShardedOnMatchesMapOn checks the shard-interleaved submission
+// order changes nothing about the gathered results.
+func TestMapShardedOnMatchesMapOn(t *testing.T) {
+	s := NewScheduler(3)
+	defer s.Close()
+	ctx := context.Background()
+	newScratch := func() struct{} { return struct{}{} }
+	fn := func(_ struct{}, i int) (int, error) { return i * 3, nil }
+	const n = 41
+	want, err := MapOn(ctx, s, n, newScratch, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 5, 64} {
+		got, err := MapShardedOn(ctx, s, n, func(i int) int { return i*13 - 7 }, shards, newScratch, fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shards=%d task %d: got %d want %d", shards, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMapOnErrorLowestIndex(t *testing.T) {
+	s := NewScheduler(4)
+	defer s.Close()
+	boom := errors.New("boom")
+	_, err := MapOn(context.Background(), s, 100, func() struct{} { return struct{}{} },
+		func(_ struct{}, i int) (struct{}, error) {
+			if i == 7 || i == 3 {
+				return struct{}{}, fmt.Errorf("task %d: %w", i, boom)
+			}
+			return struct{}{}, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want wrapped boom", err)
+	}
+	// Results withheld on error is implied by the nil slice contract of
+	// MapWith; ReduceOn folds nothing on error.
+	acc, err2 := ReduceOn(context.Background(), s, 10, func() struct{} { return struct{}{} },
+		func(_ struct{}, i int) (int, error) {
+			if i == 5 {
+				return 0, boom
+			}
+			return 1, nil
+		},
+		func(acc *int, p int) { *acc += p })
+	if err2 == nil || acc != 0 {
+		t.Fatalf("ReduceOn on error: acc=%d err=%v, want 0 and boom", acc, err2)
+	}
+}
+
+func TestMapOnCancellation(t *testing.T) {
+	s := NewScheduler(2)
+	defer s.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var once sync.Once
+	_, err := MapOn(ctx, s, 1000, func() struct{} { return struct{}{} },
+		func(_ struct{}, i int) (int, error) {
+			once.Do(cancel) // cancel mid-execution; MapOn must report it
+			return 0, nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestMapOnZeroTasks(t *testing.T) {
+	s := NewScheduler(2)
+	defer s.Close()
+	res, err := MapOn(context.Background(), s, 0, func() struct{} { return struct{}{} },
+		func(_ struct{}, i int) (int, error) { return 0, nil })
+	if err != nil || res != nil {
+		t.Fatalf("got %v, %v; want nil, nil", res, err)
+	}
+}

@@ -167,3 +167,35 @@ func (bf *BitmapFile) Decluster(p alloc.Placement, ds *DiskSet) error {
 
 // Declustered reports the bitmap file's disk set (nil when single-disk).
 func (bf *BitmapFile) Declustered() *DiskSet { return bf.disks }
+
+// Decluster shards a store and its bitmap file (which may be nil) across
+// one new DiskSet per the placement, atomically: the placement and the
+// store/bitmap-file pairing are validated before either component is
+// modified, so a failure can never leave the pair half-declustered —
+// previously a bitmap-file error after the store had already switched
+// would strand fact reads on the new disks while bitmap reads stayed on
+// the old ones. Should a component mutation fail anyway, the store is
+// rolled back to its prior disk set and placement before returning.
+func Decluster(s *Store, bf *BitmapFile, p alloc.Placement) (*DiskSet, error) {
+	ds := NewDiskSet(p.Disks)
+	// Validate everything up front: the placement itself, and that the
+	// bitmap file belongs to the store (a foreign file would accept the
+	// placement today yet desynchronise the pair's physical layout).
+	if err := ds.validatePlacement(p); err != nil {
+		return nil, err
+	}
+	if bf != nil && (bf.star != s.star || bf.spec != s.spec) {
+		return nil, fmt.Errorf("storage: bitmap file belongs to a different store (schema/fragmentation mismatch)")
+	}
+	prevDisks, prevPlacement := s.disks, s.placement
+	if err := s.Decluster(p, ds); err != nil {
+		return nil, err
+	}
+	if bf != nil {
+		if err := bf.Decluster(p, ds); err != nil {
+			s.disks, s.placement = prevDisks, prevPlacement // undo
+			return nil, err
+		}
+	}
+	return ds, nil
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/data"
 	"repro/internal/engine"
+	"repro/internal/exec"
 	"repro/internal/frag"
 	"repro/internal/schema"
 )
@@ -324,5 +325,135 @@ func TestDeclusteredConcurrentQueries(t *testing.T) {
 		if err := <-errc; err != nil {
 			t.Error(err)
 		}
+	}
+}
+
+// TestDeclusterAtomic covers the pair-level Decluster: a failure must
+// leave both the store and the bitmap file exactly as they were, never
+// half-declustered.
+func TestDeclusterAtomic(t *testing.T) {
+	s, _, store, bf := buildStore(t, "time::month, product::group")
+
+	// Establish a prior declustered state to observe rollback against.
+	prev := alloc.Placement{Disks: 2, Scheme: alloc.RoundRobin, Staggered: true}
+	prevDS, err := Decluster(store, bf, prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkUnchanged := func(when string) {
+		t.Helper()
+		if store.Declustered() != prevDS || bf.Declustered() != prevDS {
+			t.Fatalf("%s: pair not left on prior disk set (store %p, bf %p, want %p)",
+				when, store.Declustered(), bf.Declustered(), prevDS)
+		}
+		if store.Placement() != prev {
+			t.Fatalf("%s: store placement mutated to %+v", when, store.Placement())
+		}
+	}
+
+	// Invalid placements fail before any mutation.
+	for _, bad := range []alloc.Placement{
+		{Disks: 0},
+		{Disks: -3},
+		{Disks: 4, Cluster: -1},
+	} {
+		if _, err := Decluster(store, bf, bad); err == nil {
+			t.Fatalf("Decluster(%+v) succeeded, want error", bad)
+		}
+		checkUnchanged(fmt.Sprintf("after %+v", bad))
+	}
+
+	// A bitmap file from a different store/fragmentation is rejected
+	// before the store is touched — the partial-failure case that used to
+	// leave the store declustered while the bitmap file kept its old
+	// routing.
+	_, _, _, foreignBF := buildStore(t, "time::quarter")
+	good := alloc.Placement{Disks: 4, Scheme: alloc.GapRoundRobin, Staggered: true}
+	if _, err := Decluster(store, foreignBF, good); err == nil {
+		t.Fatal("Decluster with a foreign bitmap file succeeded, want error")
+	}
+	checkUnchanged("after foreign bitmap file")
+	if foreignBF.Declustered() != nil {
+		t.Fatal("foreign bitmap file was declustered")
+	}
+
+	// The happy path still switches both components to one shared set and
+	// executes correctly.
+	ds, err := Decluster(store, bf, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Declustered() != ds || bf.Declustered() != ds {
+		t.Fatal("pair not sharing the new disk set")
+	}
+	ex := NewExecutor(store, bf)
+	for qname, q := range classQueries(t, s, store.spec) {
+		if _, _, err := ex.Execute(q); err != nil {
+			t.Fatalf("%s after Decluster: %v", qname, err)
+		}
+	}
+
+	// A nil bitmap file declusters only the store.
+	if _, err := Decluster(store, nil, prev); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExecutorSchedulerMatchesPrivatePool checks that dispatching through
+// a shared admission scheduler returns byte-identical aggregates and
+// IOStats to the executor's private per-query pool, single-disk and
+// declustered, including with several executions in flight at once.
+func TestExecutorSchedulerMatchesPrivatePool(t *testing.T) {
+	s, _, store, bf := buildStore(t, "time::month, product::group")
+	queries := classQueries(t, s, store.spec)
+
+	sched := exec.NewScheduler(4)
+	defer sched.Close()
+
+	for _, disks := range []int{1, 4} {
+		p := alloc.Placement{Disks: disks, Scheme: alloc.RoundRobin, Staggered: true}
+		if _, err := Decluster(store, bf, p); err != nil {
+			t.Fatal(err)
+		}
+
+		want := map[string]partial{}
+		serial := NewExecutor(store, bf)
+		serial.Workers = 1
+		for qname, q := range queries {
+			agg, st, err := serial.Execute(q)
+			if err != nil {
+				t.Fatalf("serial %s: %v", qname, err)
+			}
+			want[qname] = partial{agg: agg, st: st}
+		}
+
+		shared := NewExecutor(store, bf)
+		shared.Sched = sched
+		errc := make(chan error, len(queries)*4)
+		for qname, q := range queries {
+			for c := 0; c < 4; c++ {
+				go func(qname string, q frag.Query) {
+					agg, st, err := shared.Execute(q)
+					if err != nil {
+						errc <- fmt.Errorf("%s: %v", qname, err)
+						return
+					}
+					if agg != want[qname].agg || st != want[qname].st {
+						errc <- fmt.Errorf("%s on %d disks: scheduler result diverged: got %+v/%+v want %+v/%+v",
+							qname, disks, agg, st, want[qname].agg, want[qname].st)
+						return
+					}
+					errc <- nil
+				}(qname, q)
+			}
+		}
+		for i := 0; i < len(queries)*4; i++ {
+			if err := <-errc; err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	if st := sched.Stats(); st.QueriesAdmitted == 0 || st.InFlight != 0 {
+		t.Fatalf("scheduler accounting: %+v", st)
 	}
 }

@@ -57,8 +57,16 @@ type Executor struct {
 	// PrefetchFact is the fact read granule in pages (default 8).
 	PrefetchFact int
 	// Workers is the number of parallel fragment workers; values below 1
-	// (the default) mean one worker per available CPU.
+	// (the default) mean one worker per available CPU. Ignored when Sched
+	// is set.
 	Workers int
+	// Sched, when non-nil, dispatches fragment tasks through a shared
+	// admission scheduler instead of a private per-query worker set, so
+	// concurrent Execute calls — from this executor or any other attached
+	// to the same scheduler — multiplex onto one fixed pool (and one
+	// DiskSet when declustered). Results stay identical to the private
+	// pool at any admission mix.
+	Sched *exec.Scheduler
 	// AsyncPrefetch overlaps fact I/O with aggregation: the next granule
 	// read is issued while the current granule is being unpacked and
 	// aggregated (see prefetch.go). On by default via NewExecutor;
@@ -154,12 +162,22 @@ func (e *Executor) ExecuteContext(ctx context.Context, q frag.Query) (Aggregate,
 	}
 	var res partial
 	var err error
-	if ds := e.store.disks; ds != nil && ds.Disks() > 1 {
+	ds := e.store.disks
+	declustered := ds != nil && ds.Disks() > 1
+	switch {
+	case e.Sched != nil && declustered:
+		placement := e.store.placement
+		res, err = exec.ReduceShardedOn(ctx, e.Sched, len(ids),
+			func(i int) int { return placement.FactDisk(ids[i]) }, ds.Disks(),
+			e.newScratch, run, merge)
+	case e.Sched != nil:
+		res, err = exec.ReduceOn(ctx, e.Sched, len(ids), e.newScratch, run, merge)
+	case declustered:
 		placement := e.store.placement
 		res, err = exec.ReduceShardedWith(ctx, e.Workers, len(ids),
 			func(i int) int { return placement.FactDisk(ids[i]) }, ds.Disks(),
 			e.newScratch, run, merge)
-	} else {
+	default:
 		res, err = exec.ReduceWith(ctx, e.Workers, len(ids), e.newScratch, run, merge)
 	}
 	if err != nil {

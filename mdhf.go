@@ -18,19 +18,34 @@
 //     scratch reuse, with a compressed execution fast path that queries
 //     WAH bitmaps without decompressing them;
 //   - the workload generator and the harness regenerating every table and
-//     figure of the paper's evaluation.
+//     figure of the paper's evaluation;
+//   - the Warehouse serving façade tying all of it together: one handle
+//     that serves many concurrent star queries over one shared worker
+//     pool and one disk set.
 //
-// Quick start:
+// # Quick start
 //
-//	star := mdhf.APB1()
-//	spec, _ := mdhf.ParseFragmentation(star, "time::month, product::group")
-//	idx := mdhf.APB1Indexes(star)
-//	q, _ := mdhf.ParseQuery(star, "customer::store=7")
-//	c := mdhf.EstimateCost(spec, idx, q, mdhf.DefaultCostParams())
-//	fmt.Printf("%d fragments, %.0f MB I/O\n", c.Fragments, c.TotalMB())
+// Open a Warehouse and serve queries through it (see ExampleOpen for the
+// runnable version):
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-vs-measured record.
+//	w, _ := mdhf.Open(ctx, mdhf.Config{
+//		Star:          mdhf.APB1Scaled(60),
+//		Fragmentation: "time::month, product::group",
+//	}, mdhf.WithDisks(8, mdhf.RoundRobin))
+//	defer w.Close()
+//	q, _ := w.QueryText("customer::store=7")
+//	ex, _ := q.Explain(ctx)  // analytical cost + disk-queue response + plan
+//	agg, st, _ := q.Execute(ctx)
+//
+// Explain works at any scale (it needs no fact data); Execute builds the
+// configured backend on first use and admits any number of concurrent
+// callers onto the shared pool, with results bit-for-bit identical to
+// serial execution.
+//
+// The free functions below predate the Warehouse and remain as thin
+// shims over the same internals; a few duplicate entry points are marked
+// Deprecated. See the README's migration table, DESIGN.md for the system
+// inventory and EXPERIMENTS.md for the paper-vs-measured record.
 package mdhf
 
 import (
@@ -196,6 +211,9 @@ func Advise(star *Star, cfg IndexConfig, mix []WeightedQuery, th Thresholds, p C
 // AdviseParallel is Advise with an explicit candidate-analysis worker
 // count (values below 1 mean one per CPU). The ranking is identical at
 // any worker count.
+//
+// Deprecated: the explicit-worker-count duplicate of Advise is subsumed
+// by the Warehouse: use Open with WithWorkers and call Warehouse.Advise.
 func AdviseParallel(star *Star, cfg IndexConfig, mix []WeightedQuery, th Thresholds, p CostParams, workers int) []Ranked {
 	return cost.AdviseParallel(star, cfg, mix, th, p, workers)
 }
@@ -247,17 +265,13 @@ func NewDiskSet(d int) *DiskSet { return storage.NewDiskSet(d) }
 // stealing; results stay byte-identical to the single-disk path at every
 // disk and worker count. Set the returned DiskSet's IODelay to make disk
 // contention observable, and read its Stats for per-disk load balance.
+//
+// The operation is atomic: the placement and the store/bitmap-file
+// pairing are validated before either component is modified, so a
+// failure never leaves the pair half-declustered. (Open with WithDisks
+// performs the same declustering as part of assembling a Warehouse.)
 func DeclusterStore(s *Store, bf *BitmapFile, p Placement) (*DiskSet, error) {
-	ds := storage.NewDiskSet(p.Disks)
-	if err := s.Decluster(p, ds); err != nil {
-		return nil, err
-	}
-	if bf != nil {
-		if err := bf.Decluster(p, ds); err != nil {
-			return nil, err
-		}
-	}
-	return ds, nil
+	return storage.Decluster(s, bf, p)
 }
 
 // EstimateResponse models a query's response time under a placement with
@@ -420,14 +434,18 @@ func BuildCompressedBitmapFile(dir string, s *Store, icfg IndexConfig) (*BitmapF
 
 // NewStorageExecutor pairs a store with its bitmap file. The executor
 // fans the relevant fragments of each query out over one worker per
-// available CPU; set its Workers field (or use NewParallelStorageExecutor)
-// for an explicit count. Results are identical at any worker count.
+// available CPU; set its Workers field for an explicit count. Results
+// are identical at any worker count.
 func NewStorageExecutor(s *Store, bf *BitmapFile) *StorageExecutor {
 	return storage.NewExecutor(s, bf)
 }
 
 // NewParallelStorageExecutor is NewStorageExecutor with an explicit
 // fragment-worker count (values below 1 mean one per CPU).
+//
+// Deprecated: the explicit-worker-count duplicate entry point is
+// subsumed by the Warehouse: use Open with WithOnDisk and WithWorkers
+// (or set NewStorageExecutor's Workers field directly).
 func NewParallelStorageExecutor(s *Store, bf *BitmapFile, workers int) *StorageExecutor {
 	ex := storage.NewExecutor(s, bf)
 	ex.Workers = workers

@@ -1,0 +1,125 @@
+package mdhf
+
+import (
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/cost"
+	"repro/internal/simpad"
+)
+
+// Option configures a Warehouse at Open time.
+type Option func(*options)
+
+// options is the resolved option set of one Warehouse.
+type options struct {
+	workers    int // raw: <1 means one per CPU
+	onDisk     bool
+	dir        string
+	disks      int
+	scheme     alloc.Scheme
+	staggered  bool
+	compress   bool
+	ioDelay    time.Duration
+	ioDelaySet bool
+	cluster    int
+	params     cost.Params
+	simCfg     simpad.Config
+}
+
+func defaultOptions() options {
+	return options{
+		staggered: true,
+		cluster:   1,
+		params:    cost.DefaultParams(),
+		simCfg:    simpad.DefaultConfig(),
+	}
+}
+
+// WithWorkers sets the size of the warehouse's shared worker pool — the
+// goroutines all concurrent query executions are multiplexed onto, and
+// the fan-out of Advise and ExplainAll. Values below 1 (the default)
+// mean one worker per available CPU.
+func WithWorkers(n int) Option {
+	return func(o *options) { o.workers = n }
+}
+
+// WithOnDisk selects the on-disk backend: the fact table and the
+// surviving bitmap fragments are written as paged files in dir and
+// queries run with real prefetch-granule I/O. An empty dir means a
+// temporary directory owned (and removed on Close) by the warehouse.
+func WithOnDisk(dir string) Option {
+	return func(o *options) {
+		o.onDisk = true
+		o.dir = dir
+	}
+}
+
+// WithDisks declusters the on-disk backend over d virtual disks with the
+// given fact placement scheme (RoundRobin or GapRoundRobin), each disk a
+// serialized I/O queue shared by every in-flight query. Implies the
+// on-disk backend. Bitmap fragments are staggered onto the disks
+// following each fact fragment's (Figure 2) unless WithColocatedBitmaps
+// is also given. The same placement drives Explain's per-disk queue
+// response model.
+func WithDisks(d int, scheme AllocScheme) Option {
+	return func(o *options) {
+		o.onDisk = true
+		o.disks = d
+		o.scheme = scheme
+	}
+}
+
+// WithColocatedBitmaps places each fragment's bitmap fragments on the
+// fragment's own disk instead of staggering them onto the following
+// disks.
+func WithColocatedBitmaps() Option {
+	return func(o *options) { o.staggered = false }
+}
+
+// WithCompression stores every bitmap WAH-compressed and executes
+// queries on the compressed words directly (the Section 3.2 space
+// reduction plus the run-skipping fast path), on both the in-memory and
+// the on-disk backend.
+func WithCompression() Option {
+	return func(o *options) { o.compress = true }
+}
+
+// WithIODelay adds a simulated per-access disk latency to every physical
+// read (the Table 4 seek + settle + controller model), making disk
+// queueing observable on the on-disk backend; it also becomes the access
+// time of Explain's queue response model — including an explicit zero,
+// which models ideal disks. Implies the on-disk backend.
+func WithIODelay(d time.Duration) Option {
+	return func(o *options) {
+		o.onDisk = true
+		o.ioDelay = d
+		o.ioDelaySet = true
+	}
+}
+
+// WithClustering groups n consecutive fragments into one allocation
+// granule sharing a disk (Section 6.3); it applies to the declustered
+// placement, the queue response model, and simulated plans. Values
+// below 2 mean no clustering.
+func WithClustering(n int) Option {
+	return func(o *options) {
+		if n < 1 {
+			n = 1
+		}
+		o.cluster = n
+	}
+}
+
+// WithCostParams overrides the analytical cost model's prefetch
+// parameters (default: the paper's 8 fact / 5 bitmap pages). The fact
+// prefetch granule also drives the on-disk executor's granule reads.
+func WithCostParams(p CostParams) Option {
+	return func(o *options) { o.params = p }
+}
+
+// WithSimConfig overrides the SIMPAD parameter set used by Simulate and
+// by Explain's physical plan (default: the paper's Table 4 settings).
+func WithSimConfig(cfg SimConfig) Option {
+	return func(o *options) { o.simCfg = cfg }
+}

@@ -1,0 +1,211 @@
+package mdhf
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/exec"
+	"repro/internal/simpad"
+)
+
+// SchedStats is the admission scheduler's accounting snapshot (see
+// Warehouse.ServingStats).
+type SchedStats = exec.SchedStats
+
+// BackendKind identifies the execution backend serving a query.
+type BackendKind int
+
+const (
+	// InMemoryBackend is the goroutine-parallel engine over generated
+	// fact data.
+	InMemoryBackend BackendKind = iota
+	// OnDiskBackend is the paged fact store + bitmap file executor with
+	// real prefetch-granule I/O.
+	OnDiskBackend
+	// DeclusteredBackend is the on-disk executor over a DiskSet of
+	// per-disk serialized I/O queues.
+	DeclusteredBackend
+)
+
+func (k BackendKind) String() string {
+	switch k {
+	case InMemoryBackend:
+		return "in-memory"
+	case OnDiskBackend:
+		return "on-disk"
+	case DeclusteredBackend:
+		return "declustered"
+	default:
+		return fmt.Sprintf("backend(%d)", int(k))
+	}
+}
+
+// Stats is the unified per-execution report of a Warehouse query: the
+// engine work counters, the physical I/O counters and the per-disk
+// accesses, merged into one struct regardless of backend. Fields not
+// applicable to the serving backend are zero.
+type Stats struct {
+	// Backend identifies which executor served the query.
+	Backend BackendKind
+	// Compressed reports the WAH fast path.
+	Compressed bool
+	// Workers is the size of the shared pool the execution was admitted
+	// to.
+	Workers int
+	// Wall is the end-to-end execution time as served (including
+	// admission queueing behind concurrent queries).
+	Wall time.Duration
+
+	// Engine holds the in-memory engine's work counters
+	// (fragments/rows/bitmaps).
+	Engine EngineStats
+	// IO holds the on-disk executor's physical I/O counters.
+	IO StorageIOStats
+	// Disks snapshots the declustered backend's per-disk access counters
+	// at completion. The counters are warehouse-wide (shared by all
+	// in-flight queries); per-query attribution lives in IO.
+	Disks []DiskStats
+}
+
+// Explain is the analytical view of one query under the warehouse's
+// physical design, unifying the I/O cost model, the per-disk queue
+// response model and the SIMPAD physical plan behind one call.
+type Explain struct {
+	// Class is the paper's Q1-Q4 confinement classification (Section 4.4).
+	Class QueryClass
+	// Cost is the analytical I/O estimate of EstimateCost (Section 4.5);
+	// Cost.Class is the I/O overhead class.
+	Cost QueryCost
+	// Response is the per-disk queue response estimate of
+	// EstimateResponse under the warehouse's placement (one disk when not
+	// declustered) and access time (WithIODelay, else the Table 4
+	// default).
+	Response ResponseEstimate
+	// Plan is the SIMPAD physical execution plan under the warehouse's
+	// SimConfig.
+	Plan *SimPlan
+}
+
+// PreparedQuery is a star query bound to a Warehouse: a cheap, stateless
+// handle whose Explain runs the analytical models (no fact data needed)
+// and whose Execute runs the real backend through the shared admission
+// scheduler. Any number of PreparedQueries may Execute concurrently.
+type PreparedQuery struct {
+	w *Warehouse
+	q Query
+}
+
+// Query returns the underlying star query.
+func (p *PreparedQuery) Query() Query { return p.q }
+
+// Class returns the paper's Q1-Q4 confinement classification of the
+// query under the warehouse's fragmentation (Unsupported on an
+// advisory-only warehouse opened without one).
+func (p *PreparedQuery) Class() QueryClass {
+	if p.w.spec == nil {
+		return Unsupported
+	}
+	return p.w.spec.Classify(p.q)
+}
+
+// Explain estimates the query without executing it: the analytical I/O
+// cost (Section 4.5), the modelled response under the warehouse's disk
+// placement (Section 4.6's queue model), and the SIMPAD physical plan.
+// It needs no fact data, so it works before the backend is built — and
+// at schema scales that could never be materialised.
+func (p *PreparedQuery) Explain(ctx context.Context) (Explain, error) {
+	w := p.w
+	if err := ctx.Err(); err != nil {
+		return Explain{}, err
+	}
+	if w.spec == nil {
+		return Explain{}, fmt.Errorf("mdhf: warehouse opened without a fragmentation")
+	}
+	if err := p.q.Validate(w.star); err != nil {
+		return Explain{}, err
+	}
+	ex := Explain{Class: w.spec.Classify(p.q)}
+	ex.Cost = cost.Estimate(w.spec, w.icfg, p.q, w.opt.params)
+	// The response model is left worker-unbounded (only the disks limit
+	// parallelism): bounding it by the serving pool would make the
+	// analytical estimate vary with the host's core count. Callers
+	// wanting the worker-limited critical path can call EstimateResponse
+	// with an explicit DiskParams.Workers.
+	ex.Response = cost.EstimateResponse(w.spec, w.icfg, p.q, w.opt.params, cost.DiskParams{
+		Placement:  w.modelPlacement(),
+		AccessTime: w.modelAccessTime(),
+	})
+	plan := simpad.NewPlan(w.spec, w.icfg, p.q, w.opt.simCfg)
+	if w.opt.cluster > 1 {
+		plan = plan.Clustered(w.opt.cluster)
+	}
+	ex.Plan = plan
+	return ex, nil
+}
+
+// Execute runs the query on the warehouse's backend and returns the
+// aggregate plus unified statistics. The execution is admitted to the
+// shared worker pool, so any number of concurrent Execute calls
+// multiplex onto the same workers and disks; results are bit-for-bit
+// identical to executing the query alone.
+func (p *PreparedQuery) Execute(ctx context.Context) (Aggregate, Stats, error) {
+	w := p.w
+	release, err := w.begin()
+	if err != nil {
+		return Aggregate{}, Stats{}, err
+	}
+	defer release()
+	if err := w.ensureBackend(ctx); err != nil {
+		return Aggregate{}, Stats{}, err
+	}
+	st := Stats{
+		Compressed: w.opt.compress,
+		Workers:    w.sched.Workers(),
+	}
+	start := time.Now()
+	if w.engine != nil {
+		agg, est, err := w.engine.ExecuteOn(ctx, w.sched, p.q)
+		if err != nil {
+			return Aggregate{}, Stats{}, err
+		}
+		st.Backend = InMemoryBackend
+		st.Engine = est
+		st.Wall = time.Since(start)
+		return agg, st, nil
+	}
+	sagg, io, err := w.sexec.ExecuteContext(ctx, p.q)
+	if err != nil {
+		return Aggregate{}, Stats{}, err
+	}
+	st.IO = io
+	if w.diskset != nil {
+		st.Backend = DeclusteredBackend
+		st.Disks = w.diskset.Stats()
+	} else {
+		st.Backend = OnDiskBackend
+	}
+	st.Wall = time.Since(start)
+	return Aggregate{
+		Count:       sagg.Count,
+		UnitsSold:   sagg.UnitsSold,
+		DollarSales: sagg.DollarSales,
+		Cost:        sagg.Cost,
+	}, st, nil
+}
+
+// ExplainAll estimates every query, fanning the analyses out over the
+// warehouse's shared worker pool; results return in argument order.
+func (w *Warehouse) ExplainAll(ctx context.Context, qs []Query) ([]Explain, error) {
+	release, err := w.begin()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return exec.MapOn(ctx, w.sched, len(qs),
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, i int) (Explain, error) {
+			return w.Query(qs[i]).Explain(ctx)
+		})
+}

@@ -1,0 +1,454 @@
+package mdhf
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/cost"
+	"repro/internal/data"
+	"repro/internal/dimtable"
+	"repro/internal/engine"
+	"repro/internal/exec"
+	"repro/internal/frag"
+	"repro/internal/schema"
+	"repro/internal/simpad"
+	"repro/internal/storage"
+)
+
+// ErrClosed is returned by operations on a closed Warehouse.
+var ErrClosed = errors.New("mdhf: warehouse is closed")
+
+// Config describes what a Warehouse serves: the star schema, the MDHF
+// fragmentation, and the bitmap index configuration. How it serves —
+// backend, worker pool, disks, compression — is set by Options.
+type Config struct {
+	// Star is the star schema (required unless Table is given, in which
+	// case it defaults to the table's schema).
+	Star *Star
+	// Fragmentation is the MDHF fragmentation in the paper's notation,
+	// e.g. "time::month, product::group". It may be left empty for an
+	// advisory-only warehouse (Advise works; Query does not).
+	Fragmentation string
+	// Indexes assigns a bitmap index kind to each dimension; nil means
+	// the paper's APB-1 configuration (encoded product/customer, simple
+	// channel/time).
+	Indexes IndexConfig
+	// Seed drives deterministic data generation and simulation (0 = 1).
+	Seed int64
+	// Table optionally supplies pre-generated fact data, e.g. to share
+	// one table between warehouses; nil means GenerateData(Star, Seed)
+	// on first execution.
+	Table *FactTable
+}
+
+// Warehouse is the serving façade of this library: one handle that owns
+// a fragmented warehouse — schema, fragmentation, bitmap indices, and an
+// execution backend — plus the serving layer that admits many concurrent
+// queries onto one shared worker pool and one disk set. Open assembles
+// it; Query hands out per-query objects whose Explain and Execute run
+// the analytical models and the real backend respectively.
+//
+// The backend (and the fact data behind it) is built lazily on first
+// Execute, so a Warehouse opened only to Explain, Advise or Simulate —
+// including over the full-scale APB-1 schema, whose 1.9 billion rows
+// cannot be materialised — never generates data.
+//
+// All methods are safe for concurrent use; Execute calls from any number
+// of goroutines multiplex onto the shared pool with per-query admission
+// accounting (see ServingStats) and return results bit-for-bit identical
+// to executing each query alone.
+type Warehouse struct {
+	star *schema.Star
+	spec *frag.Spec // nil for advisory-only warehouses
+	icfg frag.IndexConfig
+	seed int64
+	opt  options
+
+	sched *exec.Scheduler
+
+	mu     sync.Mutex // guards closed + inflight bookkeeping
+	closed bool
+	wg     sync.WaitGroup // in-flight executions, waited on by Close
+
+	dataOnce sync.Once
+	dataErr  error
+	table    *data.Table
+
+	buildOnce sync.Once
+	buildErr  error
+	engine    *engine.Engine
+	store     *storage.Store
+	bitmaps   *storage.BitmapFile
+	sexec     *storage.Executor
+	diskset   *storage.DiskSet
+	placement alloc.Placement
+	dir       string
+	ownDir    bool
+
+	catOnce sync.Once
+	catalog *dimtable.Catalog
+}
+
+// Open assembles a Warehouse from the configuration and options. It
+// validates the schema, fragmentation and index configuration and starts
+// the shared worker pool; the execution backend itself is built on first
+// Execute. The caller must Close the returned handle.
+func Open(ctx context.Context, cfg Config, opts ...Option) (*Warehouse, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	opt := defaultOptions()
+	for _, o := range opts {
+		o(&opt)
+	}
+	star := cfg.Star
+	if star == nil && cfg.Table != nil {
+		star = cfg.Table.Star
+	}
+	if star == nil {
+		return nil, fmt.Errorf("mdhf: Config.Star is required")
+	}
+	if cfg.Table != nil && cfg.Table.Star != star {
+		return nil, fmt.Errorf("mdhf: Config.Table was generated for a different schema")
+	}
+	var spec *frag.Spec
+	if cfg.Fragmentation != "" {
+		var err error
+		spec, err = frag.Parse(star, cfg.Fragmentation)
+		if err != nil {
+			return nil, err
+		}
+	}
+	icfg := cfg.Indexes
+	if icfg == nil {
+		icfg = frag.APB1Indexes(star)
+	}
+	if len(icfg) != len(star.Dims) {
+		return nil, fmt.Errorf("mdhf: index config has %d entries for %d dimensions", len(icfg), len(star.Dims))
+	}
+	if opt.disks != 0 {
+		p := alloc.Placement{Disks: opt.disks, Scheme: opt.scheme, Staggered: opt.staggered, Cluster: opt.cluster}
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	w := &Warehouse{
+		star:  star,
+		spec:  spec,
+		icfg:  icfg,
+		seed:  seed,
+		opt:   opt,
+		sched: exec.NewScheduler(opt.workers),
+		table: cfg.Table,
+	}
+	return w, nil
+}
+
+// Star returns the schema the warehouse serves.
+func (w *Warehouse) Star() *Star { return w.star }
+
+// Fragmentation returns the MDHF fragmentation (nil for advisory-only
+// warehouses opened without one).
+func (w *Warehouse) Fragmentation() *Fragmentation { return w.spec }
+
+// Indexes returns the bitmap index configuration.
+func (w *Warehouse) Indexes() IndexConfig { return w.icfg }
+
+// Workers returns the size of the shared worker pool.
+func (w *Warehouse) Workers() int { return w.sched.Workers() }
+
+// ServingStats snapshots the admission scheduler's accounting: queries
+// admitted and done, in-flight and peak concurrency, fragment tasks run.
+func (w *Warehouse) ServingStats() SchedStats { return w.sched.Stats() }
+
+// Catalog returns the denormalized dimension tables with B+-tree
+// indices, built on first use; its ParseQuery resolves name-level
+// predicates like "time.month = 'MONTH-0003'".
+func (w *Warehouse) Catalog() *DimCatalog {
+	w.catOnce.Do(func() { w.catalog = dimtable.BuildCatalog(w.star) })
+	return w.catalog
+}
+
+// Table returns the warehouse's fact table, generating it on first use.
+func (w *Warehouse) Table(ctx context.Context) (*FactTable, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := w.ensureData(); err != nil {
+		return nil, err
+	}
+	return w.table, nil
+}
+
+// DiskSet returns the declustered backend's disk set (nil unless opened
+// WithDisks and already built).
+func (w *Warehouse) DiskSet() *DiskSet {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.diskset
+}
+
+// DiskStats snapshots the per-disk access counters of the declustered
+// backend (nil otherwise). The counters are warehouse-wide: they
+// accumulate over every query served since the last ResetDiskStats.
+func (w *Warehouse) DiskStats() []DiskStats {
+	ds := w.DiskSet()
+	if ds == nil {
+		return nil
+	}
+	return ds.Stats()
+}
+
+// ResetDiskStats zeroes the per-disk access counters.
+func (w *Warehouse) ResetDiskStats() {
+	if ds := w.DiskSet(); ds != nil {
+		ds.ResetStats()
+	}
+}
+
+// SetIODelay adjusts the simulated per-access disk latency of a built
+// on-disk backend at run time (all disks of a declustered set). It is a
+// no-op before the backend is built and on in-memory backends — use
+// WithIODelay to configure the delay up front.
+func (w *Warehouse) SetIODelay(d time.Duration) {
+	w.mu.Lock()
+	ds, store, bf := w.diskset, w.store, w.bitmaps
+	w.mu.Unlock()
+	switch {
+	case ds != nil:
+		ds.SetIODelay(d)
+	case store != nil:
+		store.SetIODelay(d)
+		if bf != nil {
+			bf.SetIODelay(d)
+		}
+	}
+}
+
+// Query prepares a star query against the warehouse. The returned object
+// is cheap, stateless and safe to Execute concurrently with any number
+// of other queries.
+func (w *Warehouse) Query(q Query) *PreparedQuery {
+	return &PreparedQuery{w: w, q: q}
+}
+
+// QueryText parses and prepares a query in either notation: member
+// indices ("customer::store=7, time::month=3") or, when the text quotes
+// names, the dimension-table form resolved through the B+-tree catalog
+// ("customer.store = 'STORE-0007'").
+func (w *Warehouse) QueryText(text string) (*PreparedQuery, error) {
+	var q frag.Query
+	var err error
+	if strings.Contains(text, "'") {
+		q, err = w.Catalog().ParseQuery(text)
+	} else {
+		q, err = frag.ParseQuery(w.star, text)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return w.Query(q), nil
+}
+
+// Advise ranks the admissible fragmentations of the warehouse's schema
+// by total analytical I/O work over the query mix (the Section 4.7
+// guidelines), analysing candidates on the warehouse's configured worker
+// count. It needs no fact data and works on advisory-only warehouses.
+func (w *Warehouse) Advise(mix []WeightedQuery, th Thresholds) []Ranked {
+	return cost.AdviseParallel(w.star, w.icfg, mix, th, w.opt.params, w.opt.workers)
+}
+
+// Simulate runs the queries through the SIMPAD discrete-event simulator
+// under the warehouse's SimConfig (Table 4 defaults, see WithSimConfig),
+// with the simulated fragments placed by the warehouse's scheme,
+// staggering and clustering over SimConfig.Disks disks. It needs no fact
+// data: the simulator models the full-scale physical design.
+func (w *Warehouse) Simulate(ctx context.Context, qs ...Query) ([]SimResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if w.spec == nil {
+		return nil, fmt.Errorf("mdhf: warehouse opened without a fragmentation")
+	}
+	cfg := w.opt.simCfg
+	pl := alloc.Placement{Disks: cfg.Disks, Scheme: w.opt.scheme, Staggered: w.opt.staggered, Cluster: w.opt.cluster}
+	sys, err := simpad.NewSystem(cfg, w.icfg, pl, w.seed)
+	if err != nil {
+		return nil, err
+	}
+	plans := make([]*simpad.Plan, len(qs))
+	for i, q := range qs {
+		if err := q.Validate(w.star); err != nil {
+			return nil, err
+		}
+		plan := simpad.NewPlan(w.spec, w.icfg, q, cfg)
+		if w.opt.cluster > 1 {
+			plan = plan.Clustered(w.opt.cluster)
+		}
+		plans[i] = plan
+	}
+	return sys.Run(plans), nil
+}
+
+// Close waits for in-flight executions to finish, stops the shared
+// worker pool, closes the backend files and removes the warehouse's own
+// temporary directory (if it created one). Queries submitted after Close
+// fail with ErrClosed.
+func (w *Warehouse) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	w.mu.Unlock()
+	w.wg.Wait()
+	w.sched.Close()
+	var err error
+	if w.store != nil {
+		err = errors.Join(err, w.store.Close())
+	}
+	if w.bitmaps != nil {
+		err = errors.Join(err, w.bitmaps.Close())
+	}
+	if w.ownDir && w.dir != "" {
+		err = errors.Join(err, os.RemoveAll(w.dir))
+	}
+	return err
+}
+
+// begin registers one in-flight execution; the returned release must be
+// called when it finishes.
+func (w *Warehouse) begin() (func(), error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil, ErrClosed
+	}
+	w.wg.Add(1)
+	return w.wg.Done, nil
+}
+
+// ensureData generates the fact table once (unless Config.Table supplied
+// it).
+func (w *Warehouse) ensureData() error {
+	w.dataOnce.Do(func() {
+		if w.table != nil {
+			return
+		}
+		w.table, w.dataErr = data.Generate(w.star, w.seed)
+	})
+	return w.dataErr
+}
+
+// ensureBackend builds the execution backend once, on first Execute.
+func (w *Warehouse) ensureBackend(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	w.buildOnce.Do(func() { w.buildErr = w.build() })
+	return w.buildErr
+}
+
+// build assembles the configured backend: the in-memory engine
+// (optionally compressed), or the on-disk store + bitmap file +
+// executor, optionally declustered over a DiskSet. The executor is
+// attached to the warehouse's admission scheduler so every query shares
+// one pool.
+func (w *Warehouse) build() error {
+	if w.spec == nil {
+		return fmt.Errorf("mdhf: warehouse opened without a fragmentation")
+	}
+	if err := w.ensureData(); err != nil {
+		return err
+	}
+	if !w.opt.onDisk {
+		var err error
+		if w.opt.compress {
+			w.engine, err = engine.BuildCompressed(w.table, w.spec, w.icfg)
+		} else {
+			w.engine, err = engine.Build(w.table, w.spec, w.icfg)
+		}
+		return err
+	}
+	dir := w.opt.dir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "mdhf-warehouse-*")
+		if err != nil {
+			return err
+		}
+		w.ownDir = true
+	}
+	w.dir = dir
+	store, err := storage.Build(dir, w.table, w.spec)
+	if err != nil {
+		return err
+	}
+	var bf *storage.BitmapFile
+	if w.opt.compress {
+		bf, err = storage.BuildCompressedBitmaps(dir, store, w.icfg)
+	} else {
+		bf, err = storage.BuildBitmaps(dir, store, w.icfg)
+	}
+	if err != nil {
+		store.Close()
+		return err
+	}
+	var ds *storage.DiskSet
+	var pl alloc.Placement
+	if w.opt.disks > 0 {
+		pl = alloc.Placement{Disks: w.opt.disks, Scheme: w.opt.scheme, Staggered: w.opt.staggered, Cluster: w.opt.cluster}
+		if ds, err = storage.Decluster(store, bf, pl); err != nil {
+			store.Close()
+			bf.Close()
+			return err
+		}
+	}
+	ex := storage.NewExecutor(store, bf)
+	ex.PrefetchFact = w.opt.params.FactPrefetch
+	ex.Sched = w.sched
+	// Publish under the mutex: DiskSet/DiskStats/SetIODelay may be called
+	// concurrently with this first-Execute build. (The Execute path itself
+	// is ordered by the build sync.Once, and Close by the in-flight
+	// WaitGroup.)
+	w.mu.Lock()
+	w.store, w.bitmaps = store, bf
+	w.diskset, w.placement = ds, pl
+	w.sexec = ex
+	w.mu.Unlock()
+	if w.opt.ioDelay > 0 {
+		w.SetIODelay(w.opt.ioDelay)
+	}
+	return nil
+}
+
+// modelPlacement is the placement assumed by Explain's queue response
+// model: the configured declustering, or one disk.
+func (w *Warehouse) modelPlacement() alloc.Placement {
+	if w.opt.disks > 0 {
+		return alloc.Placement{Disks: w.opt.disks, Scheme: w.opt.scheme, Staggered: w.opt.staggered, Cluster: w.opt.cluster}
+	}
+	return alloc.Placement{Disks: 1, Scheme: w.opt.scheme, Staggered: w.opt.staggered, Cluster: w.opt.cluster}
+}
+
+// modelAccessTime is the per-access latency assumed by Explain's queue
+// response model: the configured I/O delay (an explicit zero models
+// ideal disks), or the paper's Table 4 seek + settle time when
+// WithIODelay was never given.
+func (w *Warehouse) modelAccessTime() time.Duration {
+	if w.opt.ioDelaySet {
+		return w.opt.ioDelay
+	}
+	return 12 * time.Millisecond
+}
