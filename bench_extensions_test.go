@@ -140,7 +140,7 @@ func BenchmarkExtBTreeLookup(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if len(q) != 2 {
+		if len(q.Preds) != 2 {
 			b.Fatal("bad query")
 		}
 	}

@@ -1,0 +1,75 @@
+package mdhf
+
+// BenchmarkGroupedRollup measures what grouped roll-ups cost on top of
+// the ungrouped aggregate, on the in-memory engine and the on-disk
+// executor over the reduced-scale APB-1 warehouse: "ungrouped" is the
+// baseline full roll-up, "aligned" groups by the fragmentation attribute
+// time::month (the MDHF fast path: one constant group key per fragment,
+// zero per-row work — the acceptance bar is ≤ ~5% over the baseline),
+// and "perrow" groups by the non-fragmentation customer::store (the
+// documented fallback: per-row key arithmetic plus map updates). Results
+// are asserted against the scan oracle before timing.
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func BenchmarkGroupedRollup(b *testing.B) {
+	ctx := context.Background()
+	star := APB1Scaled(60)
+	tab := MustGenerateData(star, 3)
+	queries := map[string]string{
+		"ungrouped": "time::quarter=1",
+		"aligned":   "time::quarter=1 group by time::month",
+		"perrow":    "time::quarter=1 group by customer::store",
+	}
+	for _, backend := range []struct {
+		name string
+		opts []Option
+	}{
+		{"engine", nil},
+		{"storage", []Option{WithOnDisk("")}},
+	} {
+		w, err := Open(ctx, Config{
+			Star:          star,
+			Fragmentation: "time::month, product::group",
+			Table:         tab,
+		}, backend.opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { w.Close() })
+		for _, variant := range []string{"ungrouped", "aligned", "perrow"} {
+			pq, err := w.QueryText(queries[variant])
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Correctness gate before timing: byte-identical to the oracle.
+			res, _, err := pq.Execute(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			want, err := ScanGroupedAggregate(tab, pq.Query())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Aggregate != want.Aggregate || !reflect.DeepEqual(res.Groups, want.Groups) {
+				b.Fatalf("%s/%s diverges from scan oracle", backend.name, variant)
+			}
+			b.Run(fmt.Sprintf("%s/%s", backend.name, variant), func(b *testing.B) {
+				groups := 0
+				for i := 0; i < b.N; i++ {
+					r, _, err := pq.Execute(ctx)
+					if err != nil {
+						b.Fatal(err)
+					}
+					groups = len(r.Groups)
+				}
+				b.ReportMetric(float64(groups), "groups")
+			})
+		}
+	}
+}

@@ -57,9 +57,11 @@ func BenchmarkConcurrentServing(b *testing.B) {
 	// Serial baseline results (no delay): the byte-identity reference.
 	want := make([]Aggregate, len(qs))
 	for i, q := range qs {
-		if want[i], _, err = w.Query(q).Execute(ctx); err != nil {
+		res, _, err := w.Query(q).Execute(ctx)
+		if err != nil {
 			b.Fatal(err)
 		}
+		want[i] = res.Aggregate
 	}
 
 	w.SetIODelay(200 * time.Microsecond)
@@ -82,7 +84,7 @@ func BenchmarkConcurrentServing(b *testing.B) {
 								errc <- err
 								return
 							}
-							if agg != want[idx] {
+							if agg.Aggregate != want[idx] {
 								errc <- fmt.Errorf("query %d diverged under %d streams: got %+v want %+v",
 									idx, streams, agg, want[idx])
 								return

@@ -36,6 +36,7 @@ func main() {
 	var queries queryList
 	flag.Var(&queries, "query", "query, e.g. \"customer::store=7\" (repeatable)")
 	workers := flag.Int("workers", 0, "parallel estimate workers for repeated -query flags (<1 = one per CPU)")
+	groupBy := flag.String("groupby", "", "GROUP BY levels appended to every -query, e.g. \"time::month, product::family\"")
 	disks := flag.Int("disks", 0, "also model response time on this many declustered disks (per-disk queue model)")
 	scheme := flag.String("scheme", "rr", "disk placement scheme: rr (round-robin) or gap")
 	access := flag.Duration("access", 12*time.Millisecond, "per-disk access time for the queue model (Table 4: seek + settle)")
@@ -68,7 +69,7 @@ func main() {
 	}
 
 	if *fragText != "" {
-		if err := printEstimates(*fragText, queries, *workers, *disks, *scheme, *access); err != nil {
+		if err := printEstimates(*fragText, queries, *groupBy, *workers, *disks, *scheme, *access); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -121,7 +122,7 @@ func printBitmaps() {
 // the results in flag order. With -disks the warehouse models the
 // declustered placement and each Explain carries the per-disk queue
 // response estimate.
-func printEstimates(fragText string, queryTexts []string, workers, disks int, schemeName string, access time.Duration) error {
+func printEstimates(fragText string, queryTexts []string, groupBy string, workers, disks int, schemeName string, access time.Duration) error {
 	ctx := context.Background()
 	opts := []mdhf.Option{mdhf.WithWorkers(workers)}
 	sch := mdhf.RoundRobin
@@ -148,6 +149,9 @@ func printEstimates(fragText string, queryTexts []string, workers, disks int, sc
 	}
 	qs := make([]mdhf.Query, len(queryTexts))
 	for i, text := range queryTexts {
+		if groupBy != "" {
+			text += " group by " + groupBy
+		}
 		if qs[i], err = mdhf.ParseQuery(w.Star(), text); err != nil {
 			return err
 		}
@@ -161,8 +165,15 @@ func printEstimates(fragText string, queryTexts []string, workers, disks int, sc
 		if i > 0 {
 			fmt.Println()
 		}
-		fmt.Printf("query:          %s  (class %s, %s)\n", queryTexts[i], e.Class, e.Cost.Class)
+		fmt.Printf("query:          %s  (class %s, %s)\n", mdhf.FormatQuery(w.Star(), qs[i]), e.Class, e.Cost.Class)
 		fmt.Printf("fragments:      %d of %d\n", e.Cost.Fragments, spec.NumFragments())
+		if len(qs[i].GroupBy) > 0 {
+			path := "per-row fallback"
+			if e.Cost.GroupAligned {
+				path = "fragment-aligned (constant key per fragment, no per-row work)"
+			}
+			fmt.Printf("groups:         ~%d expected, %s; grouping adds no I/O\n", e.Cost.Groups, path)
+		}
 		fmt.Printf("bitmaps/frag:   %d\n", e.Cost.BitmapsPerFragment)
 		fmt.Printf("fact I/O:       %d pages in %d ops\n", e.Cost.FactPages, e.Cost.FactIOs)
 		fmt.Printf("bitmap I/O:     %d pages in %d ops\n", e.Cost.BitmapPages, e.Cost.BitmapIOs)

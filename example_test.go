@@ -123,3 +123,39 @@ func ExampleWarehouse_Advise() {
 	// Output:
 	// best of 64 admissible: {product::family, customer::retailer, time::year}
 }
+
+// ExamplePreparedQuery_Execute_groupBy runs a grouped roll-up — the
+// workload MDHF fragments are aligned for: grouping by the
+// fragmentation attribute month costs zero per-row work (one constant
+// group key per fragment), and the group rows come back in
+// deterministic member order on every backend.
+func ExamplePreparedQuery_Execute_groupBy() {
+	ctx := context.Background()
+	w, err := mdhf.Open(ctx, mdhf.Config{
+		Star:          mdhf.APB1Scaled(60),
+		Fragmentation: "time::month, product::group",
+		Seed:          42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer w.Close()
+
+	q, err := w.QueryText("time::quarter=1 group by time::month")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, _, err := q.Execute(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range res.Groups {
+		fmt.Printf("month %d: %d rows, units sold %d\n", row.Members[0], row.Agg.Count, row.Agg.UnitsSold)
+	}
+	fmt.Printf("total: %d rows (= sum of the groups)\n", res.Count)
+	// Output:
+	// month 3: 14541 rows, units sold 730613
+	// month 4: 14356 rows, units sold 727413
+	// month 5: 14514 rows, units sold 729147
+	// total: 43411 rows (= sum of the groups)
+}

@@ -61,7 +61,7 @@ func main() {
 		}
 		check := mdhf.ScanAggregate(table, q)
 		status := "OK"
-		if agg != check {
+		if agg.Aggregate != check {
 			status = "MISMATCH"
 		}
 		fmt.Printf("%-14s class %-11s -> %6d rows, sum(DollarSales)=%d\n",

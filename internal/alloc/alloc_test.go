@@ -27,7 +27,7 @@ func TestSection46GcdClustering(t *testing.T) {
 	spec := frag.MustParse(s, "time::month, product::group")
 	p := s.DimIndex(schema.DimProduct)
 	code := s.Dim(schema.DimProduct).LevelIndex(schema.LvlCode)
-	q := frag.Query{{Dim: p, Level: code, Member: 77}}
+	q := frag.Query{Preds: []frag.Pred{{Dim: p, Level: code, Member: 77}}}
 
 	rr := Placement{Disks: 100, Scheme: RoundRobin, Staggered: true}
 	if got := DisksUsed(spec, q, rr); got != 5 {
@@ -53,7 +53,7 @@ func TestFullDeclusteringForUnsupportedQuery(t *testing.T) {
 	spec := frag.MustParse(s, "time::month, product::group")
 	c := s.DimIndex(schema.DimCustomer)
 	store := s.Dim(schema.DimCustomer).LevelIndex(schema.LvlStore)
-	q := frag.Query{{Dim: c, Level: store, Member: 0}}
+	q := frag.Query{Preds: []frag.Pred{{Dim: c, Level: store, Member: 0}}}
 	for _, sch := range []Scheme{RoundRobin, GapRoundRobin} {
 		p := Placement{Disks: 100, Scheme: sch}
 		if got := DisksUsed(spec, q, p); got != 100 {
@@ -206,11 +206,11 @@ func TestDisksUsedMatchesBruteForce(t *testing.T) {
 	td := s.DimIndex(schema.DimTime)
 	cd := s.DimIndex(schema.DimCustomer)
 	queries := map[string]frag.Query{
-		"1CODE":    {{Dim: pd, Level: s.Dims[pd].LevelIndex(schema.LvlCode), Member: 77}},
-		"1MONTH":   {{Dim: td, Level: s.Dims[td].LevelIndex(schema.LvlMonth), Member: 3}},
-		"1GROUP":   {{Dim: pd, Level: s.Dims[pd].LevelIndex(schema.LvlGroup), Member: 2}},
-		"1STORE":   {{Dim: cd, Level: s.Dims[cd].LevelIndex(schema.LvlStore), Member: 9}},
-		"1QUARTER": {{Dim: td, Level: s.Dims[td].LevelIndex(schema.LvlQuarter), Member: 1}},
+		"1CODE":    {Preds: []frag.Pred{{Dim: pd, Level: s.Dims[pd].LevelIndex(schema.LvlCode), Member: 77}}},
+		"1MONTH":   {Preds: []frag.Pred{{Dim: td, Level: s.Dims[td].LevelIndex(schema.LvlMonth), Member: 3}}},
+		"1GROUP":   {Preds: []frag.Pred{{Dim: pd, Level: s.Dims[pd].LevelIndex(schema.LvlGroup), Member: 2}}},
+		"1STORE":   {Preds: []frag.Pred{{Dim: cd, Level: s.Dims[cd].LevelIndex(schema.LvlStore), Member: 9}}},
+		"1QUARTER": {Preds: []frag.Pred{{Dim: td, Level: s.Dims[td].LevelIndex(schema.LvlQuarter), Member: 1}}},
 	}
 	for name, q := range queries {
 		for _, disks := range []int{1, 2, 3, 5, 7, 16, 97, 100, 101} {

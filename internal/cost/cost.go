@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"repro/internal/frag"
+	"repro/internal/schema"
 )
 
 // Params holds the I/O parameters of the cost model.
@@ -42,6 +43,18 @@ type QueryCost struct {
 	// BitmapsPerFragment is the number of bitmap fragments read per fact
 	// fragment (0 for IOC1).
 	BitmapsPerFragment int
+
+	// Groups is the expected number of non-empty groups of a grouped
+	// query (1 without GROUP BY), under the uniformity assumption and
+	// capped by the expected hit rows.
+	Groups int64
+	// GroupAligned reports the fragment-aligned grouping fast path: every
+	// GROUP BY level at or above the fragmentation level of its
+	// dimension, so the group key is constant per fragment and grouping
+	// adds no per-row work. Grouping never adds I/O in either case — the
+	// stored tuples already carry the dimension keys the fallback buckets
+	// by — so the I/O counts below are grouping-independent.
+	GroupAligned bool
 
 	// FactPagesPerFragment is the expected number of fact pages read per
 	// relevant fragment (prefetch-granule aligned).
@@ -86,6 +99,8 @@ func Estimate(spec *frag.Spec, cfg frag.IndexConfig, q frag.Query, p Params) Que
 		Fragments:          spec.RelevantCount(q),
 		HitRows:            q.Hits(star),
 		BitmapsPerFragment: spec.BitmapsReadForQuery(cfg, q),
+		Groups:             estimateGroups(star, q),
+		GroupAligned:       spec.GroupAligned(q),
 	}
 
 	tpp := float64(star.FactTuplesPerPage())
@@ -127,6 +142,44 @@ func Estimate(spec *frag.Spec, cfg frag.IndexConfig, q frag.Query, p Params) Que
 
 	out.TotalBytes = (out.FactPages + out.BitmapPages) * int64(star.PageSize)
 	return out
+}
+
+// estimateGroups returns the expected number of non-empty groups under
+// uniformity. Within one dimension only the finest GROUP BY level counts
+// — coarser levels are functionally determined by it (each month lies in
+// exactly one quarter), so they multiply the key space but not the
+// number of non-empty groups. Per dimension: a predicate at a
+// finer-or-equal level than that finest GroupBy level pins one group
+// member, a coarser predicate leaves its fan-out many descendants, no
+// predicate leaves the full level domain. The product across dimensions
+// is capped by the expected hit rows (a group needs at least one row).
+func estimateGroups(star *schema.Star, q frag.Query) int64 {
+	finest := make(map[int]int, len(q.GroupBy)) // dim -> finest GroupBy level
+	for _, ref := range q.GroupBy {
+		if l, ok := finest[ref.Dim]; !ok || ref.Level > l {
+			finest[ref.Dim] = ref.Level
+		}
+	}
+	groups := int64(1)
+	for dim, level := range finest {
+		d := &star.Dims[dim]
+		members := int64(d.Levels[level].Card)
+		if p, ok := q.PredOnDim(dim); ok {
+			if p.Level >= level {
+				members = 1 // the predicate's ancestor is the only group
+			} else {
+				members = int64(d.FanOutBetween(p.Level, level))
+			}
+		}
+		groups *= members
+	}
+	if hits := int64(math.Ceil(q.Hits(star))); groups > hits {
+		groups = hits
+	}
+	if groups < 1 {
+		groups = 1
+	}
+	return groups
 }
 
 // TotalWork estimates the weighted total I/O bytes of a query mix under a

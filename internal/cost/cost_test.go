@@ -11,7 +11,7 @@ import (
 func storeQuery(s *schema.Star) frag.Query {
 	c := s.DimIndex(schema.DimCustomer)
 	store := s.Dim(schema.DimCustomer).LevelIndex(schema.LvlStore)
-	return frag.Query{{Dim: c, Level: store, Member: 5}}
+	return frag.Query{Preds: []frag.Pred{{Dim: c, Level: store, Member: 5}}}
 }
 
 // TestTable3Fopt reproduces the Fopt column of Table 3: 1STORE under
@@ -103,7 +103,7 @@ func TestFigure6FragmentationShape(t *testing.T) {
 	tm := s.DimIndex(schema.DimTime)
 	code := s.Dim(schema.DimProduct).LevelIndex(schema.LvlCode)
 	quarter := s.Dim(schema.DimTime).LevelIndex(schema.LvlQuarter)
-	q14 := frag.Query{{Dim: p, Level: code, Member: 3}, {Dim: tm, Level: quarter, Member: 1}}
+	q14 := frag.Query{Preds: []frag.Pred{{Dim: p, Level: code, Member: 3}, {Dim: tm, Level: quarter, Member: 1}}}
 
 	group := frag.MustParse(s, "time::month, product::group")
 	class := frag.MustParse(s, "time::month, product::class")
@@ -156,8 +156,8 @@ func TestIOC1SubsetScaling(t *testing.T) {
 	group := s.Dim(schema.DimProduct).LevelIndex(schema.LvlGroup)
 	month := s.Dim(schema.DimTime).LevelIndex(schema.LvlMonth)
 
-	both := Estimate(spec, cfg, frag.Query{{Dim: tm, Level: month, Member: 0}, {Dim: p, Level: group, Member: 0}}, DefaultParams())
-	groupOnly := Estimate(spec, cfg, frag.Query{{Dim: p, Level: group, Member: 0}}, DefaultParams())
+	both := Estimate(spec, cfg, frag.Query{Preds: []frag.Pred{{Dim: tm, Level: month, Member: 0}, {Dim: p, Level: group, Member: 0}}}, DefaultParams())
+	groupOnly := Estimate(spec, cfg, frag.Query{Preds: []frag.Pred{{Dim: p, Level: group, Member: 0}}}, DefaultParams())
 	if both.Fragments != 1 || groupOnly.Fragments != 24 {
 		t.Fatalf("fragments = %d / %d, want 1 / 24", both.Fragments, groupOnly.Fragments)
 	}
@@ -235,7 +235,7 @@ func TestAdviseMixedWorkload(t *testing.T) {
 	group := s.Dim(schema.DimProduct).LevelIndex(schema.LvlGroup)
 	month := s.Dim(schema.DimTime).LevelIndex(schema.LvlMonth)
 	mix := []WeightedQuery{
-		{Name: "1MONTH1GROUP", Query: frag.Query{{Dim: tm, Level: month, Member: 0}, {Dim: p, Level: group, Member: 0}}, Weight: 0.5},
+		{Name: "1MONTH1GROUP", Query: frag.Query{Preds: []frag.Pred{{Dim: tm, Level: month, Member: 0}, {Dim: p, Level: group, Member: 0}}}, Weight: 0.5},
 		{Name: "1STORE", Query: storeQuery(s), Weight: 0.5},
 	}
 	th := frag.Thresholds{MinBitmapFragPages: 1, MaxFragments: 60_000, MinFragments: 100}
@@ -250,5 +250,55 @@ func TestAdviseMixedWorkload(t *testing.T) {
 	w := TotalWork(ranked[0].Spec, cfg, mix, DefaultParams())
 	if math.Abs(w-ranked[0].Work) > 1 {
 		t.Errorf("TotalWork = %g, Work = %g", w, ranked[0].Work)
+	}
+}
+
+// TestEstimateGroups covers the grouped-query estimate: hierarchy
+// correlation within one dimension (grouping by quarter AND month yields
+// only Card(month) non-empty groups), predicate pinning, the hit-rows
+// cap, and the aligned-path flag.
+func TestEstimateGroups(t *testing.T) {
+	s := schema.Tiny()
+	spec := frag.MustParse(s, "time::month, product::group")
+	cfg := frag.APB1Indexes(s)
+	p := DefaultParams()
+	td := s.DimIndex(schema.DimTime)
+	pd := s.DimIndex(schema.DimProduct)
+	cd := s.DimIndex(schema.DimCustomer)
+	month := s.Dims[td].LevelIndex(schema.LvlMonth)
+	quarter := s.Dims[td].LevelIndex(schema.LvlQuarter)
+	code := s.Dims[pd].LevelIndex(schema.LvlCode)
+	store := s.Dims[cd].LevelIndex(schema.LvlStore)
+
+	q := frag.Query{GroupBy: []frag.LevelRef{{Dim: td, Level: quarter}, {Dim: td, Level: month}}}
+	if c := Estimate(spec, cfg, q, p); c.Groups != 4 || !c.GroupAligned {
+		t.Fatalf("quarter+month: Groups=%d aligned=%v, want 4 aligned", c.Groups, c.GroupAligned)
+	}
+	// A finer predicate pins one group member of a coarser GroupBy level.
+	q = frag.Query{
+		Preds:   []frag.Pred{{Dim: td, Level: month, Member: 1}},
+		GroupBy: []frag.LevelRef{{Dim: td, Level: quarter}},
+	}
+	if c := Estimate(spec, cfg, q, p); c.Groups != 1 || !c.GroupAligned {
+		t.Fatalf("month pred, quarter group: Groups=%d aligned=%v, want 1 aligned", c.Groups, c.GroupAligned)
+	}
+	// A coarser predicate leaves its fan-out many descendants; a finer
+	// GroupBy level is not aligned.
+	q = frag.Query{
+		Preds:   []frag.Pred{{Dim: pd, Level: 0, Member: 1}},
+		GroupBy: []frag.LevelRef{{Dim: pd, Level: code}},
+	}
+	if c := Estimate(spec, cfg, q, p); c.Groups != 4 || c.GroupAligned {
+		t.Fatalf("group pred, code group: Groups=%d aligned=%v, want 4 fallback", c.Groups, c.GroupAligned)
+	}
+	// Non-fragmentation dimension: full domain, not aligned.
+	q = frag.Query{GroupBy: []frag.LevelRef{{Dim: cd, Level: store}}}
+	if c := Estimate(spec, cfg, q, p); c.Groups != 6 || c.GroupAligned {
+		t.Fatalf("store group: Groups=%d aligned=%v, want 6 fallback", c.Groups, c.GroupAligned)
+	}
+	// Ungrouped queries report one group.
+	q = frag.Query{Preds: []frag.Pred{{Dim: td, Level: month, Member: 0}}}
+	if c := Estimate(spec, cfg, q, p); c.Groups != 1 {
+		t.Fatalf("ungrouped: Groups=%d, want 1", c.Groups)
 	}
 }

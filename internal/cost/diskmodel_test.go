@@ -17,8 +17,8 @@ func diskModelFixture(t *testing.T) (*schema.Star, *frag.Spec, frag.IndexConfig,
 	icfg := frag.APB1Indexes(s)
 	pd := s.DimIndex(schema.DimProduct)
 	cd := s.DimIndex(schema.DimCustomer)
-	qCode := frag.Query{{Dim: pd, Level: s.Dims[pd].LevelIndex(schema.LvlCode), Member: 77}}
-	qStore := frag.Query{{Dim: cd, Level: s.Dims[cd].LevelIndex(schema.LvlStore), Member: 7}}
+	qCode := frag.Query{Preds: []frag.Pred{{Dim: pd, Level: s.Dims[pd].LevelIndex(schema.LvlCode), Member: 77}}}
+	qStore := frag.Query{Preds: []frag.Pred{{Dim: cd, Level: s.Dims[cd].LevelIndex(schema.LvlStore), Member: 7}}}
 	return s, spec, icfg, qCode, qStore
 }
 

@@ -18,12 +18,12 @@ func randomSpecAndQuery(rng *rand.Rand, s *schema.Star, specs []*frag.Spec) (*fr
 			continue
 		}
 		li := rng.Intn(s.Dims[di].Depth())
-		q = append(q, frag.Pred{Dim: di, Level: li, Member: rng.Intn(s.Dims[di].Levels[li].Card)})
+		q.Preds = append(q.Preds, frag.Pred{Dim: di, Level: li, Member: rng.Intn(s.Dims[di].Levels[li].Card)})
 	}
-	if len(q) == 0 {
+	if len(q.Preds) == 0 {
 		di := rng.Intn(len(s.Dims))
 		li := rng.Intn(s.Dims[di].Depth())
-		q = frag.Query{{Dim: di, Level: li, Member: rng.Intn(s.Dims[di].Levels[li].Card)}}
+		q = frag.Query{Preds: []frag.Pred{{Dim: di, Level: li, Member: rng.Intn(s.Dims[di].Levels[li].Card)}}}
 	}
 	return spec, q
 }
@@ -96,9 +96,9 @@ func TestCostMonotoneInConfinement(t *testing.T) {
 			continue
 		}
 		li := rng.Intn(s.Dims[free].Depth())
-		extended := append(append(frag.Query{}, base...), frag.Pred{
+		extended := frag.Query{Preds: append(append([]frag.Pred{}, base.Preds...), frag.Pred{
 			Dim: free, Level: li, Member: rng.Intn(s.Dims[free].Levels[li].Card),
-		})
+		})}
 		if spec.RelevantCount(extended) > spec.RelevantCount(base) {
 			t.Fatalf("iter %d: adding a predicate increased fragments (%s: %v -> %v)",
 				iter, spec, base, extended)
@@ -116,14 +116,14 @@ func TestRelevantCountFormula(t *testing.T) {
 		attrs := spec.Attrs()
 		var full frag.Query
 		for _, a := range attrs {
-			full = append(full, frag.Pred{Dim: a.Dim, Level: a.Level,
+			full.Preds = append(full.Preds, frag.Pred{Dim: a.Dim, Level: a.Level,
 				Member: rng.Intn(s.Dims[a.Dim].Levels[a.Level].Card)})
 		}
 		if got := spec.RelevantCount(full); got != 1 {
 			t.Fatalf("%s: full Q1 query touches %d fragments", spec, got)
 		}
-		if len(full) > 1 {
-			dropped := full[1:]
+		if len(full.Preds) > 1 {
+			dropped := frag.Query{Preds: full.Preds[1:]}
 			card := int64(s.Dims[attrs[0].Dim].Levels[attrs[0].Level].Card)
 			if got := spec.RelevantCount(dropped); got != card {
 				t.Fatalf("%s: dropping one attribute gives %d fragments, want %d", spec, got, card)

@@ -115,38 +115,110 @@ func (c *Catalog) Bytes() int {
 	return total
 }
 
+// levelRef resolves a "dim.level" attribute reference.
+func (c *Catalog) levelRef(attr string) (frag.LevelRef, error) {
+	dl := strings.SplitN(strings.TrimSpace(attr), ".", 2)
+	if len(dl) != 2 {
+		return frag.LevelRef{}, fmt.Errorf("dimtable: malformed attribute %q (want dim.level)", attr)
+	}
+	di := c.Star.DimIndex(strings.TrimSpace(dl[0]))
+	if di < 0 {
+		return frag.LevelRef{}, fmt.Errorf("dimtable: unknown dimension %q", dl[0])
+	}
+	li := c.Star.Dims[di].LevelIndex(strings.TrimSpace(dl[1]))
+	if li < 0 {
+		return frag.LevelRef{}, fmt.Errorf("dimtable: unknown level %q of %s", dl[1], dl[0])
+	}
+	return frag.LevelRef{Dim: di, Level: li}, nil
+}
+
 // ParseQuery resolves a name-level star query of the form
 // "dim.level = 'NAME', ..." into integer predicates, using the B+-tree
 // indices — the front-end path of query processing step 1 (Section 4.3).
+// A trailing "group by dim.level, ..." clause (case-insensitive) sets the
+// query's GroupBy levels.
 func (c *Catalog) ParseQuery(text string) (frag.Query, error) {
 	var q frag.Query
-	for _, part := range strings.Split(text, ",") {
+	sel, gb, hasGB := frag.SplitGroupBy(text)
+	for _, part := range strings.Split(sel, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
 			continue
 		}
 		eq := strings.SplitN(part, "=", 2)
 		if len(eq) != 2 {
-			return nil, fmt.Errorf("dimtable: malformed predicate %q", part)
+			return frag.Query{}, fmt.Errorf("dimtable: malformed predicate %q", part)
 		}
-		dl := strings.SplitN(strings.TrimSpace(eq[0]), ".", 2)
-		if len(dl) != 2 {
-			return nil, fmt.Errorf("dimtable: malformed attribute %q (want dim.level)", eq[0])
+		ref, err := c.levelRef(eq[0])
+		if err != nil {
+			return frag.Query{}, err
 		}
-		di := c.Star.DimIndex(strings.TrimSpace(dl[0]))
-		if di < 0 {
-			return nil, fmt.Errorf("dimtable: unknown dimension %q", dl[0])
+		name, err := unquote(strings.TrimSpace(eq[1]))
+		if err != nil {
+			return frag.Query{}, err
 		}
-		li := c.Star.Dims[di].LevelIndex(strings.TrimSpace(dl[1]))
-		if li < 0 {
-			return nil, fmt.Errorf("dimtable: unknown level %q of %s", dl[1], dl[0])
-		}
-		name := strings.Trim(strings.TrimSpace(eq[1]), "'\"")
-		m, ok := c.Tables[di].Lookup(li, name)
+		m, ok := c.Tables[ref.Dim].Lookup(ref.Level, name)
 		if !ok {
-			return nil, fmt.Errorf("dimtable: no member %q at %s.%s", name, dl[0], dl[1])
+			return frag.Query{}, fmt.Errorf("dimtable: no member %q at %s", name, strings.TrimSpace(eq[0]))
 		}
-		q = append(q, frag.Pred{Dim: di, Level: li, Member: m})
+		q.Preds = append(q.Preds, frag.Pred{Dim: ref.Dim, Level: ref.Level, Member: m})
+	}
+	if hasGB {
+		if strings.TrimSpace(gb) == "" {
+			return frag.Query{}, fmt.Errorf("dimtable: empty GROUP BY clause")
+		}
+		for _, part := range strings.Split(gb, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				return frag.Query{}, fmt.Errorf("dimtable: empty GROUP BY item")
+			}
+			ref, err := c.levelRef(part)
+			if err != nil {
+				return frag.Query{}, err
+			}
+			q.GroupBy = append(q.GroupBy, ref)
+		}
 	}
 	return q, q.Validate(c.Star)
+}
+
+// unquote strips a balanced pair of single or double quotes from a
+// member-name value; an unbalanced quote is an error, a bare name is
+// passed through.
+func unquote(v string) (string, error) {
+	if len(v) >= 1 && (v[0] == '\'' || v[0] == '"') {
+		if len(v) < 2 || v[len(v)-1] != v[0] {
+			return "", fmt.Errorf("dimtable: unbalanced quote in %q", v)
+		}
+		return v[1 : len(v)-1], nil
+	}
+	if len(v) >= 1 && (v[len(v)-1] == '\'' || v[len(v)-1] == '"') {
+		return "", fmt.Errorf("dimtable: unbalanced quote in %q", v)
+	}
+	return v, nil
+}
+
+// FormatQuery renders a query in the name-level notation ParseQuery
+// accepts ("dim.level = 'NAME' ... group by dim.level"); FormatQuery then
+// ParseQuery round-trips exactly.
+func (c *Catalog) FormatQuery(q frag.Query) string {
+	var b strings.Builder
+	for i, p := range q.Preds {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		d := &c.Star.Dims[p.Dim]
+		fmt.Fprintf(&b, "%s.%s = '%s'", d.Name, d.Levels[p.Level].Name, c.Tables[p.Dim].Name(p.Level, p.Member))
+	}
+	if len(q.GroupBy) > 0 {
+		b.WriteString(" group by ")
+		for i, ref := range q.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			d := &c.Star.Dims[ref.Dim]
+			fmt.Fprintf(&b, "%s.%s", d.Name, d.Levels[ref.Level].Name)
+		}
+	}
+	return b.String()
 }

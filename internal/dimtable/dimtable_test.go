@@ -74,8 +74,8 @@ func TestCatalogParseQuery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(q) != 2 {
-		t.Fatalf("preds = %d", len(q))
+	if len(q.Preds) != 2 {
+		t.Fatalf("preds = %d", len(q.Preds))
 	}
 	spec := frag.MustParse(s, "time::month, product::group")
 	if got := spec.RelevantCount(q); got != 1 {

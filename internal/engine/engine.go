@@ -5,6 +5,10 @@
 // Shared Disk processing nodes. It validates that the fragment-confinement
 // and bitmap-elimination logic of internal/frag produces correct query
 // answers, complementing the timing-oriented SIMPAD simulator.
+//
+// Aggregation — including grouped roll-ups — runs on the shared
+// internal/kernel types, so the engine's results are structurally
+// identical to the on-disk executor's.
 package engine
 
 import (
@@ -16,41 +20,17 @@ import (
 	"repro/internal/data"
 	"repro/internal/exec"
 	"repro/internal/frag"
+	"repro/internal/kernel"
 	"repro/internal/schema"
 )
 
 // Aggregate is a star query result: COUNT plus the three APB-1 measure
-// sums.
-type Aggregate struct {
-	Count       int64
-	UnitsSold   int64
-	DollarSales int64
-	Cost        int64
-}
-
-func (a *Aggregate) add(o Aggregate) {
-	a.Count += o.Count
-	a.UnitsSold += o.UnitsSold
-	a.DollarSales += o.DollarSales
-	a.Cost += o.Cost
-}
+// sums — the shared kernel aggregate.
+type Aggregate = kernel.Aggregate
 
 // Stats reports the work a query execution performed — used to assert the
 // paper's confinement claims, not just result correctness.
-type Stats struct {
-	// FragmentsProcessed is the number of fragments visited.
-	FragmentsProcessed int
-	// RowsScanned is the number of fact rows whose measures were read.
-	RowsScanned int64
-	// BitmapsRead is the number of bitmap(-fragment)s evaluated.
-	BitmapsRead int64
-}
-
-func (s *Stats) add(o Stats) {
-	s.FragmentsProcessed += o.FragmentsProcessed
-	s.RowsScanned += o.RowsScanned
-	s.BitmapsRead += o.BitmapsRead
-}
+type Stats = kernel.Stats
 
 // fragment holds one fact fragment's rows (column-oriented) and its bitmap
 // index fragments.
@@ -237,7 +217,8 @@ func (e *Engine) buildIndexes(f *fragment, vals []int32) []int32 {
 func (e *Engine) NumFragments() int { return len(e.frags) }
 
 // Execute runs the star query with the given number of parallel workers
-// (processing nodes) and returns the aggregate plus work statistics.
+// (processing nodes) and returns the grand-total aggregate plus work
+// statistics (any GroupBy on the query is ignored — use ExecuteGrouped).
 // Values below 1 mean one worker per available CPU. Results are identical
 // at any worker count: per-fragment partials merge in fragment allocation
 // order on the shared internal/exec pool.
@@ -247,7 +228,15 @@ func (e *Engine) Execute(q frag.Query, workers int) (Aggregate, Stats, error) {
 
 // partial is one fragment's contribution to a query result.
 type partial struct {
+	fp kernel.FragPartial
+	st Stats
+}
+
+// acc is a query's running result: the task-ordered fold of the
+// fragments' partials.
+type acc struct {
 	agg Aggregate
+	g   *kernel.Grouped
 	st  Stats
 }
 
@@ -267,43 +256,79 @@ func newScratch() *scratch {
 	return &scratch{hits: bitmap.New(0), sel: bitmap.New(0), cres: &bitmap.Compressed{}}
 }
 
+// rowKey composes a row's group key from the fragment-constant base and
+// the per-row GroupBy levels, reading the row's leaf members off the
+// column store.
+func rowKey(base uint64, perRow []kernel.RowLevel, dims [][]int32, i int) uint64 {
+	for _, rl := range perRow {
+		base += uint64(int64(dims[rl.Dim][i])/rl.Div) * rl.Weight
+	}
+	return base
+}
+
 // fragmentTask returns the per-fragment task body shared by the private
-// worker-pool path and the scheduler path.
-func (e *Engine) fragmentTask(ids []int64, q frag.Query) func(sc *scratch, i int) (partial, error) {
+// worker-pool path and the scheduler path. With a grouper, the
+// fragment-aligned fast path tags the fragment total with its constant
+// group key (zero per-row work); the fallback buckets rows into a
+// fragment-local group map.
+func (e *Engine) fragmentTask(ids []int64, q frag.Query, gr *kernel.Grouper) func(sc *scratch, i int) (partial, error) {
+	var perRow []kernel.RowLevel
+	aligned := false
+	if gr != nil {
+		aligned = gr.Aligned()
+		perRow = gr.PerRow()
+	}
 	return func(sc *scratch, i int) (partial, error) {
 		f, ok := e.frags[ids[i]]
 		if !ok {
 			return partial{}, nil // fragment has no rows at this density
 		}
-		var agg Aggregate
-		var st Stats
-		if e.compressed {
-			agg, st = e.processFragmentCompressed(f, q, sc)
-		} else {
-			agg, st = e.processFragment(f, q, sc)
+		var p partial
+		var base uint64
+		if gr != nil {
+			base = gr.FragKey(ids[i])
+			if aligned {
+				p.fp.OneGroup, p.fp.Key = true, base
+			} else {
+				p.fp.Groups = kernel.NewGrouped()
+			}
 		}
-		st.FragmentsProcessed = 1
-		return partial{agg: agg, st: st}, nil
+		if e.compressed {
+			e.processFragmentCompressed(f, q, sc, &p, base, perRow)
+		} else {
+			e.processFragment(f, q, sc, &p, base, perRow)
+		}
+		p.st.FragmentsProcessed = 1
+		return p, nil
 	}
 }
 
-func mergePartial(acc *partial, p partial) {
-	acc.agg.add(p.agg)
-	acc.st.add(p.st)
+// mergePartial folds one fragment's partial into the running result
+// (strictly in task order under every dispatch mode).
+func mergePartial(grouped bool) func(a *acc, p partial) {
+	return func(a *acc, p partial) {
+		if grouped && a.g == nil {
+			a.g = kernel.NewGrouped()
+		}
+		p.fp.MergeInto(&a.agg, a.g)
+		a.st.Add(p.st)
+	}
 }
 
 // ExecuteContext is Execute with cancellation.
 func (e *Engine) ExecuteContext(ctx context.Context, q frag.Query, workers int) (Aggregate, Stats, error) {
-	if err := q.Validate(e.star); err != nil {
-		return Aggregate{}, Stats{}, err
-	}
-	ids := e.spec.FragmentIDs(q)
-	res, err := exec.ReduceWith(ctx, workers, len(ids), newScratch,
-		e.fragmentTask(ids, q), mergePartial)
-	if err != nil {
-		return Aggregate{}, Stats{}, err
-	}
-	return res.agg, res.st, nil
+	q.GroupBy = nil // grouping never changes the grand total
+	res, st, err := e.executeFull(ctx, q, workers, nil)
+	return res.Aggregate, st, err
+}
+
+// ExecuteGrouped is ExecuteContext returning the full result: the grand
+// total plus, when the query has a GroupBy, the per-group rows in the
+// deterministic kernel order. On the fragment-aligned fast path (every
+// GroupBy level at or above its dimension's fragmentation level) grouping
+// performs no per-row work at all.
+func (e *Engine) ExecuteGrouped(ctx context.Context, q frag.Query, workers int) (kernel.Result, Stats, error) {
+	return e.executeFull(ctx, q, workers, nil)
 }
 
 // ExecuteOn is ExecuteContext dispatched through a shared admission
@@ -313,43 +338,69 @@ func (e *Engine) ExecuteContext(ctx context.Context, q frag.Query, workers int) 
 // task-ordered gather makes the result bit-for-bit identical to Execute
 // at any pool size or admission mix.
 func (e *Engine) ExecuteOn(ctx context.Context, s *exec.Scheduler, q frag.Query) (Aggregate, Stats, error) {
-	if s == nil {
-		return e.ExecuteContext(ctx, q, 0)
-	}
+	q.GroupBy = nil
+	res, st, err := e.executeFull(ctx, q, 0, s)
+	return res.Aggregate, st, err
+}
+
+// ExecuteGroupedOn is ExecuteGrouped dispatched through a shared
+// admission scheduler (see ExecuteOn).
+func (e *Engine) ExecuteGroupedOn(ctx context.Context, s *exec.Scheduler, q frag.Query) (kernel.Result, Stats, error) {
+	return e.executeFull(ctx, q, 0, s)
+}
+
+// executeFull runs the query on either dispatch path and assembles the
+// (possibly grouped) result.
+func (e *Engine) executeFull(ctx context.Context, q frag.Query, workers int, s *exec.Scheduler) (kernel.Result, Stats, error) {
 	if err := q.Validate(e.star); err != nil {
-		return Aggregate{}, Stats{}, err
+		return kernel.Result{}, Stats{}, err
+	}
+	gr, err := kernel.NewGrouper(e.star, e.spec, q.GroupBy)
+	if err != nil {
+		return kernel.Result{}, Stats{}, err
 	}
 	ids := e.spec.FragmentIDs(q)
-	res, err := exec.ReduceOn(ctx, s, len(ids), newScratch,
-		e.fragmentTask(ids, q), mergePartial)
-	if err != nil {
-		return Aggregate{}, Stats{}, err
+	task := e.fragmentTask(ids, q, gr)
+	merge := mergePartial(gr != nil)
+	var a acc
+	if s != nil {
+		a, err = exec.ReduceOn(ctx, s, len(ids), newScratch, task, merge)
+	} else {
+		a, err = exec.ReduceWith(ctx, workers, len(ids), newScratch, task, merge)
 	}
-	return res.agg, res.st, nil
+	if err != nil {
+		return kernel.Result{}, Stats{}, err
+	}
+	res := kernel.Result{Aggregate: a.agg}
+	if gr != nil {
+		res.Groups = gr.Rows(a.g)
+	}
+	return res, a.st, nil
 }
 
 // processFragment evaluates the query inside one fragment: bitmap
 // selections for the predicates that need them (Section 4.3 step 2), AND
 // them, then aggregate the hit rows — or all rows when no bitmap is needed
 // (query types Q1/Q3). All selections land in sc's reusable bitsets and
-// aggregation runs word-wise, so the loop performs no allocation.
-func (e *Engine) processFragment(f *fragment, q frag.Query, sc *scratch) (Aggregate, Stats) {
-	var st Stats
+// aggregation runs word-wise; only the per-row grouping fallback (perRow
+// non-empty) adds key computation and map updates to the loop.
+func (e *Engine) processFragment(f *fragment, q frag.Query, sc *scratch, p *partial, base uint64, perRow []kernel.RowLevel) {
+	st := &p.st
 	first := true
-	for _, p := range q {
-		if !e.spec.NeedsBitmap(p) {
+	for _, pr := range q.Preds {
+		if !e.spec.NeedsBitmap(pr) {
 			continue
 		}
 		dst := sc.hits
 		if !first {
 			dst = sc.sel
 		}
-		switch e.icfg[p.Dim].Kind {
+		switch e.icfg[pr.Dim].Kind {
 		case frag.EncodedIndex:
-			nb := f.encoded[p.Dim].SelectPartialInto(dst, e.fragLevel(p.Dim), p.Level, p.Member)
+			nb := f.encoded[pr.Dim].SelectPartialInto(dst, e.fragLevel(pr.Dim), pr.Level, pr.Member)
 			st.BitmapsRead += int64(nb)
 		default:
-			f.simple[p.Dim][p.Level].SelectInto(dst, p.Member)
+			f.simple[pr.Dim][pr.Level].SelectInto(dst, pr.Member)
 			st.BitmapsRead++
 		}
 		if !first {
@@ -358,100 +409,155 @@ func (e *Engine) processFragment(f *fragment, q frag.Query, sc *scratch) (Aggreg
 		first = false
 	}
 
-	var agg Aggregate
+	agg := &p.fp.Agg
 	if first {
 		// All fragment rows are relevant (no bitmap access, IOC1-style).
 		st.RowsScanned += int64(f.rows)
-		for i := 0; i < f.rows; i++ {
-			agg.Count++
-			agg.UnitsSold += f.unitsSold[i]
-			agg.DollarSales += f.dollarSales[i]
-			agg.Cost += f.cost[i]
+		if len(perRow) == 0 {
+			for i := 0; i < f.rows; i++ {
+				agg.AddRow(f.unitsSold[i], f.dollarSales[i], f.cost[i])
+			}
+		} else {
+			for i := 0; i < f.rows; i++ {
+				agg.AddRow(f.unitsSold[i], f.dollarSales[i], f.cost[i])
+				p.fp.Groups.AddRow(rowKey(base, perRow, f.dims, i), f.unitsSold[i], f.dollarSales[i], f.cost[i])
+			}
 		}
-		return agg, st
+		return
 	}
-	sc.hits.ForEachWord(func(base int, w uint64) {
-		for w != 0 {
-			i := base + bits.TrailingZeros64(w)
-			w &= w - 1
-			agg.Count++
-			agg.UnitsSold += f.unitsSold[i]
-			agg.DollarSales += f.dollarSales[i]
-			agg.Cost += f.cost[i]
-		}
-	})
+	if len(perRow) == 0 {
+		sc.hits.ForEachWord(func(wordBase int, w uint64) {
+			for w != 0 {
+				i := wordBase + bits.TrailingZeros64(w)
+				w &= w - 1
+				agg.AddRow(f.unitsSold[i], f.dollarSales[i], f.cost[i])
+			}
+		})
+	} else {
+		sc.hits.ForEachWord(func(wordBase int, w uint64) {
+			for w != 0 {
+				i := wordBase + bits.TrailingZeros64(w)
+				w &= w - 1
+				agg.AddRow(f.unitsSold[i], f.dollarSales[i], f.cost[i])
+				p.fp.Groups.AddRow(rowKey(base, perRow, f.dims, i), f.unitsSold[i], f.dollarSales[i], f.cost[i])
+			}
+		})
+	}
 	st.RowsScanned += agg.Count
-	return agg, st
 }
 
 // processFragmentCompressed is the compressed-execution counterpart: the
 // predicates' bitmaps stay WAH-encoded, intersect in one k-way
 // run-skipping AndAll, and the hit rows stream out of the compressed
-// result range-wise — no Bitset is materialised at any point.
-func (e *Engine) processFragmentCompressed(f *fragment, q frag.Query, sc *scratch) (Aggregate, Stats) {
-	var st Stats
+// result range-wise — no Bitset is materialised at any point. Grouping
+// follows the same aligned/per-row split as processFragment.
+func (e *Engine) processFragmentCompressed(f *fragment, q frag.Query, sc *scratch, p *partial, base uint64, perRow []kernel.RowLevel) {
+	st := &p.st
 	ops := sc.ops[:0]
-	for _, p := range q {
-		if !e.spec.NeedsBitmap(p) {
+	for _, pr := range q.Preds {
+		if !e.spec.NeedsBitmap(pr) {
 			continue
 		}
-		switch e.icfg[p.Dim].Kind {
+		switch e.icfg[pr.Dim].Kind {
 		case frag.EncodedIndex:
 			var nb int
-			ops, nb = f.encodedC[p.Dim].SelectOperands(ops, e.fragLevel(p.Dim), p.Level, p.Member)
+			ops, nb = f.encodedC[pr.Dim].SelectOperands(ops, e.fragLevel(pr.Dim), pr.Level, pr.Member)
 			st.BitmapsRead += int64(nb)
 		default:
-			ops = append(ops, f.simpleC[p.Dim][p.Level].Bitmap(p.Member))
+			ops = append(ops, f.simpleC[pr.Dim][pr.Level].Bitmap(pr.Member))
 			st.BitmapsRead++
 		}
 	}
 	sc.ops = ops
 
-	var agg Aggregate
+	agg := &p.fp.Agg
 	if len(ops) == 0 {
 		// All fragment rows are relevant (no bitmap access, IOC1-style).
 		st.RowsScanned += int64(f.rows)
-		for i := 0; i < f.rows; i++ {
-			agg.Count++
-			agg.UnitsSold += f.unitsSold[i]
-			agg.DollarSales += f.dollarSales[i]
-			agg.Cost += f.cost[i]
+		if len(perRow) == 0 {
+			for i := 0; i < f.rows; i++ {
+				agg.AddRow(f.unitsSold[i], f.dollarSales[i], f.cost[i])
+			}
+		} else {
+			for i := 0; i < f.rows; i++ {
+				agg.AddRow(f.unitsSold[i], f.dollarSales[i], f.cost[i])
+				p.fp.Groups.AddRow(rowKey(base, perRow, f.dims, i), f.unitsSold[i], f.dollarSales[i], f.cost[i])
+			}
 		}
-		return agg, st
+		return
 	}
 	sc.cres = bitmap.AndAllInto(sc.cres, ops...)
-	sc.cres.ForEachRange(func(lo, hi int) {
-		agg.Count += int64(hi - lo)
-		for i := lo; i < hi; i++ {
-			agg.UnitsSold += f.unitsSold[i]
-			agg.DollarSales += f.dollarSales[i]
-			agg.Cost += f.cost[i]
-		}
-	})
+	if len(perRow) == 0 {
+		sc.cres.ForEachRange(func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				agg.AddRow(f.unitsSold[i], f.dollarSales[i], f.cost[i])
+			}
+		})
+	} else {
+		sc.cres.ForEachRange(func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				agg.AddRow(f.unitsSold[i], f.dollarSales[i], f.cost[i])
+				p.fp.Groups.AddRow(rowKey(base, perRow, f.dims, i), f.unitsSold[i], f.dollarSales[i], f.cost[i])
+			}
+		})
+	}
 	st.RowsScanned += agg.Count
-	return agg, st
 }
 
-// Scan computes the query aggregate by a naive full scan of the table —
-// the correctness oracle for Execute.
+// Scan computes the query's grand total by a naive full scan of the table
+// — the correctness oracle for Execute. Any GroupBy is ignored; use
+// ScanGrouped for the grouped oracle.
 func Scan(t *data.Table, q frag.Query) Aggregate {
 	var agg Aggregate
 	star := t.Star
 	for i := 0; i < t.N(); i++ {
-		match := true
-		for _, p := range q {
-			d := &star.Dims[p.Dim]
-			if d.Ancestor(d.Leaf(), int(t.Dims[p.Dim][i]), p.Level) != p.Member {
-				match = false
-				break
-			}
-		}
-		if match {
-			agg.Count++
-			agg.UnitsSold += t.UnitsSold[i]
-			agg.DollarSales += t.DollarSales[i]
-			agg.Cost += t.Cost[i]
+		if scanMatch(star, t, q, i) {
+			agg.AddRow(t.UnitsSold[i], t.DollarSales[i], t.Cost[i])
 		}
 	}
 	return agg
+}
+
+// ScanGrouped computes the full (grouped) query result by naive scan with
+// per-row bucketing straight off the base table — the brute-force oracle
+// every grouped execution path is checked against.
+func ScanGrouped(t *data.Table, q frag.Query) (kernel.Result, error) {
+	star := t.Star
+	if err := q.Validate(star); err != nil {
+		return kernel.Result{}, err
+	}
+	gr, err := kernel.NewGrouper(star, nil, q.GroupBy)
+	if err != nil {
+		return kernel.Result{}, err
+	}
+	var res kernel.Result
+	var g *kernel.Grouped
+	var perRow []kernel.RowLevel
+	if gr != nil {
+		g = kernel.NewGrouped()
+		perRow = gr.PerRow() // spec-free: every level buckets per row
+	}
+	for i := 0; i < t.N(); i++ {
+		if !scanMatch(star, t, q, i) {
+			continue
+		}
+		res.AddRow(t.UnitsSold[i], t.DollarSales[i], t.Cost[i])
+		if g != nil {
+			g.AddRow(rowKey(0, perRow, t.Dims, i), t.UnitsSold[i], t.DollarSales[i], t.Cost[i])
+		}
+	}
+	if gr != nil {
+		res.Groups = gr.Rows(g)
+	}
+	return res, nil
+}
+
+func scanMatch(star *schema.Star, t *data.Table, q frag.Query, i int) bool {
+	for _, p := range q.Preds {
+		d := &star.Dims[p.Dim]
+		if d.Ancestor(d.Leaf(), int(t.Dims[p.Dim][i]), p.Level) != p.Member {
+			return false
+		}
+	}
+	return true
 }

@@ -40,7 +40,7 @@ func TestExecuteMatchesScanAllQueryShapes(t *testing.T) {
 	for di := range s.Dims {
 		for li := 0; li < s.Dims[di].Depth(); li++ {
 			for m := 0; m < s.Dims[di].Levels[li].Card; m++ {
-				q := frag.Query{{Dim: di, Level: li, Member: m}}
+				q := frag.Query{Preds: []frag.Pred{{Dim: di, Level: li, Member: m}}}
 				got, _, err := e.Execute(q, 4)
 				if err != nil {
 					t.Fatal(err)
@@ -64,9 +64,9 @@ func TestExecuteMatchesScanRandomMultiPredicate(t *testing.T) {
 				continue
 			}
 			li := rng.Intn(s.Dims[di].Depth())
-			q = append(q, frag.Pred{Dim: di, Level: li, Member: rng.Intn(s.Dims[di].Levels[li].Card)})
+			q.Preds = append(q.Preds, frag.Pred{Dim: di, Level: li, Member: rng.Intn(s.Dims[di].Levels[li].Card)})
 		}
-		if len(q) == 0 {
+		if len(q.Preds) == 0 {
 			continue
 		}
 		got, _, err := e.Execute(q, 3)
@@ -98,7 +98,7 @@ func TestExecuteAcrossFragmentations(t *testing.T) {
 	td := s.DimIndex(schema.DimTime)
 	group := s.Dims[pd].LevelIndex(schema.LvlGroup)
 	month := s.Dims[td].LevelIndex(schema.LvlMonth)
-	q := frag.Query{{Dim: td, Level: month, Member: 1}, {Dim: pd, Level: group, Member: 0}}
+	q := frag.Query{Preds: []frag.Pred{{Dim: td, Level: month, Member: 1}, {Dim: pd, Level: group, Member: 0}}}
 	want := Scan(tab, q)
 	for _, text := range specs {
 		e, err := Build(tab, frag.MustParse(s, text), icfg)
@@ -124,7 +124,7 @@ func TestWorkConfinement(t *testing.T) {
 	group := s.Dims[pd].LevelIndex(schema.LvlGroup)
 	month := s.Dims[td].LevelIndex(schema.LvlMonth)
 
-	q := frag.Query{{Dim: td, Level: month, Member: 2}, {Dim: pd, Level: group, Member: 1}}
+	q := frag.Query{Preds: []frag.Pred{{Dim: td, Level: month, Member: 2}, {Dim: pd, Level: group, Member: 1}}}
 	agg, st, err := e.Execute(q, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -150,7 +150,7 @@ func TestWorkConfinementQ2UsesSuffixBitmaps(t *testing.T) {
 	pd := s.DimIndex(schema.DimProduct)
 	code := s.Dims[pd].LevelIndex(schema.LvlCode)
 
-	q := frag.Query{{Dim: pd, Level: code, Member: 3}}
+	q := frag.Query{Preds: []frag.Pred{{Dim: pd, Level: code, Member: 3}}}
 	agg, st, err := e.Execute(q, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -171,7 +171,7 @@ func TestUnsupportedQueryVisitsAllFragments(t *testing.T) {
 	s, tab, e := buildTiny(t, "time::month, product::group")
 	cd := s.DimIndex(schema.DimCustomer)
 	store := s.Dims[cd].LevelIndex(schema.LvlStore)
-	q := frag.Query{{Dim: cd, Level: store, Member: 2}}
+	q := frag.Query{Preds: []frag.Pred{{Dim: cd, Level: store, Member: 2}}}
 	agg, st, err := e.Execute(q, 4)
 	if err != nil {
 		t.Fatal(err)
@@ -188,7 +188,7 @@ func TestExecuteParallelismInvariance(t *testing.T) {
 	s, _, e := buildTiny(t, "time::month, product::group")
 	cd := s.DimIndex(schema.DimCustomer)
 	ret := s.Dims[cd].LevelIndex(schema.LvlRetailer)
-	q := frag.Query{{Dim: cd, Level: ret, Member: 1}}
+	q := frag.Query{Preds: []frag.Pred{{Dim: cd, Level: ret, Member: 1}}}
 	base, _, err := e.Execute(q, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -206,7 +206,7 @@ func TestExecuteParallelismInvariance(t *testing.T) {
 
 func TestExecuteValidatesQuery(t *testing.T) {
 	_, _, e := buildTiny(t, "time::month, product::group")
-	_, _, err := e.Execute(frag.Query{{Dim: 99, Level: 0, Member: 0}}, 1)
+	_, _, err := e.Execute(frag.Query{Preds: []frag.Pred{{Dim: 99, Level: 0, Member: 0}}}, 1)
 	if err == nil {
 		t.Fatal("invalid query accepted")
 	}
@@ -233,7 +233,7 @@ func TestLeafLevelFragmentationEliminatesAllBitmapsOfDim(t *testing.T) {
 	s, tab, e := buildTiny(t, "product::code")
 	pd := s.DimIndex(schema.DimProduct)
 	code := s.Dims[pd].LevelIndex(schema.LvlCode)
-	q := frag.Query{{Dim: pd, Level: code, Member: 5}}
+	q := frag.Query{Preds: []frag.Pred{{Dim: pd, Level: code, Member: 5}}}
 	agg, st, err := e.Execute(q, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -265,10 +265,10 @@ func TestScaledSchemaEndToEnd(t *testing.T) {
 	td := s.DimIndex(schema.DimTime)
 	cd := s.DimIndex(schema.DimCustomer)
 	queries := []frag.Query{
-		{{Dim: td, Level: s.Dims[td].LevelIndex(schema.LvlMonth), Member: 5}},
-		{{Dim: cd, Level: s.Dims[cd].LevelIndex(schema.LvlStore), Member: 3}},
-		{{Dim: pd, Level: s.Dims[pd].LevelIndex(schema.LvlCode), Member: 77},
-			{Dim: td, Level: s.Dims[td].LevelIndex(schema.LvlQuarter), Member: 2}},
+		{Preds: []frag.Pred{{Dim: td, Level: s.Dims[td].LevelIndex(schema.LvlMonth), Member: 5}}},
+		{Preds: []frag.Pred{{Dim: cd, Level: s.Dims[cd].LevelIndex(schema.LvlStore), Member: 3}}},
+		{Preds: []frag.Pred{{Dim: pd, Level: s.Dims[pd].LevelIndex(schema.LvlCode), Member: 77},
+			{Dim: td, Level: s.Dims[td].LevelIndex(schema.LvlQuarter), Member: 2}}},
 	}
 	for _, q := range queries {
 		got, _, err := e.Execute(q, 8)
@@ -294,9 +294,9 @@ func TestExecuteDeterministicAcrossWorkers(t *testing.T) {
 				continue
 			}
 			li := rng.Intn(s.Dims[di].Depth())
-			q = append(q, frag.Pred{Dim: di, Level: li, Member: rng.Intn(s.Dims[di].Levels[li].Card)})
+			q.Preds = append(q.Preds, frag.Pred{Dim: di, Level: li, Member: rng.Intn(s.Dims[di].Levels[li].Card)})
 		}
-		if len(q) == 0 {
+		if len(q.Preds) == 0 {
 			continue
 		}
 		wantAgg, wantSt, err := e.Execute(q, 1)
@@ -321,7 +321,7 @@ func TestExecuteDeterministicAcrossWorkers(t *testing.T) {
 func TestExecuteContextCancellation(t *testing.T) {
 	s, _, e := buildTiny(t, "time::month, product::group")
 	cd := s.DimIndex(schema.DimCustomer)
-	q := frag.Query{{Dim: cd, Level: s.Dims[cd].LevelIndex(schema.LvlStore), Member: 1}}
+	q := frag.Query{Preds: []frag.Pred{{Dim: cd, Level: s.Dims[cd].LevelIndex(schema.LvlStore), Member: 1}}}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	if _, _, err := e.ExecuteContext(ctx, q, 4); !errors.Is(err, context.Canceled) {
@@ -382,7 +382,7 @@ func TestCompressedEngineEquivalence(t *testing.T) {
 		for di := range s.Dims {
 			for li := 0; li < s.Dims[di].Depth(); li++ {
 				for m := 0; m < s.Dims[di].Levels[li].Card; m++ {
-					q := frag.Query{{Dim: di, Level: li, Member: m}}
+					q := frag.Query{Preds: []frag.Pred{{Dim: di, Level: li, Member: m}}}
 					classes[spec.Classify(q)] = true
 					check(q)
 				}
@@ -396,9 +396,9 @@ func TestCompressedEngineEquivalence(t *testing.T) {
 					continue
 				}
 				li := rng.Intn(s.Dims[di].Depth())
-				q = append(q, frag.Pred{Dim: di, Level: li, Member: rng.Intn(s.Dims[di].Levels[li].Card)})
+				q.Preds = append(q.Preds, frag.Pred{Dim: di, Level: li, Member: rng.Intn(s.Dims[di].Levels[li].Card)})
 			}
-			if len(q) == 0 {
+			if len(q.Preds) == 0 {
 				continue
 			}
 			classes[spec.Classify(q)] = true

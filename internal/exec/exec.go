@@ -225,6 +225,11 @@ func MapShardedWith[S, T any](ctx context.Context, workers, n int, shardOf func(
 // Reduce is Map followed by a deterministic gather: the per-task partials
 // are folded into a single accumulator strictly in task order, so
 // non-commutative merges still give identical results at any worker count.
+// This is also what makes grouped roll-ups deterministic: the query
+// engines' merge funcs fold per-fragment group maps (internal/kernel)
+// through this task-ordered gather, so the accumulated group content —
+// and, after the kernel's sorted row flattening, the output bytes — are
+// identical at any worker count, shard layout or admission mix.
 func Reduce[T, A any](ctx context.Context, workers, n int, fn func(i int) (T, error), merge func(acc *A, part T)) (A, error) {
 	var acc A
 	parts, err := Map(ctx, workers, n, fn)

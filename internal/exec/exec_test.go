@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"maps"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -369,5 +370,49 @@ func TestMapShardedScratchPerWorker(t *testing.T) {
 	}
 	if n := scratches.Load(); n < 1 || n > 4 {
 		t.Fatalf("scratch count %d outside [1,4]", n)
+	}
+}
+
+// TestReduceGroupedMapDeterministic folds per-task group-map partials —
+// the shape the query engines' grouped roll-ups reduce — at several
+// worker counts and shard layouts and requires the accumulated map to be
+// identical to the sequential fold: the task-ordered gather makes grouped
+// merges deterministic regardless of scheduling.
+func TestReduceGroupedMapDeterministic(t *testing.T) {
+	const n = 96
+	task := func(_ struct{}, i int) (map[int]int64, error) {
+		// Each task contributes to a few pseudo-random groups.
+		m := map[int]int64{i % 7: int64(i), (i * 13) % 5: int64(i * i)}
+		return m, nil
+	}
+	merge := func(acc *map[int]int64, part map[int]int64) {
+		if *acc == nil {
+			*acc = make(map[int]int64)
+		}
+		for k, v := range part {
+			(*acc)[k] += v
+		}
+	}
+	newS := func() struct{} { return struct{}{} }
+	want, err := ReduceWith(context.Background(), 1, n, newS, task, merge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got, err := ReduceWith(context.Background(), workers, n, newS, task, merge)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !maps.Equal(got, want) {
+			t.Fatalf("workers=%d: grouped fold diverged: %v != %v", workers, got, want)
+		}
+		got, err = ReduceShardedWith(context.Background(), workers, n,
+			func(i int) int { return i % 6 }, 6, newS, task, merge)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !maps.Equal(got, want) {
+			t.Fatalf("sharded workers=%d: grouped fold diverged", workers)
+		}
 	}
 }

@@ -137,7 +137,7 @@ func (s *Spec) BitmapsReadForPred(cfg IndexConfig, p Pred) int {
 // BitmapsReadForQuery sums BitmapsReadForPred over the query.
 func (s *Spec) BitmapsReadForQuery(cfg IndexConfig, q Query) int {
 	total := 0
-	for _, p := range q {
+	for _, p := range q.Preds {
 		total += s.BitmapsReadForPred(cfg, p)
 	}
 	return total

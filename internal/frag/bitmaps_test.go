@@ -90,7 +90,7 @@ func TestBitmapsReadForPred(t *testing.T) {
 			t.Errorf("%s: bitmaps read = %d, want %d", tc.name, got, tc.want)
 		}
 	}
-	q := Query{{c, store, 0}, {p, code, 0}}
+	q := Query{Preds: []Pred{{c, store, 0}, {p, code, 0}}}
 	if got := spec.BitmapsReadForQuery(cfg, q); got != 17 {
 		t.Errorf("query bitmaps read = %d, want 17", got)
 	}
@@ -186,14 +186,14 @@ func TestIOClassOf(t *testing.T) {
 		q    Query
 		want IOClass
 	}{
-		{"1MONTH1GROUP", Query{{tm, month, 0}, {p, group, 0}}, IOC1Opt},
-		{"1MONTH", Query{{tm, month, 0}}, IOC1},
-		{"1GROUP1QUARTER", Query{{p, group, 0}, {tm, quarter, 0}}, IOC1},
-		{"1FAMILY1MONTH", Query{{p, family, 0}, {tm, month, 0}}, IOC1},
-		{"1CODE1QUARTER", Query{{p, code, 0}, {tm, quarter, 0}}, IOC2},
-		{"1CODE", Query{{p, code, 0}}, IOC2},
-		{"1GROUP1STORE", Query{{p, group, 0}, {c, store, 0}}, IOC2},
-		{"1STORE", Query{{c, store, 0}}, IOC2NoSupp},
+		{"1MONTH1GROUP", Query{Preds: []Pred{{tm, month, 0}, {p, group, 0}}}, IOC1Opt},
+		{"1MONTH", Query{Preds: []Pred{{tm, month, 0}}}, IOC1},
+		{"1GROUP1QUARTER", Query{Preds: []Pred{{p, group, 0}, {tm, quarter, 0}}}, IOC1},
+		{"1FAMILY1MONTH", Query{Preds: []Pred{{p, family, 0}, {tm, month, 0}}}, IOC1},
+		{"1CODE1QUARTER", Query{Preds: []Pred{{p, code, 0}, {tm, quarter, 0}}}, IOC2},
+		{"1CODE", Query{Preds: []Pred{{p, code, 0}}}, IOC2},
+		{"1GROUP1STORE", Query{Preds: []Pred{{p, group, 0}, {c, store, 0}}}, IOC2},
+		{"1STORE", Query{Preds: []Pred{{c, store, 0}}}, IOC2NoSupp},
 		{"empty", Query{}, IOC2NoSupp},
 	}
 	for _, tc := range cases {
@@ -203,7 +203,7 @@ func TestIOClassOf(t *testing.T) {
 	}
 	// Fopt for 1STORE: IOC1-opt (Section 4.5).
 	fopt := MustParse(s, "customer::store")
-	if got := fopt.IOClassOf(Query{{c, store, 0}}); got != IOC1Opt {
+	if got := fopt.IOClassOf(Query{Preds: []Pred{{c, store, 0}}}); got != IOC1Opt {
 		t.Errorf("Fopt 1STORE: IOClass = %v, want IOC1-opt", got)
 	}
 }

@@ -41,15 +41,15 @@ func (c IOClass) String() string {
 //	Q ∈ IOC2-nosupp iff Dim(Q) ∩ Dim(F) = ∅
 //	IOC2 otherwise.
 func (s *Spec) IOClassOf(q Query) IOClass {
-	if len(q) == 0 {
+	if len(q.Preds) == 0 {
 		// A selection-free full aggregation touches everything; treat it as
 		// unsupported.
 		return IOC2NoSupp
 	}
 	touchesFrag := false
 	allAtOrAbove := true
-	allExact := len(q) == len(s.attrs)
-	for _, p := range q {
+	allExact := len(q.Preds) == len(s.attrs)
+	for _, p := range q.Preds {
 		ai := s.byDim[p.Dim]
 		if ai == -1 {
 			allAtOrAbove = false

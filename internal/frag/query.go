@@ -16,51 +16,157 @@ type Pred struct {
 	Member int
 }
 
-// Query is a star query's selection: a conjunction of point predicates on
-// distinct dimensions. Aggregation is over the measures of all matching
-// fact rows.
-type Query []Pred
+// LevelRef names one hierarchy level of one dimension — a GROUP BY item.
+type LevelRef struct {
+	Dim   int
+	Level int
+}
 
-// ParseQuery builds a query from "dim::level=member, ..." notation.
+// Query is a star query: a conjunction of point predicates on distinct
+// dimensions (the selection), optionally grouped by one or more hierarchy
+// levels. Aggregation is over the measures of all matching fact rows; with
+// GroupBy set, a per-group aggregate is produced for every member tuple of
+// the GroupBy levels that receives at least one row, alongside the grand
+// total.
+//
+// GROUP BY is the workload MDHF fragments were designed for: when every
+// GroupBy level is at or above the fragmentation level of its dimension,
+// each fragment belongs to exactly one group and grouping costs zero
+// per-row work (see internal/kernel.Grouper).
+type Query struct {
+	Preds   []Pred
+	GroupBy []LevelRef
+}
+
+// SplitGroupBy separates a query text's selection from a trailing GROUP
+// BY clause (case-insensitive), reporting whether the clause is present.
+// Shared by every notation's parser. The scan is byte-wise (EqualFold on
+// the ASCII keyword), so arbitrary — even invalid-UTF-8 — input never
+// shifts the split offsets; it skips quoted member-name literals and
+// requires the keyword to stand at token boundaries, so a name that
+// happens to contain the phrase never splits the query.
+func SplitGroupBy(text string) (sel, gb string, found bool) {
+	const kw = "group by"
+	var quote byte
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		if quote != 0 {
+			if c == quote {
+				quote = 0
+			}
+			continue
+		}
+		if c == '\'' || c == '"' {
+			quote = c
+			continue
+		}
+		if i+len(kw) > len(text) || !strings.EqualFold(text[i:i+len(kw)], kw) {
+			continue
+		}
+		boundedLeft := i == 0 || text[i-1] == ' ' || text[i-1] == '\t' || text[i-1] == ','
+		end := i + len(kw)
+		boundedRight := end == len(text) || text[end] == ' ' || text[end] == '\t'
+		if boundedLeft && boundedRight {
+			return text[:i], text[end:], true
+		}
+	}
+	return text, "", false
+}
+
+// parseLevelRef resolves "dim::level" against the schema.
+func parseLevelRef(star *schema.Star, part string) (LevelRef, error) {
+	dl := strings.SplitN(part, "::", 2)
+	if len(dl) != 2 {
+		return LevelRef{}, fmt.Errorf("frag: malformed attribute %q (want dim::level)", part)
+	}
+	di := star.DimIndex(strings.TrimSpace(dl[0]))
+	if di < 0 {
+		return LevelRef{}, fmt.Errorf("frag: unknown dimension %q", dl[0])
+	}
+	li := star.Dims[di].LevelIndex(strings.TrimSpace(dl[1]))
+	if li < 0 {
+		return LevelRef{}, fmt.Errorf("frag: unknown level %q", dl[1])
+	}
+	return LevelRef{Dim: di, Level: li}, nil
+}
+
+// ParseQuery builds a query from "dim::level=member, ..." notation with an
+// optional trailing "group by dim::level, ..." clause, e.g.
+// "customer::store=7 group by time::month, product::family".
 func ParseQuery(star *schema.Star, text string) (Query, error) {
 	var q Query
-	for _, part := range strings.Split(text, ",") {
+	sel, gb, hasGB := SplitGroupBy(text)
+	for _, part := range strings.Split(sel, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
 			continue
 		}
 		eq := strings.SplitN(part, "=", 2)
 		if len(eq) != 2 {
-			return nil, fmt.Errorf("frag: malformed predicate %q", part)
+			return Query{}, fmt.Errorf("frag: malformed predicate %q", part)
 		}
-		dl := strings.SplitN(eq[0], "::", 2)
-		if len(dl) != 2 {
-			return nil, fmt.Errorf("frag: malformed attribute %q", eq[0])
-		}
-		di := star.DimIndex(strings.TrimSpace(dl[0]))
-		if di < 0 {
-			return nil, fmt.Errorf("frag: unknown dimension %q", dl[0])
-		}
-		li := star.Dims[di].LevelIndex(strings.TrimSpace(dl[1]))
-		if li < 0 {
-			return nil, fmt.Errorf("frag: unknown level %q", dl[1])
+		ref, err := parseLevelRef(star, eq[0])
+		if err != nil {
+			return Query{}, err
 		}
 		var m int
 		if _, err := fmt.Sscanf(strings.TrimSpace(eq[1]), "%d", &m); err != nil {
-			return nil, fmt.Errorf("frag: bad member in %q: %v", part, err)
+			return Query{}, fmt.Errorf("frag: bad member in %q: %v", part, err)
 		}
-		if m < 0 || m >= star.Dims[di].Levels[li].Card {
-			return nil, fmt.Errorf("frag: member %d out of domain of %s", m, eq[0])
+		if m < 0 || m >= star.Dims[ref.Dim].Levels[ref.Level].Card {
+			return Query{}, fmt.Errorf("frag: member %d out of domain of %s", m, strings.TrimSpace(eq[0]))
 		}
-		q = append(q, Pred{Dim: di, Level: li, Member: m})
+		q.Preds = append(q.Preds, Pred{Dim: ref.Dim, Level: ref.Level, Member: m})
+	}
+	if hasGB {
+		if strings.TrimSpace(gb) == "" {
+			return Query{}, fmt.Errorf("frag: empty GROUP BY clause")
+		}
+		for _, part := range strings.Split(gb, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				return Query{}, fmt.Errorf("frag: empty GROUP BY item")
+			}
+			ref, err := parseLevelRef(star, part)
+			if err != nil {
+				return Query{}, err
+			}
+			q.GroupBy = append(q.GroupBy, ref)
+		}
 	}
 	return q, q.Validate(star)
 }
 
-// Validate checks that predicates are in-range and on distinct dimensions.
+// Format renders the query in the ParseQuery notation; Format then
+// ParseQuery round-trips exactly.
+func Format(star *schema.Star, q Query) string {
+	var b strings.Builder
+	for i, p := range q.Preds {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		d := &star.Dims[p.Dim]
+		fmt.Fprintf(&b, "%s::%s=%d", d.Name, d.Levels[p.Level].Name, p.Member)
+	}
+	if len(q.GroupBy) > 0 {
+		b.WriteString(" group by ")
+		for i, ref := range q.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			d := &star.Dims[ref.Dim]
+			fmt.Fprintf(&b, "%s::%s", d.Name, d.Levels[ref.Level].Name)
+		}
+	}
+	return b.String()
+}
+
+// Validate checks that predicates are in-range and on distinct dimensions
+// and that GroupBy levels are in-range, distinct, and span a group space
+// small enough to key (< 2^62 member combinations).
 func (q Query) Validate(star *schema.Star) error {
-	seen := make(map[int]bool, len(q))
-	for _, p := range q {
+	seen := make(map[int]bool, len(q.Preds))
+	for _, p := range q.Preds {
 		if p.Dim < 0 || p.Dim >= len(star.Dims) {
 			return fmt.Errorf("frag: predicate dimension %d out of range", p.Dim)
 		}
@@ -76,12 +182,32 @@ func (q Query) Validate(star *schema.Star) error {
 		}
 		seen[p.Dim] = true
 	}
+	space := int64(1)
+	seenGB := make(map[LevelRef]bool, len(q.GroupBy))
+	for _, ref := range q.GroupBy {
+		if ref.Dim < 0 || ref.Dim >= len(star.Dims) {
+			return fmt.Errorf("frag: GroupBy dimension %d out of range", ref.Dim)
+		}
+		d := &star.Dims[ref.Dim]
+		if ref.Level < 0 || ref.Level >= d.Depth() {
+			return fmt.Errorf("frag: GroupBy level %d out of range for %s", ref.Level, d.Name)
+		}
+		if seenGB[ref] {
+			return fmt.Errorf("frag: GroupBy level %s.%s listed twice", d.Name, d.Levels[ref.Level].Name)
+		}
+		seenGB[ref] = true
+		card := int64(d.Levels[ref.Level].Card)
+		if space > (1<<62)/card {
+			return fmt.Errorf("frag: GroupBy space exceeds 2^62 groups")
+		}
+		space *= card
+	}
 	return nil
 }
 
 // PredOnDim returns the predicate on dimension d, if any.
 func (q Query) PredOnDim(d int) (Pred, bool) {
-	for _, p := range q {
+	for _, p := range q.Preds {
 		if p.Dim == d {
 			return p, true
 		}
@@ -93,7 +219,7 @@ func (q Query) PredOnDim(d int) (Pred, bool) {
 // under the uniformity assumption of the paper.
 func (q Query) Selectivity(star *schema.Star) float64 {
 	sel := 1.0
-	for _, p := range q {
+	for _, p := range q.Preds {
 		sel /= float64(star.Dims[p.Dim].Levels[p.Level].Card)
 	}
 	return sel
@@ -144,7 +270,7 @@ func (c QueryClass) String() string {
 // looking only at predicates on fragmentation dimensions.
 func (s *Spec) Classify(q Query) QueryClass {
 	finer, coarser, equal := false, false, false
-	for _, p := range q {
+	for _, p := range q.Preds {
 		ai := s.byDim[p.Dim]
 		if ai == -1 {
 			continue
@@ -188,12 +314,26 @@ func (s *Spec) NeedsBitmap(p Pred) bool {
 // BitmapPreds returns the query predicates that require bitmap access.
 func (s *Spec) BitmapPreds(q Query) []Pred {
 	var out []Pred
-	for _, p := range q {
+	for _, p := range q.Preds {
 		if s.NeedsBitmap(p) {
 			out = append(out, p)
 		}
 	}
 	return out
+}
+
+// GroupAligned reports whether every GroupBy level of the query is at or
+// above the fragmentation level of its dimension — the fast path on which
+// the group key is constant per fragment (internal/kernel.Grouper). A
+// query without GroupBy is trivially aligned.
+func (s *Spec) GroupAligned(q Query) bool {
+	for _, ref := range q.GroupBy {
+		ai := s.byDim[ref.Dim]
+		if ai == -1 || ref.Level > s.attrs[ai].Level {
+			return false
+		}
+	}
+	return true
 }
 
 // Region describes the relevant fragments of a query as one member range
@@ -282,7 +422,7 @@ func (s *Spec) FragmentIDs(q Query) []int64 {
 // reduce it.
 func (s *Spec) FragmentSelectivity(q Query) float64 {
 	sel := 1.0
-	for _, p := range q {
+	for _, p := range q.Preds {
 		d := &s.star.Dims[p.Dim]
 		ai := s.byDim[p.Dim]
 		if ai == -1 {

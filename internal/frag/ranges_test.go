@@ -104,18 +104,18 @@ func TestRangeRelevantConfinement(t *testing.T) {
 		count int64
 	}{
 		// One month + one group -> exactly 1 fragment.
-		{"1MONTH1GROUP", Query{{tm, month, 3}, {pd, group, 7}}, 1},
+		{"1MONTH1GROUP", Query{Preds: []Pred{{tm, month, 3}, {pd, group, 7}}}, 1},
 		// One code -> its group's range, all 6 month ranges.
-		{"1CODE", Query{{pd, code, 77}}, 6},
+		{"1CODE", Query{Preds: []Pred{{pd, code, 77}}}, 6},
 		// One quarter = 3 months: month ranges are 4 months wide, so a
 		// quarter spans 1 or 2 ranges; quarter 0 = months 0-2 -> range 0.
-		{"1QUARTER0", Query{{tm, quarter, 0}}, 48},
+		{"1QUARTER0", Query{Preds: []Pred{{tm, quarter, 0}}}, 48},
 		// Quarter 1 = months 3-5 -> ranges 0 and 1 -> 2*48.
-		{"1QUARTER1", Query{{tm, quarter, 1}}, 96},
+		{"1QUARTER1", Query{Preds: []Pred{{tm, quarter, 1}}}, 96},
 		// One year = 12 months = exactly 3 ranges.
-		{"1YEAR", Query{{tm, year, 0}}, 3 * 48},
+		{"1YEAR", Query{Preds: []Pred{{tm, year, 0}}}, 3 * 48},
 		// Unsupported dimension -> everything.
-		{"1STORE", Query{{cd, store, 5}}, 288},
+		{"1STORE", Query{Preds: []Pred{{cd, store, 5}}}, 288},
 	}
 	for _, tc := range cases {
 		if got := spec.RelevantCount(tc.q); got != tc.count {
@@ -178,9 +178,9 @@ func TestRangeRowMembershipConsistent(t *testing.T) {
 				continue
 			}
 			li := rng.Intn(s.Dims[di].Depth())
-			q = append(q, Pred{di, li, rng.Intn(s.Dims[di].Levels[li].Card)})
+			q.Preds = append(q.Preds, Pred{di, li, rng.Intn(s.Dims[di].Levels[li].Card)})
 		}
-		if len(q) == 0 {
+		if len(q.Preds) == 0 {
 			continue
 		}
 		leaf := make([]int, len(s.Dims))
@@ -188,7 +188,7 @@ func TestRangeRowMembershipConsistent(t *testing.T) {
 			leaf[di] = rng.Intn(s.Dims[di].LeafCard())
 		}
 		matches := true
-		for _, p := range q {
+		for _, p := range q.Preds {
 			d := &s.Dims[p.Dim]
 			if d.Ancestor(d.Leaf(), leaf[p.Dim], p.Level) != p.Member {
 				matches = false
@@ -235,7 +235,7 @@ func TestRangePointEquivalence(t *testing.T) {
 		t.Fatalf("fragment counts differ: %d vs %d", point.NumFragments(), rs.NumFragments())
 	}
 	// Relevant counts agree for a sample of queries.
-	g := Query{{pd, group, 42}}
+	g := Query{Preds: []Pred{{pd, group, 42}}}
 	if rs.RelevantCount(g) != point.RelevantCount(g) {
 		t.Fatalf("relevant differ: %d vs %d", rs.RelevantCount(g), point.RelevantCount(g))
 	}

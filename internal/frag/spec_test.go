@@ -175,23 +175,23 @@ func TestRelevantFragments(t *testing.T) {
 		class QueryClass
 	}{
 		// Q1: 1MONTH1GROUP → exactly 1 fragment.
-		{"1MONTH1GROUP", Query{{tm, month, 3}, {p, group, 7}}, 1, Q1},
+		{"1MONTH1GROUP", Query{Preds: []Pred{{tm, month, 3}, {p, group, 7}}}, 1, Q1},
 		// Q1 subset: 1GROUP over all months → 24 fragments.
-		{"1GROUP", Query{{p, group, 7}}, 24, Q1},
+		{"1GROUP", Query{Preds: []Pred{{p, group, 7}}}, 24, Q1},
 		// Q2: 1CODE1MONTH → 1 fragment.
-		{"1CODE1MONTH", Query{{p, code, 77}, {tm, month, 3}}, 1, Q2},
+		{"1CODE1MONTH", Query{Preds: []Pred{{p, code, 77}, {tm, month, 3}}}, 1, Q2},
 		// Q2: 1CODE → 24 fragments.
-		{"1CODE", Query{{p, code, 77}}, 24, Q2},
+		{"1CODE", Query{Preds: []Pred{{p, code, 77}}}, 24, Q2},
 		// Q3: 1GROUP1QUARTER → 3 fragments.
-		{"1GROUP1QUARTER", Query{{p, group, 7}, {tm, quarter, 2}}, 3, Q3},
+		{"1GROUP1QUARTER", Query{Preds: []Pred{{p, group, 7}, {tm, quarter, 2}}}, 3, Q3},
 		// Q3: 1QUARTER over all groups → 480*3 = 1440 fragments.
-		{"1QUARTER", Query{{tm, quarter, 2}}, 1440, Q3},
+		{"1QUARTER", Query{Preds: []Pred{{tm, quarter, 2}}}, 1440, Q3},
 		// Q4: 1CODE1QUARTER → 3 fragments.
-		{"1CODE1QUARTER", Query{{p, code, 77}, {tm, quarter, 2}}, 3, Q4},
+		{"1CODE1QUARTER", Query{Preds: []Pred{{p, code, 77}, {tm, quarter, 2}}}, 3, Q4},
 		// Unsupported: 1STORE → all 11,520 fragments.
-		{"1STORE", Query{{c, store, 5}}, 11_520, Unsupported},
+		{"1STORE", Query{Preds: []Pred{{c, store, 5}}}, 11_520, Unsupported},
 		// Q1 + extra non-frag attribute: 1GROUP1STORE → 24 fragments.
-		{"1GROUP1STORE", Query{{p, group, 7}, {c, store, 5}}, 24, Q1},
+		{"1GROUP1STORE", Query{Preds: []Pred{{p, group, 7}, {c, store, 5}}}, 24, Q1},
 	}
 	for _, tc := range cases {
 		if err := tc.q.Validate(s); err != nil {
@@ -215,7 +215,7 @@ func TestQuarterEighthOfFragments(t *testing.T) {
 	s, spec := fMonthGroup(t)
 	tm := s.DimIndex(schema.DimTime)
 	quarter := s.Dim(schema.DimTime).LevelIndex(schema.LvlQuarter)
-	q := Query{{tm, quarter, 0}}
+	q := Query{Preds: []Pred{{tm, quarter, 0}}}
 	if got, want := spec.RelevantCount(q), spec.NumFragments()/8; got != want {
 		t.Fatalf("relevant = %d, want %d", got, want)
 	}
@@ -263,15 +263,15 @@ func TestFragmentSelectivity(t *testing.T) {
 
 	// Section 6.3: "Within a product group, the selectivity is 1/30 for a
 	// certain product."
-	if got := spec.FragmentSelectivity(Query{{p, code, 0}}); got != 1.0/30 {
+	if got := spec.FragmentSelectivity(Query{Preds: []Pred{{p, code, 0}}}); got != 1.0/30 {
 		t.Errorf("code-in-fragment selectivity = %g, want 1/30", got)
 	}
 	// 1STORE: 1/1440 within each fragment.
-	if got := spec.FragmentSelectivity(Query{{c, store, 0}}); got != 1.0/1440 {
+	if got := spec.FragmentSelectivity(Query{Preds: []Pred{{c, store, 0}}}); got != 1.0/1440 {
 		t.Errorf("store-in-fragment selectivity = %g, want 1/1440", got)
 	}
 	// Fragmentation attribute itself: all fragment rows relevant.
-	if got := spec.FragmentSelectivity(Query{{p, group, 0}}); got != 1 {
+	if got := spec.FragmentSelectivity(Query{Preds: []Pred{{p, group, 0}}}); got != 1 {
 		t.Errorf("group-in-fragment selectivity = %g, want 1", got)
 	}
 }
@@ -280,7 +280,7 @@ func TestQueryHitsAndSelectivity(t *testing.T) {
 	s, _ := fMonthGroup(t)
 	c := s.DimIndex(schema.DimCustomer)
 	store := s.Dim(schema.DimCustomer).LevelIndex(schema.LvlStore)
-	q := Query{{c, store, 5}}
+	q := Query{Preds: []Pred{{c, store, 5}}}
 	// 1STORE hits = N/1440 = 1,296,000.
 	if got := q.Hits(s); got != 1_296_000 {
 		t.Fatalf("hits = %g, want 1,296,000", got)
@@ -296,7 +296,7 @@ func TestForEachFragmentOrderAndEarlyStop(t *testing.T) {
 
 	// 1CODE1QUARTER: 3 fragments, one per month of the quarter, spaced 480
 	// apart in allocation order (Section 4.6's gcd discussion).
-	q := Query{{p, code, 30}, {tm, quarter, 1}}
+	q := Query{Preds: []Pred{{p, code, 30}, {tm, quarter, 1}}}
 	ids := spec.FragmentIDs(q)
 	if len(ids) != 3 {
 		t.Fatalf("ids = %v", ids)
@@ -330,9 +330,9 @@ func TestRelevantConsistentWithRowMembership(t *testing.T) {
 				continue
 			}
 			li := rng.Intn(s.Dims[di].Depth())
-			q = append(q, Pred{di, li, rng.Intn(s.Dims[di].Levels[li].Card)})
+			q.Preds = append(q.Preds, Pred{di, li, rng.Intn(s.Dims[di].Levels[li].Card)})
 		}
-		if len(q) == 0 {
+		if len(q.Preds) == 0 {
 			continue
 		}
 		// Random fact row.
@@ -341,7 +341,7 @@ func TestRelevantConsistentWithRowMembership(t *testing.T) {
 			leaf[di] = rng.Intn(s.Dims[di].LeafCard())
 		}
 		matches := true
-		for _, p := range q {
+		for _, p := range q.Preds {
 			d := &s.Dims[p.Dim]
 			if d.Ancestor(d.Leaf(), leaf[p.Dim], p.Level) != p.Member {
 				matches = false
@@ -368,10 +368,13 @@ func TestRelevantConsistentWithRowMembership(t *testing.T) {
 func TestQueryValidate(t *testing.T) {
 	s := schema.APB1()
 	bad := []Query{
-		{{Dim: -1, Level: 0, Member: 0}},
-		{{Dim: 0, Level: 99, Member: 0}},
-		{{Dim: 0, Level: 0, Member: 99}},
-		{{Dim: 0, Level: 0, Member: 0}, {Dim: 0, Level: 1, Member: 0}},
+		{Preds: []Pred{{Dim: -1, Level: 0, Member: 0}}},
+		{Preds: []Pred{{Dim: 0, Level: 99, Member: 0}}},
+		{Preds: []Pred{{Dim: 0, Level: 0, Member: 99}}},
+		{Preds: []Pred{{Dim: 0, Level: 0, Member: 0}, {Dim: 0, Level: 1, Member: 0}}},
+		{GroupBy: []LevelRef{{Dim: -1, Level: 0}}},
+		{GroupBy: []LevelRef{{Dim: 0, Level: 99}}},
+		{GroupBy: []LevelRef{{Dim: 0, Level: 0}, {Dim: 0, Level: 0}}},
 	}
 	for i, q := range bad {
 		if err := q.Validate(s); err == nil {

@@ -1,0 +1,150 @@
+// Package kernel is the shared aggregation kernel of the query backends:
+// the one Aggregate every executor accumulates into, the work Stats the
+// in-memory engine reports, and the grouped-roll-up machinery (Grouper,
+// Grouped, Row) that turns MDHF's hierarchy-aligned fragments into
+// nearly-free GROUP BY execution. The in-memory engine, its compressed
+// fast path, the on-disk executor and the declustered sharded path all
+// compile against these types instead of defining their own, so a result
+// produced by any backend is structurally — and, after the deterministic
+// Rows ordering, byte-for-byte — comparable with every other.
+package kernel
+
+// Aggregate is a star query result: COUNT plus the three APB-1 measure
+// sums. It is the single aggregate type shared by every backend (the
+// engine and storage packages alias it).
+type Aggregate struct {
+	Count       int64
+	UnitsSold   int64
+	DollarSales int64
+	Cost        int64
+}
+
+// Add folds another aggregate in. Addition is commutative and
+// associative, so partial aggregates merge to the same result in any
+// order; the executors nevertheless fold in fragment allocation order so
+// even a future non-commutative measure would stay deterministic.
+func (a *Aggregate) Add(o Aggregate) {
+	a.Count += o.Count
+	a.UnitsSold += o.UnitsSold
+	a.DollarSales += o.DollarSales
+	a.Cost += o.Cost
+}
+
+// AddRow folds one fact row's measures in.
+func (a *Aggregate) AddRow(unitsSold, dollarSales, cost int64) {
+	a.Count++
+	a.UnitsSold += unitsSold
+	a.DollarSales += dollarSales
+	a.Cost += cost
+}
+
+// Stats reports the work a query execution performed — used to assert the
+// paper's confinement claims, not just result correctness. The in-memory
+// engine aliases it as engine.Stats.
+type Stats struct {
+	// FragmentsProcessed is the number of fragments visited.
+	FragmentsProcessed int
+	// RowsScanned is the number of fact rows whose measures were read.
+	RowsScanned int64
+	// BitmapsRead is the number of bitmap(-fragment)s evaluated.
+	BitmapsRead int64
+}
+
+// Add folds another execution's counters in.
+func (s *Stats) Add(o Stats) {
+	s.FragmentsProcessed += o.FragmentsProcessed
+	s.RowsScanned += o.RowsScanned
+	s.BitmapsRead += o.BitmapsRead
+}
+
+// Grouped accumulates per-group aggregates keyed by a Grouper's composed
+// mixed-radix group key. The map form is the merge-friendly intermediate;
+// Grouper.Rows flattens it into the deterministic output order.
+type Grouped struct {
+	m map[uint64]Aggregate
+}
+
+// NewGrouped returns an empty group accumulator.
+func NewGrouped() *Grouped { return &Grouped{m: make(map[uint64]Aggregate)} }
+
+// Len returns the number of non-empty groups.
+func (g *Grouped) Len() int { return len(g.m) }
+
+// Add folds an aggregate into the group with the given key.
+func (g *Grouped) Add(key uint64, a Aggregate) {
+	cur := g.m[key]
+	cur.Add(a)
+	g.m[key] = cur
+}
+
+// AddRow folds one fact row's measures into the group with the given key.
+func (g *Grouped) AddRow(key uint64, unitsSold, dollarSales, cost int64) {
+	cur := g.m[key]
+	cur.AddRow(unitsSold, dollarSales, cost)
+	g.m[key] = cur
+}
+
+// Merge folds another accumulator in. Per-key addition commutes, so the
+// merged content is independent of merge order; ordering is imposed only
+// by Grouper.Rows.
+func (g *Grouped) Merge(o *Grouped) {
+	if o == nil {
+		return
+	}
+	for k, a := range o.m {
+		cur := g.m[k]
+		cur.Add(a)
+		g.m[k] = cur
+	}
+}
+
+// Row is one group of a grouped query result: the member index per
+// GroupBy level (in GroupBy declaration order) plus the group's
+// aggregate.
+type Row struct {
+	Members []int
+	Agg     Aggregate
+}
+
+// Result is a query result: the grand total plus, when the query has a
+// GROUP BY, the per-group rows in the deterministic Grouper.Rows order
+// (ascending lexicographically in the GroupBy member tuple). The grand
+// total always equals the sum of the group aggregates.
+type Result struct {
+	Aggregate
+	Groups []Row
+}
+
+// FragPartial is one fragment's contribution to a (possibly grouped)
+// execution. On the fragment-aligned fast path the whole fragment belongs
+// to one group, so the partial is just the fragment total plus its
+// constant key — no map is built at all; the per-row fallback carries the
+// fragment's own small group map instead.
+type FragPartial struct {
+	Agg Aggregate
+	// OneGroup marks the aligned fast path: the fragment total lands
+	// entirely in the group with key Key.
+	OneGroup bool
+	Key      uint64
+	// Groups holds the per-row fallback's fragment-local group partials
+	// (nil otherwise).
+	Groups *Grouped
+}
+
+// MergeInto folds the partial into a running total and group accumulator
+// (g may be nil for ungrouped executions).
+func (p FragPartial) MergeInto(total *Aggregate, g *Grouped) {
+	total.Add(p.Agg)
+	if g == nil {
+		return
+	}
+	if p.OneGroup {
+		// A group exists only if at least one row landed in it: an aligned
+		// fragment whose selection matched nothing contributes no group.
+		if p.Agg.Count != 0 {
+			g.Add(p.Key, p.Agg)
+		}
+		return
+	}
+	g.Merge(p.Groups)
+}

@@ -1,0 +1,177 @@
+package kernel
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/frag"
+	"repro/internal/schema"
+)
+
+// TestGrouperFragKeyMatchesCoordArithmetic checks the id-based
+// mixed-radix decomposition of FragKey against the spec's own Coord and
+// explicit ancestor arithmetic, for every fragment and several GroupBy
+// shapes.
+func TestGrouperFragKeyMatchesCoordArithmetic(t *testing.T) {
+	s := schema.Tiny()
+	spec := frag.MustParse(s, "time::month, product::group")
+	pd := s.DimIndex(schema.DimProduct)
+	td := s.DimIndex(schema.DimTime)
+	cases := [][]frag.LevelRef{
+		{{Dim: td, Level: s.Dims[td].LevelIndex(schema.LvlMonth)}},
+		{{Dim: td, Level: s.Dims[td].LevelIndex(schema.LvlQuarter)}},
+		{{Dim: pd, Level: s.Dims[pd].LevelIndex(schema.LvlGroup)}, {Dim: td, Level: s.Dims[td].LevelIndex(schema.LvlQuarter)}},
+		{{Dim: td, Level: s.Dims[td].LevelIndex(schema.LvlQuarter)}, {Dim: pd, Level: s.Dims[pd].LevelIndex(schema.LvlGroup)}},
+	}
+	for ci, groupBy := range cases {
+		g, err := NewGrouper(s, spec, groupBy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.Aligned() {
+			t.Fatalf("case %d: expected aligned", ci)
+		}
+		for id := int64(0); id < spec.NumFragments(); id++ {
+			coord := spec.Coord(id)
+			var want uint64
+			for i, ref := range groupBy {
+				ai := spec.AttrOfDim(ref.Dim)
+				a := spec.Attrs()[ai]
+				d := &s.Dims[ref.Dim]
+				m := d.Ancestor(a.Level, coord[ai], ref.Level)
+				w := uint64(1)
+				for j := i + 1; j < len(groupBy); j++ {
+					w *= uint64(s.Dims[groupBy[j].Dim].Levels[groupBy[j].Level].Card)
+				}
+				want += uint64(m) * w
+			}
+			if got := g.FragKey(id); got != want {
+				t.Fatalf("case %d id %d: FragKey = %d, want %d", ci, id, got, want)
+			}
+		}
+	}
+}
+
+// TestGrouperAlignment checks the aligned/per-row split: levels at or
+// above the fragmentation level are aligned, finer levels and
+// non-fragmentation dimensions bucket per row.
+func TestGrouperAlignment(t *testing.T) {
+	s := schema.Tiny()
+	spec := frag.MustParse(s, "time::month, product::group")
+	pd := s.DimIndex(schema.DimProduct)
+	cd := s.DimIndex(schema.DimCustomer)
+	code := s.Dims[pd].LevelIndex(schema.LvlCode)
+	store := s.Dims[cd].LevelIndex(schema.LvlStore)
+
+	g, err := NewGrouper(s, spec, []frag.LevelRef{{Dim: pd, Level: code}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Aligned() || len(g.PerRow()) != 1 {
+		t.Fatalf("finer level should fall back per row: aligned=%v perRow=%d", g.Aligned(), len(g.PerRow()))
+	}
+	g, err = NewGrouper(s, spec, []frag.LevelRef{{Dim: cd, Level: store}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Aligned() {
+		t.Fatal("non-fragmentation dimension should fall back per row")
+	}
+	// Without a spec (the oracle's view), everything buckets per row.
+	g, err = NewGrouper(s, nil, []frag.LevelRef{{Dim: pd, Level: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Aligned() {
+		t.Fatal("spec-free grouper should not be aligned")
+	}
+}
+
+// TestGroupedMergeOrderIndependent checks that merging partial group maps
+// in any order produces the same content, and that Rows imposes the
+// deterministic lexicographic order.
+func TestGroupedMergeOrderIndependent(t *testing.T) {
+	s := schema.Tiny()
+	pd := s.DimIndex(schema.DimProduct)
+	td := s.DimIndex(schema.DimTime)
+	g, err := NewGrouper(s, nil, []frag.LevelRef{{Dim: pd, Level: 1}, {Dim: td, Level: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	parts := make([]*Grouped, 8)
+	for i := range parts {
+		parts[i] = NewGrouped()
+		for j := 0; j < 20; j++ {
+			key := uint64(rng.Intn(8))
+			parts[i].AddRow(key, int64(rng.Intn(100)), int64(rng.Intn(100)), int64(rng.Intn(100)))
+		}
+	}
+	merge := func(order []int) []Row {
+		acc := NewGrouped()
+		for _, i := range order {
+			acc.Merge(parts[i])
+		}
+		return g.Rows(acc)
+	}
+	fwd := merge([]int{0, 1, 2, 3, 4, 5, 6, 7})
+	rev := merge([]int{7, 6, 5, 4, 3, 2, 1, 0})
+	if !reflect.DeepEqual(fwd, rev) {
+		t.Fatal("merge order changed grouped result")
+	}
+	if !sort.SliceIsSorted(fwd, func(i, j int) bool {
+		a, b := fwd[i].Members, fwd[j].Members
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	}) {
+		t.Fatalf("rows not in lexicographic member order: %v", fwd)
+	}
+}
+
+// TestFragPartialZeroGroupSuppressed checks that an aligned fragment
+// whose selection matched nothing contributes no group.
+func TestFragPartialZeroGroupSuppressed(t *testing.T) {
+	g := NewGrouped()
+	var total Aggregate
+	FragPartial{OneGroup: true, Key: 3}.MergeInto(&total, g)
+	if g.Len() != 0 {
+		t.Fatalf("zero-count partial created %d groups", g.Len())
+	}
+	FragPartial{OneGroup: true, Key: 3, Agg: Aggregate{Count: 2, UnitsSold: 5}}.MergeInto(&total, g)
+	if g.Len() != 1 || total.Count != 2 {
+		t.Fatalf("non-empty partial not merged: groups=%d total=%+v", g.Len(), total)
+	}
+}
+
+// TestNewGrouperErrors covers invalid refs and group-space overflow.
+func TestNewGrouperErrors(t *testing.T) {
+	s := schema.Tiny()
+	if _, err := NewGrouper(s, nil, []frag.LevelRef{{Dim: 9, Level: 0}}); err == nil {
+		t.Error("out-of-range dimension accepted")
+	}
+	if _, err := NewGrouper(s, nil, []frag.LevelRef{{Dim: 0, Level: 9}}); err == nil {
+		t.Error("out-of-range level accepted")
+	}
+	huge := &schema.Star{
+		Name: "huge",
+		Dims: []schema.Dimension{
+			{Name: "a", Levels: []schema.Level{{Name: "x", Card: 1 << 31}}},
+			{Name: "b", Levels: []schema.Level{{Name: "y", Card: 1 << 31}}},
+			{Name: "c", Levels: []schema.Level{{Name: "z", Card: 1 << 31}}},
+		},
+		Density: 1, TupleSize: 20, PageSize: 4096,
+	}
+	refs := []frag.LevelRef{{Dim: 0, Level: 0}, {Dim: 1, Level: 0}, {Dim: 2, Level: 0}}
+	if _, err := NewGrouper(huge, nil, refs); err == nil {
+		t.Error("2^93 group space accepted")
+	}
+	if g, err := NewGrouper(s, nil, nil); g != nil || err != nil {
+		t.Errorf("empty GroupBy: got %v, %v", g, err)
+	}
+}

@@ -127,7 +127,7 @@ func TestSharedNothingLoadImbalance(t *testing.T) {
 	// disks, owned by at most 5 of 20 SN nodes.
 	p := s.DimIndex(schema.DimProduct)
 	code := s.Dim(schema.DimProduct).LevelIndex(schema.LvlCode)
-	q := frag.Query{{Dim: p, Level: code, Member: 0}}
+	q := frag.Query{Preds: []frag.Pred{{Dim: p, Level: code, Member: 0}}}
 
 	run := func(arch Architecture) (Result, int) {
 		cfg := DefaultConfig()

@@ -16,13 +16,13 @@ func apb1Env(t testing.TB) (*schema.Star, frag.IndexConfig) {
 func storeQuery(s *schema.Star) frag.Query {
 	c := s.DimIndex(schema.DimCustomer)
 	store := s.Dim(schema.DimCustomer).LevelIndex(schema.LvlStore)
-	return frag.Query{{Dim: c, Level: store, Member: 7}}
+	return frag.Query{Preds: []frag.Pred{{Dim: c, Level: store, Member: 7}}}
 }
 
 func monthQuery(s *schema.Star) frag.Query {
 	tm := s.DimIndex(schema.DimTime)
 	month := s.Dim(schema.DimTime).LevelIndex(schema.LvlMonth)
-	return frag.Query{{Dim: tm, Level: month, Member: 3}}
+	return frag.Query{Preds: []frag.Pred{{Dim: tm, Level: month, Member: 3}}}
 }
 
 func run1(t testing.TB, cfg Config, spec *frag.Spec, icfg frag.IndexConfig, q frag.Query) Result {
@@ -289,7 +289,7 @@ func TestRunSequentialQueries(t *testing.T) {
 	tm := s.DimIndex(schema.DimTime)
 	group := s.Dim(schema.DimProduct).LevelIndex(schema.LvlGroup)
 	month := s.Dim(schema.DimTime).LevelIndex(schema.LvlMonth)
-	q := frag.Query{{Dim: tm, Level: month, Member: 0}, {Dim: p, Level: group, Member: 0}}
+	q := frag.Query{Preds: []frag.Pred{{Dim: tm, Level: month, Member: 0}, {Dim: p, Level: group, Member: 0}}}
 
 	plans := []*Plan{
 		NewPlan(spec, icfg, q, cfg),
@@ -360,7 +360,7 @@ func TestDeadlockGuardSingleNodeT1(t *testing.T) {
 	tm := s.DimIndex(schema.DimTime)
 	group := s.Dim(schema.DimProduct).LevelIndex(schema.LvlGroup)
 	month := s.Dim(schema.DimTime).LevelIndex(schema.LvlMonth)
-	q := frag.Query{{Dim: tm, Level: month, Member: 0}, {Dim: p, Level: group, Member: 0}}
+	q := frag.Query{Preds: []frag.Pred{{Dim: tm, Level: month, Member: 0}, {Dim: p, Level: group, Member: 0}}}
 	rs := sys.Run([]*Plan{NewPlan(spec, icfg, q, cfg)})
 	if rs[0].ResponseTime <= 0 {
 		t.Fatal("query did not complete (scheduler deadlock)")

@@ -84,9 +84,9 @@ func TestCompressedExecutorCorrectAndCheaper(t *testing.T) {
 				continue
 			}
 			li := rng.Intn(s.Dims[di].Depth())
-			q = append(q, frag.Pred{Dim: di, Level: li, Member: rng.Intn(s.Dims[di].Levels[li].Card)})
+			q.Preds = append(q.Preds, frag.Pred{Dim: di, Level: li, Member: rng.Intn(s.Dims[di].Levels[li].Card)})
 		}
-		if len(q) == 0 {
+		if len(q.Preds) == 0 {
 			continue
 		}
 		a, _, err := exPlain.Execute(q)
@@ -156,9 +156,9 @@ func TestCompressedFastPathIOStatsMatch(t *testing.T) {
 				continue
 			}
 			li := rng.Intn(s.Dims[di].Depth())
-			q = append(q, frag.Pred{Dim: di, Level: li, Member: rng.Intn(s.Dims[di].Levels[li].Card)})
+			q.Preds = append(q.Preds, frag.Pred{Dim: di, Level: li, Member: rng.Intn(s.Dims[di].Levels[li].Card)})
 		}
-		if len(q) == 0 {
+		if len(q.Preds) == 0 {
 			continue
 		}
 		aggP, stP, err := exPlain.Execute(q)
@@ -251,9 +251,9 @@ func TestCompressedFastPathSimpleIndexes(t *testing.T) {
 				continue
 			}
 			li := rng.Intn(s.Dims[di].Depth())
-			q = append(q, frag.Pred{Dim: di, Level: li, Member: rng.Intn(s.Dims[di].Levels[li].Card)})
+			q.Preds = append(q.Preds, frag.Pred{Dim: di, Level: li, Member: rng.Intn(s.Dims[di].Levels[li].Card)})
 		}
-		if len(q) == 0 {
+		if len(q.Preds) == 0 {
 			continue
 		}
 		aggP, stP, err := exPlain.Execute(q)

@@ -10,6 +10,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/exec"
 	"repro/internal/frag"
+	"repro/internal/kernel"
 	"repro/internal/schema"
 )
 
@@ -68,7 +69,7 @@ func TestDeclusteredMatchesSingleDisk(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s: %v", qname, err)
 				}
-				want[qname] = partial{agg: agg, st: st}
+				want[qname] = partial{fp: kernel.FragPartial{Agg: agg}, st: st}
 			}
 
 			for _, disks := range []int{1, 2, 4, 8} {
@@ -89,8 +90,8 @@ func TestDeclusteredMatchesSingleDisk(t *testing.T) {
 							if err != nil {
 								t.Fatalf("%s d=%d w=%d: %v", qname, disks, workers, err)
 							}
-							if agg != want[qname].agg {
-								t.Errorf("%s %v d=%d w=%d: aggregate %+v != single-disk %+v", qname, scheme, disks, workers, agg, want[qname].agg)
+							if agg != want[qname].fp.Agg {
+								t.Errorf("%s %v d=%d w=%d: aggregate %+v != single-disk %+v", qname, scheme, disks, workers, agg, want[qname].fp.Agg)
 							}
 							if st != want[qname].st {
 								t.Errorf("%s %v d=%d w=%d: IOStats %+v != single-disk %+v", qname, scheme, disks, workers, st, want[qname].st)
@@ -146,7 +147,7 @@ func TestDiskSetStatsAccountAllIO(t *testing.T) {
 		t.Fatal(err)
 	}
 	cd := s.DimIndex(schema.DimCustomer)
-	q := frag.Query{{Dim: cd, Level: s.Dims[cd].LevelIndex(schema.LvlStore), Member: 2}}
+	q := frag.Query{Preds: []frag.Pred{{Dim: cd, Level: s.Dims[cd].LevelIndex(schema.LvlStore), Member: 2}}}
 	ex := NewExecutor(store, bf)
 	_, st, err := ex.Execute(q)
 	if err != nil {
@@ -222,7 +223,7 @@ func TestPerDiskDelayObservable(t *testing.T) {
 	}
 	s, _, store, bf := buildStore(t, "time::month, product::group")
 	cd := s.DimIndex(schema.DimCustomer)
-	q := frag.Query{{Dim: cd, Level: s.Dims[cd].LevelIndex(schema.LvlStore), Member: 2}}
+	q := frag.Query{Preds: []frag.Pred{{Dim: cd, Level: s.Dims[cd].LevelIndex(schema.LvlStore), Member: 2}}}
 
 	elapsed := func(disks int) time.Duration {
 		p := alloc.Placement{Disks: disks, Scheme: alloc.RoundRobin, Staggered: true}
@@ -260,7 +261,7 @@ func TestPerDiskDelayObservable(t *testing.T) {
 func TestSetIODelayConcurrent(t *testing.T) {
 	s, _, store, bf := buildStore(t, "time::month, product::group")
 	cd := s.DimIndex(schema.DimCustomer)
-	q := frag.Query{{Dim: cd, Level: s.Dims[cd].LevelIndex(schema.LvlStore), Member: 1}}
+	q := frag.Query{Preds: []frag.Pred{{Dim: cd, Level: s.Dims[cd].LevelIndex(schema.LvlStore), Member: 1}}}
 	ex := NewExecutor(store, bf)
 	ex.Workers = 4
 	done := make(chan struct{})
@@ -424,7 +425,7 @@ func TestExecutorSchedulerMatchesPrivatePool(t *testing.T) {
 			if err != nil {
 				t.Fatalf("serial %s: %v", qname, err)
 			}
-			want[qname] = partial{agg: agg, st: st}
+			want[qname] = partial{fp: kernel.FragPartial{Agg: agg}, st: st}
 		}
 
 		shared := NewExecutor(store, bf)
@@ -438,9 +439,9 @@ func TestExecutorSchedulerMatchesPrivatePool(t *testing.T) {
 						errc <- fmt.Errorf("%s: %v", qname, err)
 						return
 					}
-					if agg != want[qname].agg || st != want[qname].st {
+					if agg != want[qname].fp.Agg || st != want[qname].st {
 						errc <- fmt.Errorf("%s on %d disks: scheduler result diverged: got %+v/%+v want %+v/%+v",
-							qname, disks, agg, st, want[qname].agg, want[qname].st)
+							qname, disks, agg, st, want[qname].fp.Agg, want[qname].st)
 						return
 					}
 					errc <- nil

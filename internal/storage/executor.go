@@ -8,6 +8,7 @@ import (
 	"repro/internal/bitmap"
 	"repro/internal/exec"
 	"repro/internal/frag"
+	"repro/internal/kernel"
 )
 
 // IOStats counts the physical I/O a query execution performed — the
@@ -20,7 +21,8 @@ type IOStats struct {
 	RowsRead    int64
 }
 
-func (st *IOStats) add(o IOStats) {
+// Add folds another execution's counters in.
+func (st *IOStats) Add(o IOStats) {
 	st.FactPages += o.FactPages
 	st.FactIOs += o.FactIOs
 	st.BitmapPages += o.BitmapPages
@@ -28,20 +30,10 @@ func (st *IOStats) add(o IOStats) {
 	st.RowsRead += o.RowsRead
 }
 
-// Aggregate is the star query result over the stored measures.
-type Aggregate struct {
-	Count       int64
-	UnitsSold   int64
-	DollarSales int64
-	Cost        int64
-}
-
-func (a *Aggregate) add(o Aggregate) {
-	a.Count += o.Count
-	a.UnitsSold += o.UnitsSold
-	a.DollarSales += o.DollarSales
-	a.Cost += o.Cost
-}
+// Aggregate is the star query result over the stored measures — the
+// shared kernel aggregate, so on-disk results are structurally identical
+// to the in-memory engine's.
+type Aggregate = kernel.Aggregate
 
 // Executor runs star queries against an on-disk store following the
 // processing model of Section 4.3: determine the relevant fragments, read
@@ -81,8 +73,40 @@ func NewExecutor(store *Store, bitmaps *BitmapFile) *Executor {
 
 // partial is one fragment's contribution to a query result.
 type partial struct {
+	fp kernel.FragPartial
+	st IOStats
+}
+
+// acc is a query's running result: the task-ordered fold of the
+// fragments' partials.
+type acc struct {
 	agg Aggregate
+	g   *kernel.Grouped
 	st  IOStats
+}
+
+// tupleAcc accumulates one fragment's decoded tuples: the grand total
+// plus, on the per-row grouping fallback, the fragment-local group map.
+// The tuple's dimension keys carry the leaf members, so per-row grouping
+// needs no extra I/O — only the key arithmetic and map update.
+type tupleAcc struct {
+	agg    *kernel.Aggregate
+	st     *IOStats
+	g      *kernel.Grouped
+	base   uint64
+	perRow []kernel.RowLevel
+}
+
+func (a *tupleAcc) add(tp Tuple) {
+	a.agg.AddRow(int64(tp.UnitsSold), int64(tp.DollarSales), int64(tp.Cost))
+	a.st.RowsRead++
+	if a.g != nil {
+		key := a.base
+		for _, rl := range a.perRow {
+			key += uint64(int64(tp.Keys[rl.Dim])/rl.Div) * rl.Weight
+		}
+		a.g.AddRow(key, int64(tp.UnitsSold), int64(tp.DollarSales), int64(tp.Cost))
+	}
 }
 
 // execScratch is the per-worker buffer set threaded through internal/exec.
@@ -129,8 +153,9 @@ func (sc *execScratch) operand(i int) *bitmap.Compressed {
 	return sc.cpool[i]
 }
 
-// Execute runs the query and returns the aggregate plus physical I/O
-// statistics.
+// Execute runs the query and returns the grand-total aggregate plus
+// physical I/O statistics (any GroupBy on the query is ignored — use
+// ExecuteGrouped).
 func (e *Executor) Execute(q frag.Query) (Aggregate, IOStats, error) {
 	return e.ExecuteContext(context.Background(), q)
 }
@@ -143,47 +168,85 @@ func (e *Executor) Execute(q frag.Query) (Aggregate, IOStats, error) {
 // disks instead of convoying on one queue. Results are identical at any
 // worker and disk count.
 func (e *Executor) ExecuteContext(ctx context.Context, q frag.Query) (Aggregate, IOStats, error) {
+	q.GroupBy = nil // grouping never changes the grand total
+	res, st, err := e.ExecuteGrouped(ctx, q)
+	return res.Aggregate, st, err
+}
+
+// ExecuteGrouped is ExecuteContext returning the full result: the grand
+// total plus, when the query has a GroupBy, the per-group rows in the
+// deterministic kernel order. On the fragment-aligned fast path (every
+// GroupBy level at or above its dimension's fragmentation level) the
+// group key is computed once per fragment from its id, so grouping adds
+// no per-row work and — because the stored tuples carry the dimension
+// keys — never any extra I/O.
+func (e *Executor) ExecuteGrouped(ctx context.Context, q frag.Query) (kernel.Result, IOStats, error) {
 	star := e.store.star
 	spec := e.store.spec
 	if err := q.Validate(star); err != nil {
-		return Aggregate{}, IOStats{}, err
+		return kernel.Result{}, IOStats{}, err
+	}
+	gr, err := kernel.NewGrouper(star, spec, q.GroupBy)
+	if err != nil {
+		return kernel.Result{}, IOStats{}, err
 	}
 	ids := spec.FragmentIDs(q)
+	var perRow []kernel.RowLevel
+	aligned := false
+	if gr != nil {
+		aligned = gr.Aligned()
+		perRow = gr.PerRow()
+	}
 	run := func(sc *execScratch, i int) (partial, error) {
 		var p partial
-		if err := e.processFragment(ids[i], q, &p.agg, &p.st, sc); err != nil {
+		var base uint64
+		if gr != nil {
+			base = gr.FragKey(ids[i])
+			if aligned {
+				p.fp.OneGroup, p.fp.Key = true, base
+			} else {
+				p.fp.Groups = kernel.NewGrouped()
+			}
+		}
+		if err := e.processFragment(ids[i], q, &p, sc, base, perRow); err != nil {
 			return partial{}, err
 		}
 		return p, nil
 	}
-	merge := func(acc *partial, p partial) {
-		acc.agg.add(p.agg)
-		acc.st.add(p.st)
+	merge := func(a *acc, p partial) {
+		if gr != nil && a.g == nil {
+			a.g = kernel.NewGrouped()
+		}
+		p.fp.MergeInto(&a.agg, a.g)
+		a.st.Add(p.st)
 	}
-	var res partial
-	var err error
+	var a acc
 	ds := e.store.disks
 	declustered := ds != nil && ds.Disks() > 1
 	switch {
 	case e.Sched != nil && declustered:
 		placement := e.store.placement
-		res, err = exec.ReduceShardedOn(ctx, e.Sched, len(ids),
+		a, err = exec.ReduceShardedOn(ctx, e.Sched, len(ids),
 			func(i int) int { return placement.FactDisk(ids[i]) }, ds.Disks(),
 			e.newScratch, run, merge)
 	case e.Sched != nil:
-		res, err = exec.ReduceOn(ctx, e.Sched, len(ids), e.newScratch, run, merge)
+		a, err = exec.ReduceOn(ctx, e.Sched, len(ids), e.newScratch, run, merge)
 	case declustered:
 		placement := e.store.placement
-		res, err = exec.ReduceShardedWith(ctx, e.Workers, len(ids),
+		a, err = exec.ReduceShardedWith(ctx, e.Workers, len(ids),
 			func(i int) int { return placement.FactDisk(ids[i]) }, ds.Disks(),
 			e.newScratch, run, merge)
 	default:
-		res, err = exec.ReduceWith(ctx, e.Workers, len(ids), e.newScratch, run, merge)
+		a, err = exec.ReduceWith(ctx, e.Workers, len(ids), e.newScratch, run, merge)
 	}
 	if err != nil {
-		return Aggregate{}, IOStats{}, err
+		return kernel.Result{}, IOStats{}, err
 	}
-	return res.agg, res.st, nil
+	res := kernel.Result{Aggregate: a.agg}
+	if gr != nil {
+		res.Groups = gr.Rows(a.g)
+	}
+	return res, a.st, nil
 }
 
 // processFragment evaluates the query within one fragment. On a
@@ -191,35 +254,39 @@ func (e *Executor) ExecuteContext(ctx context.Context, q frag.Query) (Aggregate,
 // fragments are read as raw WAH words, intersected by one run-skipping
 // AndAll (complemented operands folded in via AndNot), and the hit rows
 // stream out of the compressed result — nothing is ever decompressed.
-func (e *Executor) processFragment(id int64, q frag.Query, agg *Aggregate, st *IOStats, sc *execScratch) error {
+func (e *Executor) processFragment(id int64, q frag.Query, p *partial, sc *execScratch, base uint64, perRow []kernel.RowLevel) error {
 	loc, ok := e.store.Loc(id)
 	if !ok {
 		return nil // no rows at this density
 	}
+	ta := &tupleAcc{agg: &p.fp.Agg, st: &p.st, base: base, perRow: perRow}
+	if len(perRow) != 0 {
+		ta.g = p.fp.Groups
+	}
 	if e.bitmaps.compressed {
-		return e.processFragmentCompressed(id, loc, q, agg, st, sc)
+		return e.processFragmentCompressed(id, loc, q, ta, sc)
 	}
 	spec := e.store.spec
 
 	// Step 2 (Section 4.3): bitmap access for the predicates that need it.
 	first := true
-	for _, p := range q {
-		if !spec.NeedsBitmap(p) {
+	for _, pr := range q.Preds {
+		if !spec.NeedsBitmap(pr) {
 			continue
 		}
-		pages, err := e.selectPred(id, p, st, sc, first)
+		pages, err := e.selectPred(id, pr, &p.st, sc, first)
 		if err != nil {
 			return err
 		}
-		st.BitmapPages += int64(pages)
+		p.st.BitmapPages += int64(pages)
 		first = false
 	}
 
 	if first {
 		// IOC1: every page of the fragment is read with full prefetch.
-		return e.scanWhole(id, loc, agg, st, sc)
+		return e.scanWhole(id, loc, ta, sc)
 	}
-	return e.readHits(id, loc, sc.hits, agg, st, sc)
+	return e.readHits(id, loc, sc.hits, ta, sc)
 }
 
 // selectPred evaluates one predicate via the stored bitmap fragments,
@@ -293,9 +360,10 @@ func (e *Executor) selectPred(id int64, p frag.Pred, st *IOStats, sc *execScratc
 // all verbatim ones with a single k-way AndAll, fold complements in with
 // run-skipping AndNot, and drive the prefetch-granule fact reads from the
 // compressed result's range iterator.
-func (e *Executor) processFragmentCompressed(id int64, loc FragLoc, q frag.Query, agg *Aggregate, st *IOStats, sc *execScratch) error {
+func (e *Executor) processFragmentCompressed(id int64, loc FragLoc, q frag.Query, ta *tupleAcc, sc *execScratch) error {
 	star := e.store.star
 	spec := e.store.spec
+	st := ta.st
 	pos, neg := sc.pos[:0], sc.neg[:0]
 	nread := 0
 	read := func(desc BitmapDesc) (*bitmap.Compressed, error) {
@@ -312,7 +380,7 @@ func (e *Executor) processFragmentCompressed(id int64, loc FragLoc, q frag.Query
 		return c, nil
 	}
 	anyBitmap := false
-	for _, p := range q {
+	for _, p := range q.Preds {
 		if !spec.NeedsBitmap(p) {
 			continue
 		}
@@ -349,7 +417,7 @@ func (e *Executor) processFragmentCompressed(id int64, loc FragLoc, q frag.Query
 
 	if !anyBitmap {
 		// IOC1: every page of the fragment is read with full prefetch.
-		return e.scanWhole(id, loc, agg, st, sc)
+		return e.scanWhole(id, loc, ta, sc)
 	}
 	var res *bitmap.Compressed
 	if len(pos) > 0 {
@@ -367,17 +435,17 @@ func (e *Executor) processFragmentCompressed(id int64, loc FragLoc, q frag.Query
 	if !res.Any() {
 		return nil // empty intersection: no fact page is touched
 	}
-	return e.readHitsCompressed(id, loc, res, agg, st, sc)
+	return e.readHitsCompressed(id, loc, res, ta, sc)
 }
 
 // scanWhole aggregates every tuple of the fragment, reading it in
 // prefetch-granule runs with the next granule read in flight while the
 // current one aggregates.
-func (e *Executor) scanWhole(id int64, loc FragLoc, agg *Aggregate, st *IOStats, sc *execScratch) error {
+func (e *Executor) scanWhole(id int64, loc FragLoc, ta *tupleAcc, sc *execScratch) error {
 	tpp := TuplesPerPage(e.store.star)
 	sc.gran = appendWholeGranules(sc.gran[:0], int(loc.Pages), e.PrefetchFact)
 	remaining := int(loc.Rows)
-	return e.forEachGranule(sc, st, id, sc.gran, func(g granule, buf []byte) {
+	return e.forEachGranule(sc, ta.st, id, sc.gran, func(g granule, buf []byte) {
 		for p := 0; p < int(g.count); p++ {
 			n := tpp
 			if remaining < n {
@@ -387,8 +455,7 @@ func (e *Executor) scanWhole(id int64, loc FragLoc, agg *Aggregate, st *IOStats,
 			for i := 0; i < n; i++ {
 				var tp Tuple
 				tp, off = e.store.decodeTuple(buf, off, sc.keys)
-				addTuple(agg, tp)
-				st.RowsRead++
+				ta.add(tp)
 			}
 			remaining -= n
 		}
@@ -398,7 +465,7 @@ func (e *Executor) scanWhole(id int64, loc FragLoc, agg *Aggregate, st *IOStats,
 // readHits reads only the prefetch granules containing hit rows (the
 // prefetch-efficiency effect of Section 4.5), prefetching one granule
 // ahead of aggregation.
-func (e *Executor) readHits(id int64, loc FragLoc, hits *bitmap.Bitset, agg *Aggregate, st *IOStats, sc *execScratch) error {
+func (e *Executor) readHits(id int64, loc FragLoc, hits *bitmap.Bitset, ta *tupleAcc, sc *execScratch) error {
 	tpp := TuplesPerPage(e.store.star)
 	g := e.PrefetchFact
 	granules := int(math.Ceil(float64(loc.Pages) / float64(g)))
@@ -417,7 +484,7 @@ func (e *Executor) readHits(id int64, loc FragLoc, hits *bitmap.Bitset, agg *Agg
 		sc.gran = append(sc.gran, granule{start: int32(start), count: int32(count)})
 		next = hits.NextSet(rowHi) // first hit beyond this granule
 	}
-	return e.forEachGranule(sc, st, id, sc.gran, func(g granule, buf []byte) {
+	return e.forEachGranule(sc, ta.st, id, sc.gran, func(g granule, buf []byte) {
 		rowLo := int(g.start) * tpp
 		rowHi := rowLo + int(g.count)*tpp
 		if rowHi > int(loc.Rows) {
@@ -427,8 +494,7 @@ func (e *Executor) readHits(id int64, loc FragLoc, hits *bitmap.Bitset, agg *Agg
 			pageIn := r/tpp - int(g.start)
 			off := pageIn*e.store.pageSize + (r%tpp)*e.store.tupleSize
 			tp, _ := e.store.decodeTuple(buf, off, sc.keys)
-			addTuple(agg, tp)
-			st.RowsRead++
+			ta.add(tp)
 		}
 	})
 }
@@ -439,7 +505,7 @@ func (e *Executor) readHits(id int64, loc FragLoc, hits *bitmap.Bitset, agg *Agg
 // materialised path skips them), the prefetch pipeline reads them ahead,
 // and a second streaming pass aggregates the hit rows as the granule
 // buffers arrive in order.
-func (e *Executor) readHitsCompressed(id int64, loc FragLoc, hits *bitmap.Compressed, agg *Aggregate, st *IOStats, sc *execScratch) error {
+func (e *Executor) readHitsCompressed(id int64, loc FragLoc, hits *bitmap.Compressed, ta *tupleAcc, sc *execScratch) error {
 	tpp := TuplesPerPage(e.store.star)
 	g := e.PrefetchFact
 	rowsPerGranule := g * tpp
@@ -459,7 +525,7 @@ func (e *Executor) readHitsCompressed(id int64, loc FragLoc, hits *bitmap.Compre
 			sc.gran = append(sc.gran, granule{start: int32(start), count: int32(count)})
 		}
 	})
-	pipe := e.startGranules(sc, st, id, sc.gran)
+	pipe := e.startGranules(sc, ta.st, id, sc.gran)
 	var buf []byte
 	var readErr error
 	loaded := -1 // granule index of buf
@@ -483,8 +549,7 @@ func (e *Executor) readHitsCompressed(id int64, loc FragLoc, hits *bitmap.Compre
 			pageIn := r/tpp - loaded*g
 			off := pageIn*e.store.pageSize + (r%tpp)*e.store.tupleSize
 			tp, _ := e.store.decodeTuple(buf, off, sc.keys)
-			addTuple(agg, tp)
-			st.RowsRead++
+			ta.add(tp)
 		}
 	})
 	if readErr != nil {
@@ -492,11 +557,4 @@ func (e *Executor) readHitsCompressed(id int64, loc FragLoc, hits *bitmap.Compre
 	}
 	pipe.finish()
 	return nil
-}
-
-func addTuple(agg *Aggregate, tp Tuple) {
-	agg.Count++
-	agg.UnitsSold += int64(tp.UnitsSold)
-	agg.DollarSales += int64(tp.DollarSales)
-	agg.Cost += int64(tp.Cost)
 }

@@ -143,9 +143,9 @@ func TestExecutorMatchesEngineAndScan(t *testing.T) {
 				continue
 			}
 			li := rng.Intn(s.Dims[di].Depth())
-			q = append(q, frag.Pred{Dim: di, Level: li, Member: rng.Intn(s.Dims[di].Levels[li].Card)})
+			q.Preds = append(q.Preds, frag.Pred{Dim: di, Level: li, Member: rng.Intn(s.Dims[di].Levels[li].Card)})
 		}
-		if len(q) == 0 {
+		if len(q.Preds) == 0 {
 			continue
 		}
 		got, _, err := ex.Execute(q)
@@ -171,7 +171,7 @@ func TestExecutorIOAccounting(t *testing.T) {
 	store1 := s.Dims[cd].LevelIndex(schema.LvlStore)
 
 	// Q1 (IOC1): no bitmap I/O; reads exactly the one fragment's pages.
-	q1 := frag.Query{{Dim: td, Level: month, Member: 1}, {Dim: pd, Level: group, Member: 0}}
+	q1 := frag.Query{Preds: []frag.Pred{{Dim: td, Level: month, Member: 1}, {Dim: pd, Level: group, Member: 0}}}
 	_, st, err := ex.Execute(q1)
 	if err != nil {
 		t.Fatal(err)
@@ -186,7 +186,7 @@ func TestExecutorIOAccounting(t *testing.T) {
 	}
 
 	// Unsupported query (1STORE): bitmap I/O on every fragment.
-	qs := frag.Query{{Dim: cd, Level: store1, Member: 2}}
+	qs := frag.Query{Preds: []frag.Pred{{Dim: cd, Level: store1, Member: 2}}}
 	_, st2, err := ex.Execute(qs)
 	if err != nil {
 		t.Fatal(err)
@@ -234,7 +234,7 @@ func TestExecutorSkipsHitFreePages(t *testing.T) {
 	defer bf.Close()
 
 	cd := s.DimIndex(schema.DimCustomer)
-	q := frag.Query{{Dim: cd, Level: s.Dims[cd].LevelIndex(schema.LvlStore), Member: 2}}
+	q := frag.Query{Preds: []frag.Pred{{Dim: cd, Level: s.Dims[cd].LevelIndex(schema.LvlStore), Member: 2}}}
 	ex := NewExecutor(store, bf)
 	ex.PrefetchFact = 1
 	got, st, err := ex.Execute(q)
@@ -265,7 +265,7 @@ func TestExecutorPrefetchGranuleEffect(t *testing.T) {
 	s, _, store, bf := buildStore(t, "time::month, product::group")
 	cd := s.DimIndex(schema.DimCustomer)
 	store1 := s.Dims[cd].LevelIndex(schema.LvlStore)
-	q := frag.Query{{Dim: cd, Level: store1, Member: 1}}
+	q := frag.Query{Preds: []frag.Pred{{Dim: cd, Level: store1, Member: 1}}}
 
 	ex1 := NewExecutor(store, bf)
 	ex1.PrefetchFact = 1
@@ -340,11 +340,11 @@ func classQueries(t *testing.T, s *schema.Star, spec *frag.Spec) map[string]frag
 	quarter := s.Dims[td].LevelIndex(schema.LvlQuarter)
 	store := s.Dims[cd].LevelIndex(schema.LvlStore)
 	qs := map[string]frag.Query{
-		"Q1":          {{Dim: td, Level: month, Member: 1}, {Dim: pd, Level: group, Member: 0}},
-		"Q2":          {{Dim: pd, Level: code, Member: 3}},
-		"Q3":          {{Dim: td, Level: quarter, Member: 1}},
-		"Q4":          {{Dim: pd, Level: code, Member: 5}, {Dim: td, Level: quarter, Member: 0}},
-		"unsupported": {{Dim: cd, Level: store, Member: 2}},
+		"Q1":          {Preds: []frag.Pred{{Dim: td, Level: month, Member: 1}, {Dim: pd, Level: group, Member: 0}}},
+		"Q2":          {Preds: []frag.Pred{{Dim: pd, Level: code, Member: 3}}},
+		"Q3":          {Preds: []frag.Pred{{Dim: td, Level: quarter, Member: 1}}},
+		"Q4":          {Preds: []frag.Pred{{Dim: pd, Level: code, Member: 5}, {Dim: td, Level: quarter, Member: 0}}},
+		"unsupported": {Preds: []frag.Pred{{Dim: cd, Level: store, Member: 2}}},
 	}
 	for name, q := range qs {
 		want := name
@@ -432,7 +432,7 @@ func TestExecutorConcurrentQueries(t *testing.T) {
 func TestExecutorContextCancellation(t *testing.T) {
 	s, _, store, bf := buildStore(t, "time::month, product::group")
 	cd := s.DimIndex(schema.DimCustomer)
-	q := frag.Query{{Dim: cd, Level: s.Dims[cd].LevelIndex(schema.LvlStore), Member: 2}}
+	q := frag.Query{Preds: []frag.Pred{{Dim: cd, Level: s.Dims[cd].LevelIndex(schema.LvlStore), Member: 2}}}
 	ex := NewExecutor(store, bf)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()

@@ -80,19 +80,19 @@ func ByName(name string) (QueryType, error) {
 // (one per attribute, in template order).
 func (qt QueryType) Bind(star *schema.Star, members []int) (frag.Query, error) {
 	if len(members) != len(qt.Attrs) {
-		return nil, fmt.Errorf("workload: %s needs %d members, got %d", qt.Name, len(qt.Attrs), len(members))
+		return frag.Query{}, fmt.Errorf("workload: %s needs %d members, got %d", qt.Name, len(qt.Attrs), len(members))
 	}
 	var q frag.Query
 	for i, a := range qt.Attrs {
 		di := star.DimIndex(a.Dim)
 		if di < 0 {
-			return nil, fmt.Errorf("workload: schema lacks dimension %s", a.Dim)
+			return frag.Query{}, fmt.Errorf("workload: schema lacks dimension %s", a.Dim)
 		}
 		li := star.Dims[di].LevelIndex(a.Level)
 		if li < 0 {
-			return nil, fmt.Errorf("workload: dimension %s lacks level %s", a.Dim, a.Level)
+			return frag.Query{}, fmt.Errorf("workload: dimension %s lacks level %s", a.Dim, a.Level)
 		}
-		q = append(q, frag.Pred{Dim: di, Level: li, Member: members[i]})
+		q.Preds = append(q.Preds, frag.Pred{Dim: di, Level: li, Member: members[i]})
 	}
 	return q, q.Validate(star)
 }
@@ -114,11 +114,11 @@ func (g *Generator) Next(qt QueryType) (frag.Query, error) {
 	for i, a := range qt.Attrs {
 		di := g.star.DimIndex(a.Dim)
 		if di < 0 {
-			return nil, fmt.Errorf("workload: schema lacks dimension %s", a.Dim)
+			return frag.Query{}, fmt.Errorf("workload: schema lacks dimension %s", a.Dim)
 		}
 		li := g.star.Dims[di].LevelIndex(a.Level)
 		if li < 0 {
-			return nil, fmt.Errorf("workload: dimension %s lacks level %s", a.Dim, a.Level)
+			return frag.Query{}, fmt.Errorf("workload: dimension %s lacks level %s", a.Dim, a.Level)
 		}
 		members[i] = g.rng.Intn(g.star.Dims[di].Levels[li].Card)
 	}

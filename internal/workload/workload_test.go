@@ -15,8 +15,8 @@ func TestAllTypesBindOnAPB1(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", qt.Name, err)
 		}
-		if len(q) != len(qt.Attrs) {
-			t.Errorf("%s: %d predicates, want %d", qt.Name, len(q), len(qt.Attrs))
+		if len(q.Preds) != len(qt.Attrs) {
+			t.Errorf("%s: %d predicates, want %d", qt.Name, len(q.Preds), len(qt.Attrs))
 		}
 		if err := q.Validate(s); err != nil {
 			t.Errorf("%s: %v", qt.Name, err)
@@ -42,11 +42,11 @@ func TestBindExplicitMembers(t *testing.T) {
 	}
 	tm := s.DimIndex(schema.DimTime)
 	pd := s.DimIndex(schema.DimProduct)
-	if q[0].Dim != tm || q[0].Member != 3 {
-		t.Errorf("pred 0 = %+v", q[0])
+	if q.Preds[0].Dim != tm || q.Preds[0].Member != 3 {
+		t.Errorf("pred 0 = %+v", q.Preds[0])
 	}
-	if q[1].Dim != pd || q[1].Member != 42 {
-		t.Errorf("pred 1 = %+v", q[1])
+	if q.Preds[1].Dim != pd || q.Preds[1].Member != 42 {
+		t.Errorf("pred 1 = %+v", q.Preds[1])
 	}
 	if _, err := OneMonthOneGroup.Bind(s, []int{3}); err == nil {
 		t.Error("short member list accepted")
@@ -61,13 +61,13 @@ func TestGeneratorDeterministicAndVarying(t *testing.T) {
 	a, _ := NewGenerator(s, 7).Stream(OneStore, 20)
 	b, _ := NewGenerator(s, 7).Stream(OneStore, 20)
 	for i := range a {
-		if a[i][0].Member != b[i][0].Member {
+		if a[i].Preds[0].Member != b[i].Preds[0].Member {
 			t.Fatal("same seed produced different streams")
 		}
 	}
 	distinct := map[int]bool{}
 	for _, q := range a {
-		distinct[q[0].Member] = true
+		distinct[q.Preds[0].Member] = true
 	}
 	if len(distinct) < 2 {
 		t.Error("stream shows no parameter variation")

@@ -56,6 +56,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/exec"
 	"repro/internal/frag"
+	"repro/internal/kernel"
 	"repro/internal/schema"
 	"repro/internal/simpad"
 	"repro/internal/storage"
@@ -93,10 +94,14 @@ type (
 	Fragmentation = frag.Spec
 	// FragAttr is one fragmentation attribute (dimension and level index).
 	FragAttr = frag.Attr
-	// Query is a star query selection (conjunction of point predicates).
+	// Query is a star query: a conjunction of point predicates plus an
+	// optional GROUP BY (one or more hierarchy levels).
 	Query = frag.Query
 	// Pred is one query predicate.
 	Pred = frag.Pred
+	// LevelRef names one hierarchy level of one dimension — a GROUP BY
+	// item.
+	LevelRef = frag.LevelRef
 	// QueryClass is the paper's Q1-Q4 query classification.
 	QueryClass = frag.QueryClass
 	// IOClass is the paper's I/O overhead classification.
@@ -159,9 +164,16 @@ func ParseFragmentation(star *Star, text string) (*Fragmentation, error) {
 	return frag.Parse(star, text)
 }
 
-// ParseQuery parses "dim::level=member, ..." notation.
+// ParseQuery parses "dim::level=member, ..." notation with an optional
+// trailing "group by dim::level, ..." clause.
 func ParseQuery(star *Star, text string) (Query, error) {
 	return frag.ParseQuery(star, text)
+}
+
+// FormatQuery renders a query in the ParseQuery notation (round-trips
+// exactly).
+func FormatQuery(star *Star, q Query) string {
+	return frag.Format(star, q)
 }
 
 // EnumerateFragmentations lists every point fragmentation of the schema
@@ -320,10 +332,19 @@ type (
 	FactTable = data.Table
 	// Engine executes star queries over fragmented fact data.
 	Engine = engine.Engine
-	// Aggregate is a star query result.
+	// Aggregate is a star query result: COUNT plus the three APB-1
+	// measure sums. Every backend accumulates into this one shared
+	// kernel type.
 	Aggregate = engine.Aggregate
 	// EngineStats reports work performed by a query execution.
 	EngineStats = engine.Stats
+	// Result is a full query result: the grand total (embedded) plus, for
+	// grouped queries, the per-group rows in deterministic order
+	// (ascending lexicographically in the GROUP BY member tuple).
+	Result = kernel.Result
+	// GroupRow is one group of a grouped result: the member index per
+	// GROUP BY level plus the group's aggregate.
+	GroupRow = kernel.Row
 )
 
 // GenerateData builds a deterministic fact table for the schema.
@@ -347,10 +368,18 @@ func BuildCompressedEngine(t *FactTable, spec *Fragmentation, icfg IndexConfig) 
 	return engine.BuildCompressed(t, spec, icfg)
 }
 
-// ScanAggregate computes a query result by naive full scan (the engine's
-// correctness oracle).
+// ScanAggregate computes a query's grand total by naive full scan (the
+// engine's correctness oracle). Any GROUP BY is ignored; use
+// ScanGroupedAggregate for the grouped oracle.
 func ScanAggregate(t *FactTable, q Query) Aggregate {
 	return engine.Scan(t, q)
+}
+
+// ScanGroupedAggregate computes the full (grouped) query result by naive
+// scan with per-row bucketing — the brute-force oracle every grouped
+// execution path is checked against.
+func ScanGroupedAggregate(t *FactTable, q Query) (Result, error) {
+	return engine.ScanGrouped(t, q)
 }
 
 // Workload.

@@ -146,19 +146,25 @@ func (p *PreparedQuery) Explain(ctx context.Context) (Explain, error) {
 }
 
 // Execute runs the query on the warehouse's backend and returns the
-// aggregate plus unified statistics. The execution is admitted to the
-// shared worker pool, so any number of concurrent Execute calls
-// multiplex onto the same workers and disks; results are bit-for-bit
-// identical to executing the query alone.
-func (p *PreparedQuery) Execute(ctx context.Context) (Aggregate, Stats, error) {
+// result — the grand-total aggregate plus, when the query has a GROUP BY,
+// the per-group rows in deterministic order — together with unified
+// statistics. The execution is admitted to the shared worker pool, so any
+// number of concurrent Execute calls multiplex onto the same workers and
+// disks; results are bit-for-bit identical to executing the query alone.
+//
+// Grouped roll-ups are the workload MDHF was designed for: when every
+// GROUP BY level is at or above the fragmentation level of its dimension
+// (Explain reports Cost.GroupAligned), each fragment belongs to exactly
+// one group and grouping adds no per-row work and no extra I/O.
+func (p *PreparedQuery) Execute(ctx context.Context) (Result, Stats, error) {
 	w := p.w
 	release, err := w.begin()
 	if err != nil {
-		return Aggregate{}, Stats{}, err
+		return Result{}, Stats{}, err
 	}
 	defer release()
 	if err := w.ensureBackend(ctx); err != nil {
-		return Aggregate{}, Stats{}, err
+		return Result{}, Stats{}, err
 	}
 	st := Stats{
 		Compressed: w.opt.compress,
@@ -166,18 +172,18 @@ func (p *PreparedQuery) Execute(ctx context.Context) (Aggregate, Stats, error) {
 	}
 	start := time.Now()
 	if w.engine != nil {
-		agg, est, err := w.engine.ExecuteOn(ctx, w.sched, p.q)
+		res, est, err := w.engine.ExecuteGroupedOn(ctx, w.sched, p.q)
 		if err != nil {
-			return Aggregate{}, Stats{}, err
+			return Result{}, Stats{}, err
 		}
 		st.Backend = InMemoryBackend
 		st.Engine = est
 		st.Wall = time.Since(start)
-		return agg, st, nil
+		return res, st, nil
 	}
-	sagg, io, err := w.sexec.ExecuteContext(ctx, p.q)
+	res, io, err := w.sexec.ExecuteGrouped(ctx, p.q)
 	if err != nil {
-		return Aggregate{}, Stats{}, err
+		return Result{}, Stats{}, err
 	}
 	st.IO = io
 	if w.diskset != nil {
@@ -187,12 +193,7 @@ func (p *PreparedQuery) Execute(ctx context.Context) (Aggregate, Stats, error) {
 		st.Backend = OnDiskBackend
 	}
 	st.Wall = time.Since(start)
-	return Aggregate{
-		Count:       sagg.Count,
-		UnitsSold:   sagg.UnitsSold,
-		DollarSales: sagg.DollarSales,
-		Cost:        sagg.Cost,
-	}, st, nil
+	return res, st, nil
 }
 
 // ExplainAll estimates every query, fanning the analyses out over the

@@ -1,0 +1,146 @@
+package mdhf
+
+// Round-trip and fuzz coverage for QueryText in both notations — the
+// member-index form ("customer::store=7 group by time::month") and the
+// catalog name form ("customer.store = 'STORE-0007' group by time.month")
+// — including GROUP BY clauses and malformed inputs, which must error,
+// never panic.
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+func queryTextWarehouse(t testing.TB) *Warehouse {
+	t.Helper()
+	w, err := Open(context.Background(), Config{
+		Star:          TinySchema(),
+		Fragmentation: "time::month, product::group",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	return w
+}
+
+// TestQueryTextRoundTrip parses valid queries in both notations, formats
+// them back, reparses, and requires exact equality.
+func TestQueryTextRoundTrip(t *testing.T) {
+	w := queryTextWarehouse(t)
+	texts := []string{
+		"customer::store=3",
+		"customer::store=3, time::month=2",
+		"time::month=1 group by product::group",
+		"group by time::month",
+		"group by time::quarter, product::code",
+		"product::code=5, time::quarter=1 group by time::month, customer::retailer",
+		"customer.store = 'STORE-0003'",
+		"customer.store = 'STORE-0003', time.month = 'MONTH-0002' group by product.group",
+		"group by time.month, product.code",
+	}
+	for _, text := range texts {
+		pq, err := w.QueryText(text)
+		if err != nil {
+			t.Fatalf("%q: %v", text, err)
+		}
+		q := pq.Query()
+		// Round-trip through the index notation.
+		idx := FormatQuery(w.Star(), q)
+		pq2, err := w.QueryText(idx)
+		if err != nil {
+			t.Fatalf("reparse %q (from %q): %v", idx, text, err)
+		}
+		if !reflect.DeepEqual(q, pq2.Query()) {
+			t.Fatalf("%q: index round-trip diverged: %+v vs %+v", text, q, pq2.Query())
+		}
+		// Round-trip through the catalog name notation.
+		named := w.Catalog().FormatQuery(q)
+		pq3, err := w.QueryText(named)
+		if err != nil {
+			t.Fatalf("reparse %q (from %q): %v", named, text, err)
+		}
+		if !reflect.DeepEqual(q, pq3.Query()) {
+			t.Fatalf("%q: catalog round-trip diverged: %+v vs %+v", text, q, pq3.Query())
+		}
+	}
+}
+
+// TestQueryTextMalformed feeds malformed inputs in both notations; every
+// one must return an error without panicking.
+func TestQueryTextMalformed(t *testing.T) {
+	w := queryTextWarehouse(t)
+	bad := []string{
+		"nonsense",
+		"customer::store",
+		"customer::store=",
+		"customer::store=xx",
+		"customer::store=-1",
+		"customer::store=99999",
+		"nope::store=1",
+		"customer::nope=1",
+		"customer::store=1, customer::retailer=0", // duplicate dimension
+		"customer::store=1 group by",
+		"customer::store=1 group by nope::level",
+		"customer::store=1 group by customer::nope",
+		"customer::store=1 group by time::month, time::month", // duplicate level
+		"customer::store=1 group by ,",
+		"group by",
+		"customer.store = 'NOPE-0000'",
+		"customer.store = STORE-0003'",
+		"customer.nope = 'STORE-0003'",
+		"customer.store = 'STORE-0003' group by nope.level",
+		"customer.store = 'STORE-0003' group by time.month, time.month",
+		"time.month group by time.month",
+	}
+	for _, text := range bad {
+		if _, err := w.QueryText(text); err == nil {
+			t.Errorf("QueryText(%q) accepted", text)
+		}
+	}
+}
+
+// FuzzQueryText throws arbitrary text at both parsers: parsing must never
+// panic, and anything that parses must survive a format → reparse
+// round-trip in both notations.
+func FuzzQueryText(f *testing.F) {
+	for _, seed := range []string{
+		"customer::store=3",
+		"time::month=1 group by product::group",
+		"group by time::quarter, product::code",
+		"customer.store = 'STORE-0003' group by time.month",
+		"GROUP BY time::month",
+		"a::b=c group by ::",
+		"=,=,group by,::",
+		"time::month=1 group by time::month group by time::month",
+		"'",
+		". = ' '",
+	} {
+		f.Add(seed)
+	}
+	w := queryTextWarehouse(f)
+	f.Fuzz(func(t *testing.T, text string) {
+		pq, err := w.QueryText(text)
+		if err != nil {
+			return
+		}
+		q := pq.Query()
+		idx := FormatQuery(w.Star(), q)
+		pq2, err := w.QueryText(idx)
+		if err != nil {
+			t.Fatalf("format %q of accepted %q failed to reparse: %v", idx, text, err)
+		}
+		if !reflect.DeepEqual(q, pq2.Query()) {
+			t.Fatalf("round-trip diverged for %q: %+v vs %+v", text, q, pq2.Query())
+		}
+		named := w.Catalog().FormatQuery(q)
+		pq3, err := w.QueryText(named)
+		if err != nil {
+			t.Fatalf("catalog format %q of accepted %q failed to reparse: %v", named, text, err)
+		}
+		if !reflect.DeepEqual(q, pq3.Query()) {
+			t.Fatalf("catalog round-trip diverged for %q: %+v vs %+v", text, q, pq3.Query())
+		}
+	})
+}

@@ -244,12 +244,15 @@ func (w *Warehouse) Query(q Query) *PreparedQuery {
 
 // QueryText parses and prepares a query in either notation: member
 // indices ("customer::store=7, time::month=3") or, when the text quotes
-// names, the dimension-table form resolved through the B+-tree catalog
-// ("customer.store = 'STORE-0007'").
+// names or references attributes as dim.level, the dimension-table form
+// resolved through the B+-tree catalog ("customer.store = 'STORE-0007'").
+// Both notations accept a trailing GROUP BY clause naming hierarchy
+// levels ("... group by time::month, product::family" respectively
+// "... group by time.month").
 func (w *Warehouse) QueryText(text string) (*PreparedQuery, error) {
 	var q frag.Query
 	var err error
-	if strings.Contains(text, "'") {
+	if strings.Contains(text, "'") || (!strings.Contains(text, "::") && strings.Contains(text, ".")) {
 		q, err = w.Catalog().ParseQuery(text)
 	} else {
 		q, err = frag.ParseQuery(w.star, text)

@@ -63,7 +63,7 @@ func TestWarehouseBackendsMatchScan(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s: %v", qname, err)
 				}
-				if want := ScanAggregate(tab, q); agg != want {
+				if want := ScanAggregate(tab, q); agg.Aggregate != want {
 					t.Fatalf("%s: got %+v, want %+v", qname, agg, want)
 				}
 				if st.Backend != tc.kind {
@@ -122,7 +122,7 @@ func TestWarehouseConcurrentMatchesSerial(t *testing.T) {
 		if err != nil {
 			t.Fatalf("serial %s: %v", qname, err)
 		}
-		want[qname] = result{agg: agg, io: st.IO}
+		want[qname] = result{agg: agg.Aggregate, io: st.IO}
 	}
 
 	const goroutines = 8
@@ -139,7 +139,7 @@ func TestWarehouseConcurrentMatchesSerial(t *testing.T) {
 						errc <- fmt.Errorf("%s: %v", qname, err)
 						return
 					}
-					if agg != want[qname].agg || st.IO != want[qname].io {
+					if agg.Aggregate != want[qname].agg || st.IO != want[qname].io {
 						errc <- fmt.Errorf("%s: concurrent result diverged: got %+v/%+v want %+v/%+v",
 							qname, agg, st.IO, want[qname].agg, want[qname].io)
 						return
@@ -356,7 +356,7 @@ func TestWarehouseQueryText(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a1 != a2 {
+	if a1.Aggregate != a2.Aggregate {
 		t.Fatalf("notations diverge: %+v vs %+v", a1, a2)
 	}
 }
