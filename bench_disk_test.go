@@ -20,7 +20,7 @@ func BenchmarkDiskScaling(b *testing.B) {
 	store, bf, q := parallelBenchStore(b)
 
 	// Single-disk baseline result, page-cache regime.
-	base := NewParallelStorageExecutor(store, bf, 1)
+	base := workerExecutor(store, bf, 1)
 	wantAgg, wantSt, err := base.Execute(q)
 	if err != nil {
 		b.Fatal(err)
@@ -34,7 +34,7 @@ func BenchmarkDiskScaling(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			ex := NewParallelStorageExecutor(store, bf, 16)
+			ex := workerExecutor(store, bf, 16)
 
 			// Byte-identical to the single-disk path before timing.
 			gotAgg, gotSt, err := ex.Execute(q)

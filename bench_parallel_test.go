@@ -45,6 +45,14 @@ func parallelBenchStore(b *testing.B) (*Store, *BitmapFile, Query) {
 	return store, bf, q
 }
 
+// workerExecutor pairs a store with its bitmap file at an explicit
+// fragment-worker count (the former NewParallelStorageExecutor).
+func workerExecutor(s *Store, bf *BitmapFile, workers int) *StorageExecutor {
+	ex := NewStorageExecutor(s, bf)
+	ex.Workers = workers
+	return ex
+}
+
 // BenchmarkExecutorParallel measures the on-disk executor's fragment
 // parallelism: the same 1STORE query at 1, 2, 4 and 8 workers, in two
 // regimes. "pagecache" reads straight from the OS page cache (CPU-bound:
@@ -54,7 +62,7 @@ func parallelBenchStore(b *testing.B) (*Store, *BitmapFile, Query) {
 // with the worker count even on a single CPU.
 func BenchmarkExecutorParallel(b *testing.B) {
 	store, bf, q := parallelBenchStore(b)
-	seq := NewParallelStorageExecutor(store, bf, 1)
+	seq := workerExecutor(store, bf, 1)
 	wantAgg, wantSt, err := seq.Execute(q)
 	if err != nil {
 		b.Fatal(err)
@@ -73,7 +81,7 @@ func BenchmarkExecutorParallel(b *testing.B) {
 		bf.SetIODelay(regime.delay)
 		for _, workers := range []int{1, 2, 4, 8} {
 			b.Run(fmt.Sprintf("%s/workers=%d", regime.name, workers), func(b *testing.B) {
-				ex := NewParallelStorageExecutor(store, bf, workers)
+				ex := workerExecutor(store, bf, workers)
 				gotAgg, gotSt, err := ex.Execute(q)
 				if err != nil {
 					b.Fatal(err)
@@ -214,8 +222,8 @@ func BenchmarkCompressedPath(b *testing.B) {
 				name string
 				ex   *StorageExecutor
 			}{
-				{"materialized", NewParallelStorageExecutor(store, plainBF, workers)},
-				{"compressed", NewParallelStorageExecutor(storeC, compBF, workers)},
+				{"materialized", workerExecutor(store, plainBF, workers)},
+				{"compressed", workerExecutor(storeC, compBF, workers)},
 			} {
 				gotAgg, _, err := side.ex.Execute(q)
 				if err != nil {

@@ -1,0 +1,143 @@
+package bitmap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// oracle compresses the first n bits of pattern via the batch encoder.
+func oracle(pattern []bool) *Compressed {
+	bs := New(len(pattern))
+	for i, bit := range pattern {
+		if bit {
+			bs.Set(i)
+		}
+	}
+	return Compress(bs)
+}
+
+func sameEncoding(t *testing.T, got, want *Compressed) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("length: got %d want %d", got.Len(), want.Len())
+	}
+	gw, ww := got.Words(), want.Words()
+	if len(gw) != len(ww) {
+		t.Fatalf("word count: got %d want %d (got %x want %x)", len(gw), len(ww), gw, ww)
+	}
+	for i := range gw {
+		if gw[i] != ww[i] {
+			t.Fatalf("word %d: got %#x want %#x", i, gw[i], ww[i])
+		}
+	}
+}
+
+func randomPattern(rng *rand.Rand, n int) []bool {
+	p := make([]bool, n)
+	i := 0
+	for i < n {
+		// Mix long uniform runs with noisy stretches so fills, literals
+		// and partial groups all occur.
+		runLen := 1 + rng.Intn(200)
+		if runLen > n-i {
+			runLen = n - i
+		}
+		switch rng.Intn(3) {
+		case 0:
+			for j := 0; j < runLen; j++ {
+				p[i+j] = true
+			}
+		case 1:
+			// leave zeros
+		default:
+			for j := 0; j < runLen; j++ {
+				p[i+j] = rng.Intn(2) == 1
+			}
+		}
+		i += runLen
+	}
+	return p
+}
+
+func TestBuilderMatchesCompress(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	lengths := []int{0, 1, 62, 63, 64, 125, 126, 127, 200, 630, 1000, 4096}
+	for _, n := range lengths {
+		p := randomPattern(rng, n)
+		b := NewBuilder()
+		for _, bit := range p {
+			b.Append(bit)
+		}
+		sameEncoding(t, b.Finish(), oracle(p))
+	}
+}
+
+func TestBuilderUniformRuns(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 189, 1000} {
+		for _, bit := range []bool{false, true} {
+			p := make([]bool, n)
+			for i := range p {
+				p[i] = bit
+			}
+			b := NewBuilder()
+			b.AppendRun(bit, n)
+			sameEncoding(t, b.Finish(), oracle(p))
+		}
+	}
+}
+
+func TestBuilderFromEverySplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := randomPattern(rng, 400)
+	want := oracle(p)
+	for split := 0; split <= len(p); split++ {
+		prefix := oracle(p[:split])
+		b := NewBuilderFrom(prefix)
+		if b.Len() != split {
+			t.Fatalf("split %d: resumed length %d", split, b.Len())
+		}
+		for _, bit := range p[split:] {
+			b.Append(bit)
+		}
+		got := b.Finish()
+		if gw, ww := got.Words(), want.Words(); len(gw) != len(ww) {
+			t.Fatalf("split %d: word count %d want %d", split, len(gw), len(ww))
+		}
+		sameEncoding(t, got, want)
+	}
+}
+
+func TestBuilderFromLongFills(t *testing.T) {
+	// A prefix ending inside a long fill must keep merging the run across
+	// the resume boundary.
+	n := 63 * 100
+	p := make([]bool, n)
+	for i := n / 2; i < n; i++ {
+		p[i] = true
+	}
+	for _, split := range []int{1, 62, 63, 64, n / 2, n/2 + 1, n - 63, n - 1, n} {
+		prefix := oracle(p[:split])
+		b := NewBuilderFrom(prefix)
+		for _, bit := range p[split:] {
+			b.Append(bit)
+		}
+		sameEncoding(t, b.Finish(), oracle(p))
+	}
+}
+
+func TestBuilderFinishIsSnapshot(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := randomPattern(rng, 500)
+	b := NewBuilder()
+	for i, bit := range p {
+		b.Append(bit)
+		if i%97 == 0 {
+			sameEncoding(t, b.Finish(), oracle(p[:i+1]))
+		}
+	}
+	sameEncoding(t, b.Finish(), oracle(p))
+	// A snapshot taken earlier must be unaffected by later appends.
+	mid := b.Finish()
+	b.AppendRun(true, 200)
+	sameEncoding(t, mid, oracle(p))
+}

@@ -1,0 +1,44 @@
+package cost
+
+import (
+	"testing"
+
+	"repro/internal/frag"
+	"repro/internal/schema"
+)
+
+func TestEstimateDelta(t *testing.T) {
+	star := schema.Tiny()
+	spec := frag.MustParse(star, "time::month, product::group")
+	tupleSize := int64(2*len(star.Dims) + 12)
+
+	// Empty state costs nothing regardless of the query.
+	all := mustQuery(t, star, "")
+	if got := EstimateDelta(spec, all, DeltaState{}); got != (DeltaCost{}) {
+		t.Fatalf("empty state: %+v", got)
+	}
+
+	// An unconfined query visits every delta row.
+	st := DeltaState{Fragments: int(spec.NumFragments()), Segments: 16, Rows: 1000}
+	got := EstimateDelta(spec, all, st)
+	if got.Segments != 16 || got.Rows != 1000 || got.Bytes != 1000*tupleSize {
+		t.Fatalf("unconfined: %+v", got)
+	}
+
+	// A query confined to one month (of 4) and one group (of 2) visits
+	// 1/8 of the fragments, hence 1/8 of the (uniformly spread) deltas.
+	q := mustQuery(t, star, "time::month=1, product::group=0")
+	got = EstimateDelta(spec, q, st)
+	if got.Segments != 2 || got.Rows != 125 || got.Bytes != 125*tupleSize {
+		t.Fatalf("confined: %+v", got)
+	}
+}
+
+func mustQuery(t *testing.T, star *schema.Star, text string) frag.Query {
+	t.Helper()
+	q, err := frag.ParseQuery(star, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}

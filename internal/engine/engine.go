@@ -250,6 +250,8 @@ type scratch struct {
 
 	ops  []*bitmap.Compressed // operands of the fragment's single AndAll
 	cres *bitmap.Compressed   // compressed intersection result
+
+	dsc *frag.DeltaScratch // delta segment selection buffers (lazy)
 }
 
 func newScratch() *scratch {
@@ -271,7 +273,7 @@ func rowKey(base uint64, perRow []kernel.RowLevel, dims [][]int32, i int) uint64
 // fragment-aligned fast path tags the fragment total with its constant
 // group key (zero per-row work); the fallback buckets rows into a
 // fragment-local group map.
-func (e *Engine) fragmentTask(ids []int64, q frag.Query, gr *kernel.Grouper) func(sc *scratch, i int) (partial, error) {
+func (e *Engine) fragmentTask(ids []int64, q frag.Query, gr *kernel.Grouper, deltas kernel.Deltas) func(sc *scratch, i int) (partial, error) {
 	var perRow []kernel.RowLevel
 	aligned := false
 	if gr != nil {
@@ -280,7 +282,8 @@ func (e *Engine) fragmentTask(ids []int64, q frag.Query, gr *kernel.Grouper) fun
 	}
 	return func(sc *scratch, i int) (partial, error) {
 		f, ok := e.frags[ids[i]]
-		if !ok {
+		hasDelta := !deltas.Empty() && len(deltas.Set.Of(ids[i])) > 0
+		if !ok && !hasDelta {
 			return partial{}, nil // fragment has no rows at this density
 		}
 		var p partial
@@ -293,10 +296,25 @@ func (e *Engine) fragmentTask(ids []int64, q frag.Query, gr *kernel.Grouper) fun
 				p.fp.Groups = kernel.NewGrouped()
 			}
 		}
-		if e.compressed {
-			e.processFragmentCompressed(f, q, sc, &p, base, perRow)
-		} else {
-			e.processFragment(f, q, sc, &p, base, perRow)
+		if ok {
+			if e.compressed {
+				e.processFragmentCompressed(f, q, sc, &p, base, perRow)
+			} else {
+				e.processFragment(f, q, sc, &p, base, perRow)
+			}
+		}
+		if hasDelta {
+			// Base rows first, then the fragment's delta segments in seal
+			// order — all inside the fragment's own task, so the
+			// cross-fragment gather stays task-ordered.
+			if sc.dsc == nil {
+				sc.dsc = frag.NewDeltaScratch()
+			}
+			n, err := kernel.AddDelta(deltas, ids[i], q, &p.fp, base, perRow, sc.dsc)
+			if err != nil {
+				return partial{}, err
+			}
+			p.st.DeltaRows += n
 		}
 		p.st.FragmentsProcessed = 1
 		return p, nil
@@ -318,7 +336,7 @@ func mergePartial(grouped bool) func(a *acc, p partial) {
 // ExecuteContext is Execute with cancellation.
 func (e *Engine) ExecuteContext(ctx context.Context, q frag.Query, workers int) (Aggregate, Stats, error) {
 	q.GroupBy = nil // grouping never changes the grand total
-	res, st, err := e.executeFull(ctx, q, workers, nil)
+	res, st, err := e.executeFull(ctx, q, workers, nil, kernel.Deltas{})
 	return res.Aggregate, st, err
 }
 
@@ -328,7 +346,7 @@ func (e *Engine) ExecuteContext(ctx context.Context, q frag.Query, workers int) 
 // GroupBy level at or above its dimension's fragmentation level) grouping
 // performs no per-row work at all.
 func (e *Engine) ExecuteGrouped(ctx context.Context, q frag.Query, workers int) (kernel.Result, Stats, error) {
-	return e.executeFull(ctx, q, workers, nil)
+	return e.executeFull(ctx, q, workers, nil, kernel.Deltas{})
 }
 
 // ExecuteOn is ExecuteContext dispatched through a shared admission
@@ -339,19 +357,29 @@ func (e *Engine) ExecuteGrouped(ctx context.Context, q frag.Query, workers int) 
 // at any pool size or admission mix.
 func (e *Engine) ExecuteOn(ctx context.Context, s *exec.Scheduler, q frag.Query) (Aggregate, Stats, error) {
 	q.GroupBy = nil
-	res, st, err := e.executeFull(ctx, q, 0, s)
+	res, st, err := e.executeFull(ctx, q, 0, s, kernel.Deltas{})
 	return res.Aggregate, st, err
 }
 
 // ExecuteGroupedOn is ExecuteGrouped dispatched through a shared
 // admission scheduler (see ExecuteOn).
 func (e *Engine) ExecuteGroupedOn(ctx context.Context, s *exec.Scheduler, q frag.Query) (kernel.Result, Stats, error) {
-	return e.executeFull(ctx, q, 0, s)
+	return e.executeFull(ctx, q, 0, s, kernel.Deltas{})
+}
+
+// ExecuteGroupedDeltas is ExecuteGroupedOn folding a pinned delta
+// snapshot into every fragment's partial: each relevant fragment
+// aggregates its base rows first, then its delta segments in seal
+// order, so the epoch-versioned warehouse serves base+delta results
+// through the same task-ordered gather — byte-identical to an engine
+// rebuilt from scratch with the same rows.
+func (e *Engine) ExecuteGroupedDeltas(ctx context.Context, s *exec.Scheduler, q frag.Query, deltas kernel.Deltas) (kernel.Result, Stats, error) {
+	return e.executeFull(ctx, q, 0, s, deltas)
 }
 
 // executeFull runs the query on either dispatch path and assembles the
 // (possibly grouped) result.
-func (e *Engine) executeFull(ctx context.Context, q frag.Query, workers int, s *exec.Scheduler) (kernel.Result, Stats, error) {
+func (e *Engine) executeFull(ctx context.Context, q frag.Query, workers int, s *exec.Scheduler, deltas kernel.Deltas) (kernel.Result, Stats, error) {
 	if err := q.Validate(e.star); err != nil {
 		return kernel.Result{}, Stats{}, err
 	}
@@ -360,7 +388,7 @@ func (e *Engine) executeFull(ctx context.Context, q frag.Query, workers int, s *
 		return kernel.Result{}, Stats{}, err
 	}
 	ids := e.spec.FragmentIDs(q)
-	task := e.fragmentTask(ids, q, gr)
+	task := e.fragmentTask(ids, q, gr, deltas)
 	merge := mergePartial(gr != nil)
 	var a acc
 	if s != nil {

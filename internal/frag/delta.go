@@ -1,0 +1,501 @@
+package frag
+
+// Delta fragments: the append side of the epoch-versioned warehouse. A
+// fragment's data becomes base + []delta — the base is whatever the
+// backend built at the last compaction, and each delta is a sealed,
+// immutable, fragment-aligned row buffer carrying its own WAH bitmap
+// fragments, built incrementally (bitmap.Builder) as rows arrive so a
+// segment extension never rewrites the compressed words it already has.
+// The surviving-bitmap enumeration is exactly the one the on-disk
+// bitmap file stores (Survivors), so predicate evaluation over a delta
+// segment is the same verbatim/complemented WAH intersection the
+// compressed executor path runs — just against in-memory words instead
+// of page reads.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitmap"
+	"repro/internal/schema"
+)
+
+// BitmapRef identifies one surviving bitmap of a fragmentation, in the
+// fixed enumeration order of Survivors (Section 4.2): for encoded
+// dimensions, the non-eliminated bit positions; for simple dimensions,
+// one bitmap per member of each non-eliminated level.
+type BitmapRef struct {
+	Dim int
+	// Bit is the bit index within the dimension's encoding layout
+	// (encoded dimensions only).
+	Bit int
+	// Level and Member identify a simple bitmap (simple dimensions only).
+	Level  int
+	Member int
+	// Simple distinguishes the two variants.
+	Simple bool
+}
+
+// Survivors enumerates the surviving bitmaps of a fragmentation under an
+// index configuration, in a deterministic order, together with the
+// per-dimension encoding layouts and the number of eliminated leading
+// bits per encoded dimension. Both the on-disk bitmap file and the
+// delta index derive their bitmap enumeration from this one function,
+// so base and delta agree bit-for-bit on what is stored.
+func Survivors(spec *Spec, icfg IndexConfig) ([]BitmapRef, []*bitmap.Layout, []int) {
+	star := spec.star
+	var descs []BitmapRef
+	layouts := make([]*bitmap.Layout, len(star.Dims))
+	skip := make([]int, len(star.Dims))
+	for d := range star.Dims {
+		dim := &star.Dims[d]
+		fl := -1
+		if ai := spec.AttrOfDim(d); ai != -1 {
+			fl = spec.attrs[ai].Level
+		}
+		switch icfg[d].Kind {
+		case EncodedIndex:
+			layouts[d] = bitmap.NewLayout(dim, icfg[d].PadBits)
+			if fl >= 0 {
+				skip[d] = layouts[d].PrefixBits(fl)
+			}
+			for b := skip[d]; b < layouts[d].TotalBits(); b++ {
+				descs = append(descs, BitmapRef{Dim: d, Bit: b})
+			}
+		default:
+			for l := fl + 1; l < dim.Depth(); l++ {
+				for m := 0; m < dim.Levels[l].Card; m++ {
+					descs = append(descs, BitmapRef{Dim: d, Level: l, Member: m, Simple: true})
+				}
+			}
+		}
+	}
+	return descs, layouts, skip
+}
+
+// DeltaIndex holds the per-warehouse state shared by every delta
+// segment: the surviving-bitmap enumeration and the encoding layouts.
+// It is immutable after construction and safe for concurrent use.
+type DeltaIndex struct {
+	star    *schema.Star
+	spec    *Spec
+	icfg    IndexConfig
+	descs   []BitmapRef
+	layouts []*bitmap.Layout
+	skip    []int
+	pos     map[BitmapRef]int
+}
+
+// NewDeltaIndex builds the delta index of a fragmentation.
+func NewDeltaIndex(spec *Spec, icfg IndexConfig) (*DeltaIndex, error) {
+	star := spec.star
+	if len(icfg) != len(star.Dims) {
+		return nil, fmt.Errorf("frag: index config has %d entries for %d dimensions", len(icfg), len(star.Dims))
+	}
+	descs, layouts, skip := Survivors(spec, icfg)
+	ix := &DeltaIndex{
+		star:    star,
+		spec:    spec,
+		icfg:    icfg,
+		descs:   descs,
+		layouts: layouts,
+		skip:    skip,
+		pos:     make(map[BitmapRef]int, len(descs)),
+	}
+	for i, d := range descs {
+		ix.pos[d] = i
+	}
+	return ix, nil
+}
+
+// NumBitmaps returns the number of surviving bitmaps per fragment.
+func (ix *DeltaIndex) NumBitmaps() int { return len(ix.descs) }
+
+// bitOf computes one row's bit in the desc's bitmap from its leaf member.
+func (ix *DeltaIndex) bitOf(desc BitmapRef, leaf int32) bool {
+	dim := &ix.star.Dims[desc.Dim]
+	if desc.Simple {
+		return dim.Ancestor(dim.Leaf(), int(leaf), desc.Level) == desc.Member
+	}
+	l := ix.layouts[desc.Dim]
+	return l.Encode(int(leaf))>>uint(l.TotalBits()-1-desc.Bit)&1 == 1
+}
+
+// DeltaSegment is one sealed, immutable batch of appended fact rows, all
+// belonging to one fragment: the leaf members per dimension, the three
+// measures, and one compressed bitmap per surviving desc — the delta
+// counterpart of a fact fragment plus its bitmap fragments. Segments
+// are ordered by Seq, the warehouse-wide seal sequence number.
+type DeltaSegment struct {
+	frag    int64
+	seq     uint64
+	rows    int
+	dims    [][]int32
+	units   []int64
+	dollars []int64
+	costs   []int64
+	bms     []*bitmap.Compressed
+}
+
+// Frag returns the fragment id the segment belongs to.
+func (s *DeltaSegment) Frag() int64 { return s.frag }
+
+// Seq returns the warehouse-wide seal sequence number.
+func (s *DeltaSegment) Seq() uint64 { return s.seq }
+
+// Rows returns the number of rows in the segment.
+func (s *DeltaSegment) Rows() int { return s.rows }
+
+// Leaves returns the leaf members of dimension d, one per row. The
+// returned slice is shared — callers must not modify it.
+func (s *DeltaSegment) Leaves(d int) []int32 { return s.dims[d] }
+
+// Units returns the UnitsSold measure column (read-only).
+func (s *DeltaSegment) Units() []int64 { return s.units }
+
+// Dollars returns the DollarSales measure column (read-only).
+func (s *DeltaSegment) Dollars() []int64 { return s.dollars }
+
+// Costs returns the Cost measure column (read-only).
+func (s *DeltaSegment) Costs() []int64 { return s.costs }
+
+// Bitmap returns the i-th surviving bitmap of the segment.
+func (s *DeltaSegment) Bitmap(i int) *bitmap.Compressed { return s.bms[i] }
+
+// Bytes returns the approximate in-memory size of the segment: the
+// column data plus the compressed bitmap words.
+func (s *DeltaSegment) Bytes() int {
+	b := s.rows * (4*len(s.dims) + 3*8)
+	for _, c := range s.bms {
+		b += c.Bytes()
+	}
+	return b
+}
+
+// SegmentBuilder accumulates rows into one fragment's next delta
+// segment. Not safe for concurrent use; Seal freezes the content into
+// an immutable DeltaSegment and the builder must then be discarded.
+type SegmentBuilder struct {
+	ix      *DeltaIndex
+	frag    int64
+	rows    int
+	dims    [][]int32
+	units   []int64
+	dollars []int64
+	costs   []int64
+	bbs     []*bitmap.Builder
+}
+
+// NewSegment starts an empty segment builder for the fragment.
+func (ix *DeltaIndex) NewSegment(fragID int64) *SegmentBuilder {
+	sb := &SegmentBuilder{
+		ix:   ix,
+		frag: fragID,
+		dims: make([][]int32, len(ix.star.Dims)),
+		bbs:  make([]*bitmap.Builder, len(ix.descs)),
+	}
+	for i := range sb.bbs {
+		sb.bbs[i] = bitmap.NewBuilder()
+	}
+	return sb
+}
+
+// ExtendSegment starts a builder whose content equals the sealed
+// segment, ready to append more rows — the coalescing path that keeps a
+// fragment's tail segment from shattering into many tiny ones. The
+// sealed segment is not modified and may keep serving reads; its
+// compressed bitmaps are resumed in place (bitmap.NewBuilderFrom), not
+// re-encoded.
+func (ix *DeltaIndex) ExtendSegment(seg *DeltaSegment) *SegmentBuilder {
+	sb := &SegmentBuilder{
+		ix:      ix,
+		frag:    seg.frag,
+		rows:    seg.rows,
+		dims:    make([][]int32, len(seg.dims)),
+		units:   append([]int64(nil), seg.units...),
+		dollars: append([]int64(nil), seg.dollars...),
+		costs:   append([]int64(nil), seg.costs...),
+		bbs:     make([]*bitmap.Builder, len(seg.bms)),
+	}
+	for d := range seg.dims {
+		sb.dims[d] = append([]int32(nil), seg.dims[d]...)
+	}
+	for i, c := range seg.bms {
+		sb.bbs[i] = bitmap.NewBuilderFrom(c)
+	}
+	return sb
+}
+
+// Frag returns the fragment the builder appends to.
+func (sb *SegmentBuilder) Frag() int64 { return sb.frag }
+
+// Rows returns the number of rows accumulated so far.
+func (sb *SegmentBuilder) Rows() int { return sb.rows }
+
+// Add appends one fact row given its leaf member per dimension. The
+// caller is responsible for routing the row to the right fragment
+// (spec.ID(spec.CoordOf(...)) == sb.Frag()).
+func (sb *SegmentBuilder) Add(leaves []int32, units, dollars, cost int64) {
+	for d := range sb.dims {
+		sb.dims[d] = append(sb.dims[d], leaves[d])
+	}
+	sb.units = append(sb.units, units)
+	sb.dollars = append(sb.dollars, dollars)
+	sb.costs = append(sb.costs, cost)
+	for i, desc := range sb.ix.descs {
+		sb.bbs[i].Append(sb.ix.bitOf(desc, leaves[desc.Dim]))
+	}
+	sb.rows++
+}
+
+// Seal freezes the builder into an immutable segment with the given
+// warehouse-wide sequence number.
+func (sb *SegmentBuilder) Seal(seq uint64) *DeltaSegment {
+	seg := &DeltaSegment{
+		frag:    sb.frag,
+		seq:     seq,
+		rows:    sb.rows,
+		dims:    sb.dims,
+		units:   sb.units,
+		dollars: sb.dollars,
+		costs:   sb.costs,
+		bms:     make([]*bitmap.Compressed, len(sb.bbs)),
+	}
+	for i, bb := range sb.bbs {
+		seg.bms[i] = bb.Finish()
+	}
+	return seg
+}
+
+// DeltaSet is an immutable snapshot of every fragment's delta segments.
+// Mutation is copy-on-write (With / WithTailReplaced / After return new
+// sets), so a query that pinned a set at admission keeps reading it
+// unaffected by concurrent appends and compactions. A nil *DeltaSet is
+// the valid empty set.
+type DeltaSet struct {
+	segs   map[int64][]*DeltaSegment
+	rows   int64
+	nsegs  int
+	maxSeq uint64
+}
+
+// Rows returns the total delta rows across all fragments.
+func (s *DeltaSet) Rows() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.rows
+}
+
+// Segments returns the total number of segments.
+func (s *DeltaSet) Segments() int {
+	if s == nil {
+		return 0
+	}
+	return s.nsegs
+}
+
+// Fragments returns the number of fragments holding at least one segment.
+func (s *DeltaSet) Fragments() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.segs)
+}
+
+// MaxSeq returns the highest seal sequence number in the set — the
+// compaction boundary.
+func (s *DeltaSet) MaxSeq() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.maxSeq
+}
+
+// Of returns the fragment's segments in seal order (read-only).
+func (s *DeltaSet) Of(frag int64) []*DeltaSegment {
+	if s == nil {
+		return nil
+	}
+	return s.segs[frag]
+}
+
+// Tail returns the fragment's most recently sealed segment, or nil.
+func (s *DeltaSet) Tail(frag int64) *DeltaSegment {
+	if s == nil {
+		return nil
+	}
+	segs := s.segs[frag]
+	if len(segs) == 0 {
+		return nil
+	}
+	return segs[len(segs)-1]
+}
+
+// clone shallow-copies the set with room for one more segment list.
+func (s *DeltaSet) clone() *DeltaSet {
+	out := &DeltaSet{segs: make(map[int64][]*DeltaSegment, s.Fragments()+1)}
+	if s != nil {
+		for f, segs := range s.segs {
+			out.segs[f] = segs
+		}
+		out.rows, out.nsegs, out.maxSeq = s.rows, s.nsegs, s.maxSeq
+	}
+	return out
+}
+
+// With returns a new set with seg appended to its fragment's list. seg's
+// Seq must exceed MaxSeq.
+func (s *DeltaSet) With(seg *DeltaSegment) *DeltaSet {
+	out := s.clone()
+	prev := out.segs[seg.frag]
+	// Copy the per-fragment slice so the old set's view never aliases a
+	// growing array.
+	out.segs[seg.frag] = append(append(make([]*DeltaSegment, 0, len(prev)+1), prev...), seg)
+	out.rows += int64(seg.rows)
+	out.nsegs++
+	if seg.seq > out.maxSeq {
+		out.maxSeq = seg.seq
+	}
+	return out
+}
+
+// WithTailReplaced returns a new set whose fragment tail segment is
+// replaced by seg (the sealed extension of the old tail). The fragment
+// must have at least one segment.
+func (s *DeltaSet) WithTailReplaced(seg *DeltaSegment) *DeltaSet {
+	out := s.clone()
+	prev := out.segs[seg.frag]
+	if len(prev) == 0 {
+		panic("frag: WithTailReplaced on fragment without segments")
+	}
+	old := prev[len(prev)-1]
+	nl := append(make([]*DeltaSegment, 0, len(prev)), prev[:len(prev)-1]...)
+	out.segs[seg.frag] = append(nl, seg)
+	out.rows += int64(seg.rows - old.rows)
+	if seg.seq > out.maxSeq {
+		out.maxSeq = seg.seq
+	}
+	return out
+}
+
+// After returns the subset of segments sealed strictly after seq — the
+// appends that raced past a compaction's boundary and stay live across
+// the epoch swap.
+func (s *DeltaSet) After(seq uint64) *DeltaSet {
+	if s == nil {
+		return nil
+	}
+	out := &DeltaSet{segs: make(map[int64][]*DeltaSegment)}
+	for f, segs := range s.segs {
+		i := sort.Search(len(segs), func(i int) bool { return segs[i].seq > seq })
+		if i == len(segs) {
+			continue
+		}
+		keep := segs[i:]
+		out.segs[f] = keep
+		out.nsegs += len(keep)
+		for _, seg := range keep {
+			out.rows += int64(seg.rows)
+			if seg.seq > out.maxSeq {
+				out.maxSeq = seg.seq
+			}
+		}
+	}
+	if out.nsegs == 0 {
+		return nil
+	}
+	return out
+}
+
+// ForEachSegment calls fn with every segment, fragments in ascending id
+// order and segments in seal order within a fragment — the
+// deterministic iteration compaction rebuilds from.
+func (s *DeltaSet) ForEachSegment(fn func(seg *DeltaSegment)) {
+	if s == nil {
+		return
+	}
+	frags := make([]int64, 0, len(s.segs))
+	for f := range s.segs {
+		frags = append(frags, f)
+	}
+	sort.Slice(frags, func(i, j int) bool { return frags[i] < frags[j] })
+	for _, f := range frags {
+		for _, seg := range s.segs[f] {
+			fn(seg)
+		}
+	}
+}
+
+// DeltaScratch is the reusable buffer set of delta predicate selection,
+// one per worker (see the executor scratch it mirrors).
+type DeltaScratch struct {
+	pos, neg   []*bitmap.Compressed
+	cres, ctmp *bitmap.Compressed
+}
+
+// NewDeltaScratch returns an empty scratch.
+func NewDeltaScratch() *DeltaScratch {
+	return &DeltaScratch{cres: &bitmap.Compressed{}, ctmp: &bitmap.Compressed{}}
+}
+
+// Select evaluates the query's bitmap predicates within one delta
+// segment: the segment's compressed bitmaps are split into verbatim and
+// complemented operands exactly like the executor's compressed fast
+// path, intersected with one run-skipping AndAll, and complements
+// folded in via AndNot. It returns the compressed hit bitmap — valid
+// until the next Select on the same scratch — or all=true when no
+// predicate needs bitmap access (IOC1: every row matches by fragment
+// confinement).
+func (ix *DeltaIndex) Select(seg *DeltaSegment, q Query, sc *DeltaScratch) (res *bitmap.Compressed, all bool, err error) {
+	pos, neg := sc.pos[:0], sc.neg[:0]
+	defer func() { sc.pos, sc.neg = pos, neg }()
+	anyBitmap := false
+	for _, p := range q.Preds {
+		if !ix.spec.NeedsBitmap(p) {
+			continue
+		}
+		anyBitmap = true
+		if ix.icfg[p.Dim].Kind == SimpleIndexes {
+			di, ok := ix.pos[BitmapRef{Dim: p.Dim, Level: p.Level, Member: p.Member, Simple: true}]
+			if !ok {
+				return nil, false, fmt.Errorf("frag: delta bitmap %d.%d=%d not stored", p.Dim, p.Level, p.Member)
+			}
+			pos = append(pos, seg.bms[di])
+			continue
+		}
+		layout := ix.layouts[p.Dim]
+		skip := ix.skip[p.Dim]
+		hi := layout.PrefixBits(p.Level)
+		if hi <= skip {
+			dim := &ix.star.Dims[p.Dim]
+			return nil, false, fmt.Errorf("frag: predicate on %s.%s needs no bitmaps", dim.Name, dim.Levels[p.Level].Name)
+		}
+		pattern := layout.EncodePrefix(p.Level, p.Member)
+		for b := skip; b < hi; b++ {
+			di, ok := ix.pos[BitmapRef{Dim: p.Dim, Bit: b}]
+			if !ok {
+				return nil, false, fmt.Errorf("frag: delta bitmap bit %d of dim %d not stored", b, p.Dim)
+			}
+			if pattern>>uint(hi-1-b)&1 == 1 {
+				pos = append(pos, seg.bms[di])
+			} else {
+				neg = append(neg, seg.bms[di])
+			}
+		}
+	}
+	if !anyBitmap {
+		return nil, true, nil
+	}
+	if len(pos) > 0 {
+		res = bitmap.AndAllInto(sc.cres, pos...)
+	} else {
+		res = bitmap.CompressedOnesInto(sc.cres, seg.rows)
+	}
+	sc.cres = res
+	for _, n := range neg {
+		res = bitmap.AndNotInto(sc.ctmp, res, n)
+		sc.cres, sc.ctmp = res, sc.cres
+	}
+	return res, false, nil
+}

@@ -48,6 +48,9 @@ type Stats struct {
 	RowsScanned int64
 	// BitmapsRead is the number of bitmap(-fragment)s evaluated.
 	BitmapsRead int64
+	// DeltaRows is the number of appended (not yet compacted) rows
+	// aggregated from delta segments.
+	DeltaRows int64
 }
 
 // Add folds another execution's counters in.
@@ -55,6 +58,7 @@ func (s *Stats) Add(o Stats) {
 	s.FragmentsProcessed += o.FragmentsProcessed
 	s.RowsScanned += o.RowsScanned
 	s.BitmapsRead += o.BitmapsRead
+	s.DeltaRows += o.DeltaRows
 }
 
 // Grouped accumulates per-group aggregates keyed by a Grouper's composed

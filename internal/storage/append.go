@@ -1,0 +1,146 @@
+package storage
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/alloc"
+	"repro/internal/frag"
+	"repro/internal/schema"
+)
+
+const deltaFileName = "delta.dat"
+
+// DeltaLog persists sealed delta segments: every appended fact row is
+// written as an on-disk tuple (the same uint16-keys + three-uint32
+// format as the fact file) into delta.dat, page-padded per segment, so
+// an append is durable in the store's own layout before it is published
+// to readers. When the warehouse is declustered the write is routed
+// through the segment's placement-mapped disk queue — appends contend
+// with query reads for the same virtual disks, as real ingestion would.
+//
+// The log is an arrival-ordered journal, not a random-access store:
+// queries serve delta rows from the in-memory segments, and compaction
+// folds the logged rows into a fresh declustered store then Resets the
+// log. Reset truncates; Stats reports what is currently logged.
+type DeltaLog struct {
+	star      *schema.Star
+	pageSize  int
+	tupleSize int
+
+	mu        sync.Mutex
+	file      *os.File
+	pageOff   int64
+	segs      int64
+	rows      int64
+	disks     *DiskSet
+	placement alloc.Placement
+}
+
+// DeltaLogStats reports what the log currently holds.
+type DeltaLogStats struct {
+	Segments int64
+	Rows     int64
+	Pages    int64
+}
+
+// OpenDeltaLog creates (truncating) the delta journal in dir.
+func OpenDeltaLog(dir string, star *schema.Star) (*DeltaLog, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.Create(filepath.Join(dir, deltaFileName))
+	if err != nil {
+		return nil, err
+	}
+	return &DeltaLog{
+		star:      star,
+		pageSize:  star.PageSize,
+		tupleSize: TupleSize(star),
+		file:      f,
+	}, nil
+}
+
+// Attach routes subsequent segment writes through the disk set's
+// serialized per-disk queues (each segment to its fragment's fact disk).
+// A nil set restores direct writes.
+func (l *DeltaLog) Attach(ds *DiskSet, p alloc.Placement) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.disks, l.placement = ds, p
+}
+
+// AppendSegment journals one sealed segment: its rows are encoded as
+// fact tuples, padded to whole pages, and written at the log's tail.
+func (l *DeltaLog) AppendSegment(seg *frag.DeltaSegment) error {
+	tpp := l.pageSize / l.tupleSize
+	rows := seg.Rows()
+	pages := (rows + tpp - 1) / tpp
+	buf := make([]byte, pages*l.pageSize)
+	units, dollars, costs := seg.Units(), seg.Dollars(), seg.Costs()
+	ndims := len(l.star.Dims)
+	for i := 0; i < rows; i++ {
+		off := (i/tpp)*l.pageSize + (i%tpp)*l.tupleSize
+		for d := 0; d < ndims; d++ {
+			binary.LittleEndian.PutUint16(buf[off:], uint16(seg.Leaves(d)[i]))
+			off += 2
+		}
+		binary.LittleEndian.PutUint32(buf[off:], uint32(units[i]))
+		binary.LittleEndian.PutUint32(buf[off+4:], uint32(dollars[i]))
+		binary.LittleEndian.PutUint32(buf[off+8:], uint32(costs[i]))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	write := func() error {
+		_, err := l.file.WriteAt(buf, l.pageOff*int64(l.pageSize))
+		return err
+	}
+	var err error
+	if l.disks != nil {
+		err = l.disks.do(l.placement.FactDisk(seg.Frag()), pages, write)
+	} else {
+		err = write()
+	}
+	if err != nil {
+		return err
+	}
+	l.pageOff += int64(pages)
+	l.segs++
+	l.rows += int64(rows)
+	return nil
+}
+
+// Reset truncates the journal after compaction folded its rows into the
+// base store, then re-journals the still-live segments (those sealed
+// after the compaction boundary).
+func (l *DeltaLog) Reset(live []*frag.DeltaSegment) error {
+	l.mu.Lock()
+	if err := l.file.Truncate(0); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	l.pageOff, l.segs, l.rows = 0, 0, 0
+	l.mu.Unlock()
+	for _, seg := range live {
+		if err := l.AppendSegment(seg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats snapshots the journal's content counters.
+func (l *DeltaLog) Stats() DeltaLogStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return DeltaLogStats{Segments: l.segs, Rows: l.rows, Pages: l.pageOff}
+}
+
+// Close releases the journal file.
+func (l *DeltaLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.file.Close()
+}

@@ -1,0 +1,140 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/frag"
+	"repro/internal/schema"
+)
+
+func sealSegments(t *testing.T, star *schema.Star, rowsPerSeg ...int) (*frag.DeltaIndex, []*frag.DeltaSegment) {
+	t.Helper()
+	spec := frag.MustParse(star, "time::month, product::group")
+	ix, err := frag.NewDeltaIndex(spec, frag.APB1Indexes(star))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var segs []*frag.DeltaSegment
+	leaves := make([]int32, len(star.Dims))
+	for si, n := range rowsPerSeg {
+		sb := ix.NewSegment(int64(si) % spec.NumFragments())
+		for i := 0; i < n; i++ {
+			for d := range leaves {
+				leaves[d] = int32((si + i) % int(star.Dims[d].LeafCard()))
+			}
+			sb.Add(leaves, int64(i), int64(2*i), int64(3*i))
+		}
+		segs = append(segs, sb.Seal(uint64(si+1)))
+	}
+	return ix, segs
+}
+
+func TestDeltaLogAppendAndReset(t *testing.T) {
+	star := schema.Tiny()
+	dir := t.TempDir()
+	l, err := OpenDeltaLog(dir, star)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	_, segs := sealSegments(t, star, 3, 70, 1)
+	var wantRows, wantPages int64
+	tpp := star.PageSize / TupleSize(star)
+	for _, seg := range segs {
+		if err := l.AppendSegment(seg); err != nil {
+			t.Fatal(err)
+		}
+		wantRows += int64(seg.Rows())
+		wantPages += int64((seg.Rows() + tpp - 1) / tpp)
+	}
+	st := l.Stats()
+	if st.Segments != int64(len(segs)) || st.Rows != wantRows || st.Pages != wantPages {
+		t.Fatalf("stats = %+v, want {%d %d %d}", st, len(segs), wantRows, wantPages)
+	}
+	fi, err := os.Stat(filepath.Join(dir, deltaFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != wantPages*int64(star.PageSize) {
+		t.Fatalf("file size %d, want %d pages of %d", fi.Size(), wantPages, star.PageSize)
+	}
+
+	// Reset keeps only the still-live tail.
+	if err := l.Reset(segs[2:]); err != nil {
+		t.Fatal(err)
+	}
+	st = l.Stats()
+	if st.Segments != 1 || st.Rows != int64(segs[2].Rows()) {
+		t.Fatalf("after reset: stats = %+v", st)
+	}
+}
+
+func TestDeltaLogRoutesThroughDisks(t *testing.T) {
+	star := schema.Tiny()
+	l, err := OpenDeltaLog(t.TempDir(), star)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	pl := alloc.Placement{Disks: 3, Scheme: alloc.RoundRobin}
+	ds := NewDiskSet(pl.Disks)
+	l.Attach(ds, pl)
+	_, segs := sealSegments(t, star, 5, 5, 5)
+	for _, seg := range segs {
+		if err := l.AppendSegment(seg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var ios int64
+	for d, st := range ds.Stats() {
+		ios += st.IOs
+		want := int64(0)
+		for _, seg := range segs {
+			if pl.FactDisk(seg.Frag()) == d {
+				want++
+			}
+		}
+		if st.IOs != want {
+			t.Errorf("disk %d: %d IOs, want %d", d, st.IOs, want)
+		}
+	}
+	if ios != int64(len(segs)) {
+		t.Errorf("total IOs = %d, want %d", ios, len(segs))
+	}
+}
+
+func TestCompactorCoalescesAndDrains(t *testing.T) {
+	var mu sync.Mutex
+	runs := 0
+	started := make(chan struct{})
+	release := make(chan struct{})
+	c := NewCompactor(func() {
+		mu.Lock()
+		runs++
+		first := runs == 1
+		mu.Unlock()
+		if first {
+			close(started)
+			<-release
+		}
+	})
+	c.Trigger()
+	<-started
+	// While the first run is in flight, any number of triggers coalesce
+	// into exactly one follow-up.
+	for i := 0; i < 10; i++ {
+		c.Trigger()
+	}
+	close(release)
+	c.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if runs != 2 {
+		t.Fatalf("runs = %d, want 2 (first + one coalesced follow-up)", runs)
+	}
+	c.Close() // idempotent
+}

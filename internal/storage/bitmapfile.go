@@ -16,20 +16,10 @@ import (
 const bitmapFileName = "bitmaps.dat"
 
 // BitmapDesc identifies one stored bitmap, in the fixed enumeration order
-// of the surviving bitmaps (Section 4.2): for encoded dimensions, the
-// non-eliminated bit positions; for simple dimensions, one bitmap per
-// member of each non-eliminated level.
-type BitmapDesc struct {
-	Dim int
-	// Bit is the bit index within the dimension's encoding layout
-	// (encoded dimensions only).
-	Bit int
-	// Level and Member identify a simple bitmap (simple dimensions only).
-	Level  int
-	Member int
-	// Simple distinguishes the two variants.
-	Simple bool
-}
+// of the surviving bitmaps (Section 4.2). It is the shared frag.BitmapRef
+// enumeration, so the on-disk file and the delta segments agree on what
+// is stored and in which order.
+type BitmapDesc = frag.BitmapRef
 
 // BitmapFile stores the surviving bitmap fragments of a fragmented fact
 // table, partitioned congruently with the fact fragments: all bitmap
@@ -78,35 +68,10 @@ func (bf *BitmapFile) SetIODelay(d time.Duration) {
 }
 
 // survivors enumerates the surviving bitmaps of a fragmentation under an
-// index configuration, in a deterministic order.
-func survivors(star *schema.Star, spec *frag.Spec, icfg frag.IndexConfig) ([]BitmapDesc, []*bitmap.Layout, []int) {
-	var descs []BitmapDesc
-	layouts := make([]*bitmap.Layout, len(star.Dims))
-	skip := make([]int, len(star.Dims))
-	for d := range star.Dims {
-		dim := &star.Dims[d]
-		fl := -1
-		if ai := spec.AttrOfDim(d); ai != -1 {
-			fl = spec.Attrs()[ai].Level
-		}
-		switch icfg[d].Kind {
-		case frag.EncodedIndex:
-			layouts[d] = bitmap.NewLayout(dim, icfg[d].PadBits)
-			if fl >= 0 {
-				skip[d] = layouts[d].PrefixBits(fl)
-			}
-			for b := skip[d]; b < layouts[d].TotalBits(); b++ {
-				descs = append(descs, BitmapDesc{Dim: d, Bit: b})
-			}
-		default:
-			for l := fl + 1; l < dim.Depth(); l++ {
-				for m := 0; m < dim.Levels[l].Card; m++ {
-					descs = append(descs, BitmapDesc{Dim: d, Level: l, Member: m, Simple: true})
-				}
-			}
-		}
-	}
-	return descs, layouts, skip
+// index configuration, in a deterministic order — the shared
+// frag.Survivors enumeration.
+func survivors(_ *schema.Star, spec *frag.Spec, icfg frag.IndexConfig) ([]BitmapDesc, []*bitmap.Layout, []int) {
+	return frag.Survivors(spec, icfg)
 }
 
 // BuildBitmaps constructs and persists the surviving bitmap fragments for

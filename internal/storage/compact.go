@@ -1,0 +1,47 @@
+package storage
+
+import "sync"
+
+// Compactor is the background compaction driver: one goroutine that runs
+// the supplied function whenever triggered. Triggers are level, not
+// edge — any number of Trigger calls while a run is in flight coalesce
+// into exactly one follow-up run, so admission paths can fire it on
+// every append without ever blocking or queueing unbounded work.
+type Compactor struct {
+	trigger chan struct{}
+	done    chan struct{}
+	once    sync.Once
+}
+
+// NewCompactor starts the compaction goroutine over run. The function is
+// never invoked concurrently with itself.
+func NewCompactor(run func()) *Compactor {
+	c := &Compactor{
+		trigger: make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+	go func() {
+		defer close(c.done)
+		for range c.trigger {
+			run()
+		}
+	}()
+	return c
+}
+
+// Trigger requests a compaction run. It never blocks: if a run is
+// already pending or in flight, the request coalesces into it.
+func (c *Compactor) Trigger() {
+	select {
+	case c.trigger <- struct{}{}:
+	default:
+	}
+}
+
+// Close stops the compactor after draining any pending trigger: a run
+// already requested still executes before Close returns. Safe to call
+// more than once.
+func (c *Compactor) Close() {
+	c.once.Do(func() { close(c.trigger) })
+	<-c.done
+}

@@ -19,6 +19,9 @@ type IOStats struct {
 	BitmapPages int64
 	BitmapIOs   int64
 	RowsRead    int64
+	// DeltaRows counts appended (not yet compacted) rows aggregated from
+	// in-memory delta segments — rows served without any physical I/O.
+	DeltaRows int64
 }
 
 // Add folds another execution's counters in.
@@ -28,6 +31,7 @@ func (st *IOStats) Add(o IOStats) {
 	st.BitmapPages += o.BitmapPages
 	st.BitmapIOs += o.BitmapIOs
 	st.RowsRead += o.RowsRead
+	st.DeltaRows += o.DeltaRows
 }
 
 // Aggregate is the star query result over the stored measures — the
@@ -132,6 +136,8 @@ type execScratch struct {
 	gpipe  granulePipe // in-flight pipeline state
 	free   chan []byte // empty pipeline buffers (capacity 2)
 	filled chan gread  // completed granule reads
+
+	dsc *frag.DeltaScratch // delta segment selection buffers (lazy)
 }
 
 func (e *Executor) newScratch() *execScratch {
@@ -181,6 +187,17 @@ func (e *Executor) ExecuteContext(ctx context.Context, q frag.Query) (Aggregate,
 // no per-row work and — because the stored tuples carry the dimension
 // keys — never any extra I/O.
 func (e *Executor) ExecuteGrouped(ctx context.Context, q frag.Query) (kernel.Result, IOStats, error) {
+	return e.ExecuteGroupedDeltas(ctx, q, kernel.Deltas{})
+}
+
+// ExecuteGroupedDeltas is ExecuteGrouped folding a pinned delta snapshot
+// into every fragment's partial: each relevant fragment aggregates its
+// on-disk base rows first, then its in-memory delta segments in seal
+// order, inside the fragment's own task — so the cross-fragment gather
+// stays task-ordered and base+delta results are byte-identical to a
+// store rebuilt from scratch with the same rows. Delta rows cost no
+// physical I/O; they are reported in IOStats.DeltaRows.
+func (e *Executor) ExecuteGroupedDeltas(ctx context.Context, q frag.Query, deltas kernel.Deltas) (kernel.Result, IOStats, error) {
 	star := e.store.star
 	spec := e.store.spec
 	if err := q.Validate(star); err != nil {
@@ -210,6 +227,16 @@ func (e *Executor) ExecuteGrouped(ctx context.Context, q frag.Query) (kernel.Res
 		}
 		if err := e.processFragment(ids[i], q, &p, sc, base, perRow); err != nil {
 			return partial{}, err
+		}
+		if !deltas.Empty() {
+			if sc.dsc == nil {
+				sc.dsc = frag.NewDeltaScratch()
+			}
+			n, err := kernel.AddDelta(deltas, ids[i], q, &p.fp, base, perRow, sc.dsc)
+			if err != nil {
+				return partial{}, err
+			}
+			p.st.DeltaRows += n
 		}
 		return p, nil
 	}

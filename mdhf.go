@@ -43,9 +43,11 @@
 // serial execution.
 //
 // The free functions below predate the Warehouse and remain as thin
-// shims over the same internals; a few duplicate entry points are marked
-// Deprecated. See the README's migration table, DESIGN.md for the system
-// inventory and EXPERIMENTS.md for the paper-vs-measured record.
+// shims over the same internals (the formerly deprecated
+// explicit-worker-count duplicates are gone — use WithWorkers, or set
+// StorageExecutor.Workers directly). See the README's migration table,
+// DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record.
 package mdhf
 
 import (
@@ -218,16 +220,6 @@ func EstimateCost(spec *Fragmentation, cfg IndexConfig, q Query, p CostParams) Q
 // per available CPU.
 func Advise(star *Star, cfg IndexConfig, mix []WeightedQuery, th Thresholds, p CostParams) []Ranked {
 	return cost.Advise(star, cfg, mix, th, p)
-}
-
-// AdviseParallel is Advise with an explicit candidate-analysis worker
-// count (values below 1 mean one per CPU). The ranking is identical at
-// any worker count.
-//
-// Deprecated: the explicit-worker-count duplicate of Advise is subsumed
-// by the Warehouse: use Open with WithWorkers and call Warehouse.Advise.
-func AdviseParallel(star *Star, cfg IndexConfig, mix []WeightedQuery, th Thresholds, p CostParams, workers int) []Ranked {
-	return cost.AdviseParallel(star, cfg, mix, th, p, workers)
 }
 
 // Allocation.
@@ -467,18 +459,6 @@ func BuildCompressedBitmapFile(dir string, s *Store, icfg IndexConfig) (*BitmapF
 // are identical at any worker count.
 func NewStorageExecutor(s *Store, bf *BitmapFile) *StorageExecutor {
 	return storage.NewExecutor(s, bf)
-}
-
-// NewParallelStorageExecutor is NewStorageExecutor with an explicit
-// fragment-worker count (values below 1 mean one per CPU).
-//
-// Deprecated: the explicit-worker-count duplicate entry point is
-// subsumed by the Warehouse: use Open with WithOnDisk and WithWorkers
-// (or set NewStorageExecutor's Workers field directly).
-func NewParallelStorageExecutor(s *Store, bf *BitmapFile, workers int) *StorageExecutor {
-	ex := storage.NewExecutor(s, bf)
-	ex.Workers = workers
-	return ex
 }
 
 // Dimension tables.

@@ -175,7 +175,7 @@ func TestPublicAPIDeclusteredStorage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	single := NewParallelStorageExecutor(store, bf, 1)
+	single := workerExecutor(store, bf, 1)
 	wantAgg, wantIO, err := single.Execute(q)
 	if err != nil {
 		t.Fatal(err)
@@ -189,7 +189,7 @@ func TestPublicAPIDeclusteredStorage(t *testing.T) {
 	if ds.Disks() != 4 {
 		t.Fatalf("disk set has %d disks", ds.Disks())
 	}
-	ex := NewParallelStorageExecutor(store, bf, 8)
+	ex := workerExecutor(store, bf, 8)
 	gotAgg, gotIO, err := ex.Execute(q)
 	if err != nil {
 		t.Fatal(err)

@@ -13,18 +13,19 @@ type Option func(*options)
 
 // options is the resolved option set of one Warehouse.
 type options struct {
-	workers    int // raw: <1 means one per CPU
-	onDisk     bool
-	dir        string
-	disks      int
-	scheme     alloc.Scheme
-	staggered  bool
-	compress   bool
-	ioDelay    time.Duration
-	ioDelaySet bool
-	cluster    int
-	params     cost.Params
-	simCfg     simpad.Config
+	workers     int // raw: <1 means one per CPU
+	onDisk      bool
+	dir         string
+	disks       int
+	scheme      alloc.Scheme
+	staggered   bool
+	compress    bool
+	ioDelay     time.Duration
+	ioDelaySet  bool
+	cluster     int
+	params      cost.Params
+	simCfg      simpad.Config
+	autoCompact int
 }
 
 func defaultOptions() options {
@@ -108,6 +109,21 @@ func WithClustering(n int) Option {
 			n = 1
 		}
 		o.cluster = n
+	}
+}
+
+// WithAutoCompaction triggers a background compaction whenever the live
+// (not yet compacted) delta rows reach the threshold. Compaction runs on
+// its own goroutine and never blocks Append or query admission; queries
+// in flight during a compaction keep their pinned epoch. Zero (the
+// default) disables automatic compaction — call Warehouse.Compact
+// explicitly instead.
+func WithAutoCompaction(rows int) Option {
+	return func(o *options) {
+		if rows < 0 {
+			rows = 0
+		}
+		o.autoCompact = rows
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cost"
 	"repro/internal/exec"
+	"repro/internal/kernel"
 	"repro/internal/simpad"
 )
 
@@ -57,6 +58,13 @@ type Stats struct {
 	// Wall is the end-to-end execution time as served (including
 	// admission queueing behind concurrent queries).
 	Wall time.Duration
+	// Epoch is the warehouse epoch the execution pinned at admission; the
+	// whole query was served from that epoch's backend plus the delta
+	// segments sealed by then, regardless of concurrent compactions.
+	Epoch int64
+	// DeltaRows is the number of appended (not yet compacted) rows folded
+	// into the result, on any backend.
+	DeltaRows int64
 
 	// Engine holds the in-memory engine's work counters
 	// (fragments/rows/bitmaps).
@@ -68,6 +76,15 @@ type Stats struct {
 	// in-flight queries); per-query attribution lives in IO.
 	Disks []DiskStats
 }
+
+// Delta-read cost types (see Explain.Delta).
+type (
+	// DeltaCost is the estimated extra work of reading the appended (not
+	// yet compacted) delta segments on top of the base-fragment cost.
+	DeltaCost = cost.DeltaCost
+	// DeltaState summarises the live delta set the estimate is over.
+	DeltaState = cost.DeltaState
+)
 
 // Explain is the analytical view of one query under the warehouse's
 // physical design, unifying the I/O cost model, the per-disk queue
@@ -86,6 +103,11 @@ type Explain struct {
 	// Plan is the SIMPAD physical execution plan under the warehouse's
 	// SimConfig.
 	Plan *SimPlan
+	// Delta is the estimated delta-read overhead given the live delta
+	// set at Explain time: confinement applies to delta segments exactly
+	// as to base fragments, so only the relevant fraction is visited.
+	// Zero before anything is appended (or after compaction caught up).
+	Delta DeltaCost
 }
 
 // PreparedQuery is a star query bound to a Warehouse: a cheap, stateless
@@ -142,6 +164,16 @@ func (p *PreparedQuery) Explain(ctx context.Context) (Explain, error) {
 		plan = plan.Clustered(w.opt.cluster)
 	}
 	ex.Plan = plan
+	w.mu.Lock()
+	set := w.cur.deltas
+	w.mu.Unlock()
+	if set.Rows() > 0 {
+		ex.Delta = cost.EstimateDelta(w.spec, p.q, cost.DeltaState{
+			Fragments: set.Fragments(),
+			Segments:  set.Segments(),
+			Rows:      set.Rows(),
+		})
+	}
 	return ex, nil
 }
 
@@ -166,29 +198,42 @@ func (p *PreparedQuery) Execute(ctx context.Context) (Result, Stats, error) {
 	if err := w.ensureBackend(ctx); err != nil {
 		return Result{}, Stats{}, err
 	}
+	// Pin the serving snapshot: this epoch's backend plus the delta
+	// segments sealed so far. Concurrent appends and compactions replace
+	// the warehouse's snapshot copy-on-write, so this execution's view —
+	// and result — is frozen at admission.
+	snap, err := w.pin()
+	if err != nil {
+		return Result{}, Stats{}, err
+	}
+	defer w.unpin(snap.b)
 	st := Stats{
 		Compressed: w.opt.compress,
 		Workers:    w.sched.Workers(),
+		Epoch:      snap.epoch,
 	}
+	deltas := kernel.Deltas{Ix: w.ix, Set: snap.deltas}
 	start := time.Now()
-	if w.engine != nil {
-		res, est, err := w.engine.ExecuteGroupedOn(ctx, w.sched, p.q)
+	if snap.b.engine != nil {
+		res, est, err := snap.b.engine.ExecuteGroupedDeltas(ctx, w.sched, p.q, deltas)
 		if err != nil {
 			return Result{}, Stats{}, err
 		}
 		st.Backend = InMemoryBackend
 		st.Engine = est
+		st.DeltaRows = est.DeltaRows
 		st.Wall = time.Since(start)
 		return res, st, nil
 	}
-	res, io, err := w.sexec.ExecuteGrouped(ctx, p.q)
+	res, io, err := snap.b.be.Exec.ExecuteGroupedDeltas(ctx, p.q, deltas)
 	if err != nil {
 		return Result{}, Stats{}, err
 	}
 	st.IO = io
-	if w.diskset != nil {
+	st.DeltaRows = io.DeltaRows
+	if snap.b.be.Disks != nil {
 		st.Backend = DeclusteredBackend
-		st.Disks = w.diskset.Stats()
+		st.Disks = snap.b.be.Disks.Stats()
 	} else {
 		st.Backend = OnDiskBackend
 	}

@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/alloc"
@@ -47,12 +49,50 @@ type Config struct {
 	Table *FactTable
 }
 
+// backend is one built execution backend: the in-memory engine or the
+// on-disk store/bitmaps/executor bundle, plus the rows it was built
+// from (the base the next compaction merges deltas into). Backends are
+// reference-counted: the serving snapshot holds one reference, every
+// pinned execution holds another, and when a compaction swap retires a
+// backend its files close and its epoch directory is removed as soon as
+// the last pinned query finishes — the old epoch stays readable until
+// then.
+type backend struct {
+	engine *engine.Engine
+	be     *storage.Backend
+	table  *data.Table // the rows this backend serves as its base
+	dir    string      // the backend's own epoch directory ("" in-memory)
+	own    bool        // remove dir when retired
+
+	refs    atomic.Int64
+	retired atomic.Bool
+}
+
+// snapshot is what a query pins at admission: one epoch's backend plus
+// the immutable delta set sealed so far. Appends and compactions replace
+// the warehouse's current snapshot copy-on-write, so a pinned snapshot
+// keeps serving unchanged results for the execution's whole lifetime.
+type snapshot struct {
+	epoch  int64
+	b      *backend
+	deltas *frag.DeltaSet
+}
+
 // Warehouse is the serving façade of this library: one handle that owns
 // a fragmented warehouse — schema, fragmentation, bitmap indices, and an
 // execution backend — plus the serving layer that admits many concurrent
 // queries onto one shared worker pool and one disk set. Open assembles
 // it; Query hands out per-query objects whose Explain and Execute run
 // the analytical models and the real backend respectively.
+//
+// The warehouse is epoch-versioned: Append routes incoming fact rows
+// into sealed, fragment-aligned delta segments that queries merge with
+// the base backend, and a background compactor (see Compact and
+// WithAutoCompaction) folds sealed deltas into a rebuilt backend at the
+// next epoch. Every admitted execution pins a snapshot — one epoch's
+// backend plus the delta set sealed at admission — so compaction never
+// blocks admission and never changes an in-flight query's result; the
+// old epoch's files stay readable until its last pinned query finishes.
 //
 // The backend (and the fact data behind it) is built lazily on first
 // Execute, so a Warehouse opened only to Explain, Advise or Simulate —
@@ -72,9 +112,31 @@ type Warehouse struct {
 
 	sched *exec.Scheduler
 
-	mu     sync.Mutex // guards closed + inflight bookkeeping
+	mu     sync.Mutex // guards closed, cur, delay, bgErr
 	closed bool
 	wg     sync.WaitGroup // in-flight executions, waited on by Close
+	cur    snapshot
+	bgErr  error // background cleanup/compaction errors, returned by Close
+
+	curDelay    time.Duration // last SetIODelay, re-applied to new epochs
+	curDelaySet bool
+
+	appendMu   sync.Mutex // serialises Append and the compaction swap
+	compacting bool       // guarded by appendMu
+	seq        uint64     // guarded by appendMu: warehouse-wide seal sequence
+
+	compactMu sync.Mutex // serialises compaction runs
+
+	ix        *frag.DeltaIndex
+	dlog      *storage.DeltaLog
+	compactor *storage.Compactor
+	rootDir   string // warehouse root holding epoch dirs + delta journal
+	ownRoot   bool
+
+	appends       atomic.Int64
+	appendedRows  atomic.Int64
+	compactions   atomic.Int64
+	compactedRows atomic.Int64
 
 	dataOnce sync.Once
 	dataErr  error
@@ -82,14 +144,6 @@ type Warehouse struct {
 
 	buildOnce sync.Once
 	buildErr  error
-	engine    *engine.Engine
-	store     *storage.Store
-	bitmaps   *storage.BitmapFile
-	sexec     *storage.Executor
-	diskset   *storage.DiskSet
-	placement alloc.Placement
-	dir       string
-	ownDir    bool
 
 	catOnce sync.Once
 	catalog *dimtable.Catalog
@@ -143,13 +197,15 @@ func Open(ctx context.Context, cfg Config, opts ...Option) (*Warehouse, error) {
 		seed = 1
 	}
 	w := &Warehouse{
-		star:  star,
-		spec:  spec,
-		icfg:  icfg,
-		seed:  seed,
-		opt:   opt,
-		sched: exec.NewScheduler(opt.workers),
-		table: cfg.Table,
+		star:        star,
+		spec:        spec,
+		icfg:        icfg,
+		seed:        seed,
+		opt:         opt,
+		sched:       exec.NewScheduler(opt.workers),
+		table:       cfg.Table,
+		curDelay:    opt.ioDelay,
+		curDelaySet: opt.ioDelay > 0,
 	}
 	return w, nil
 }
@@ -167,9 +223,45 @@ func (w *Warehouse) Indexes() IndexConfig { return w.icfg }
 // Workers returns the size of the shared worker pool.
 func (w *Warehouse) Workers() int { return w.sched.Workers() }
 
-// ServingStats snapshots the admission scheduler's accounting: queries
-// admitted and done, in-flight and peak concurrency, fragment tasks run.
-func (w *Warehouse) ServingStats() SchedStats { return w.sched.Stats() }
+// ServingStats is the warehouse-wide serving snapshot: the admission
+// scheduler's accounting plus the epoch/ingestion counters of the
+// append path.
+type ServingStats struct {
+	SchedStats
+	// Epoch is the current serving epoch (incremented by each compaction).
+	Epoch int64
+	// DeltaSegments and DeltaRows describe the live (not yet compacted)
+	// delta set queries currently merge with the base backend.
+	DeltaSegments int
+	DeltaRows     int64
+	// Appends and AppendedRows count Append calls and rows admitted since
+	// Open.
+	Appends      int64
+	AppendedRows int64
+	// Compactions and CompactedRows count completed compactions and the
+	// delta rows they folded into the base.
+	Compactions   int64
+	CompactedRows int64
+}
+
+// ServingStats snapshots the admission scheduler's accounting — queries
+// admitted and done, in-flight and peak concurrency, fragment tasks run
+// — together with the epoch and ingestion counters.
+func (w *Warehouse) ServingStats() ServingStats {
+	st := ServingStats{
+		SchedStats:    w.sched.Stats(),
+		Appends:       w.appends.Load(),
+		AppendedRows:  w.appendedRows.Load(),
+		Compactions:   w.compactions.Load(),
+		CompactedRows: w.compactedRows.Load(),
+	}
+	w.mu.Lock()
+	st.Epoch = w.cur.epoch
+	st.DeltaSegments = w.cur.deltas.Segments()
+	st.DeltaRows = w.cur.deltas.Rows()
+	w.mu.Unlock()
+	return st
+}
 
 // Catalog returns the denormalized dimension tables with B+-tree
 // indices, built on first use; its ParseQuery resolves name-level
@@ -180,6 +272,7 @@ func (w *Warehouse) Catalog() *DimCatalog {
 }
 
 // Table returns the warehouse's fact table, generating it on first use.
+// It is the base table of epoch 0; appended rows are not reflected.
 func (w *Warehouse) Table(ctx context.Context) (*FactTable, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -190,17 +283,23 @@ func (w *Warehouse) Table(ctx context.Context) (*FactTable, error) {
 	return w.table, nil
 }
 
-// DiskSet returns the declustered backend's disk set (nil unless opened
-// WithDisks and already built).
+// DiskSet returns the declustered backend's current disk set (nil unless
+// opened WithDisks and already built). Compaction replaces it together
+// with the backend: the returned set keeps serving queries pinned to its
+// epoch but receives no new ones after the swap.
 func (w *Warehouse) DiskSet() *DiskSet {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return w.diskset
+	if w.cur.b == nil || w.cur.b.be == nil {
+		return nil
+	}
+	return w.cur.b.be.Disks
 }
 
 // DiskStats snapshots the per-disk access counters of the declustered
 // backend (nil otherwise). The counters are warehouse-wide: they
-// accumulate over every query served since the last ResetDiskStats.
+// accumulate over every query served since the last ResetDiskStats (or
+// the last compaction, which installs a fresh disk set).
 func (w *Warehouse) DiskStats() []DiskStats {
 	ds := w.DiskSet()
 	if ds == nil {
@@ -217,22 +316,28 @@ func (w *Warehouse) ResetDiskStats() {
 }
 
 // SetIODelay adjusts the simulated per-access disk latency of a built
-// on-disk backend at run time (all disks of a declustered set). It is a
-// no-op before the backend is built and on in-memory backends — use
+// on-disk backend at run time (all disks of a declustered set). The
+// delay survives compaction: each new epoch's backend inherits it. It is
+// a no-op before the backend is built and on in-memory backends — use
 // WithIODelay to configure the delay up front.
 func (w *Warehouse) SetIODelay(d time.Duration) {
 	w.mu.Lock()
-	ds, store, bf := w.diskset, w.store, w.bitmaps
+	w.curDelay, w.curDelaySet = d, true
+	b := w.cur.b
 	w.mu.Unlock()
-	switch {
-	case ds != nil:
-		ds.SetIODelay(d)
-	case store != nil:
-		store.SetIODelay(d)
-		if bf != nil {
-			bf.SetIODelay(d)
-		}
+	if b != nil && b.be != nil {
+		applyIODelay(b.be, d)
 	}
+}
+
+// applyIODelay sets the simulated access latency on a built backend.
+func applyIODelay(be *storage.Backend, d time.Duration) {
+	if be.Disks != nil {
+		be.Disks.SetIODelay(d)
+		return
+	}
+	be.Store.SetIODelay(d)
+	be.Bitmaps.SetIODelay(d)
 }
 
 // Query prepares a star query against the warehouse. The returned object
@@ -303,10 +408,12 @@ func (w *Warehouse) Simulate(ctx context.Context, qs ...Query) ([]SimResult, err
 	return sys.Run(plans), nil
 }
 
-// Close waits for in-flight executions to finish, stops the shared
-// worker pool, closes the backend files and removes the warehouse's own
-// temporary directory (if it created one). Queries submitted after Close
-// fail with ErrClosed.
+// Close drains in-flight executions, appends and compaction, stops the
+// background compactor and the shared worker pool, closes the backend
+// and delta-journal files and removes the warehouse's own temporary
+// directory (if it created one). Operations submitted after Close fail
+// with ErrClosed. It returns any errors deferred from background
+// cleanup (retired-epoch removal, journal resets) alongside its own.
 func (w *Warehouse) Close() error {
 	w.mu.Lock()
 	if w.closed {
@@ -315,18 +422,31 @@ func (w *Warehouse) Close() error {
 	}
 	w.closed = true
 	w.mu.Unlock()
+	// Queries, Appends and any in-flight compaction all hold wg.
 	w.wg.Wait()
+	if w.compactor != nil {
+		// A pending trigger still fires, but its run bails out on ErrClosed.
+		w.compactor.Close()
+	}
 	w.sched.Close()
+	w.mu.Lock()
+	cur := w.cur
+	w.cur = snapshot{}
+	w.mu.Unlock()
+	if cur.b != nil {
+		w.retire(cur.b) // refs are drained, so cleanup runs synchronously
+	}
 	var err error
-	if w.store != nil {
-		err = errors.Join(err, w.store.Close())
+	if w.dlog != nil {
+		err = errors.Join(err, w.dlog.Close())
 	}
-	if w.bitmaps != nil {
-		err = errors.Join(err, w.bitmaps.Close())
+	if w.ownRoot && w.rootDir != "" {
+		err = errors.Join(err, os.RemoveAll(w.rootDir))
 	}
-	if w.ownDir && w.dir != "" {
-		err = errors.Join(err, os.RemoveAll(w.dir))
-	}
+	w.mu.Lock()
+	err = errors.Join(err, w.bgErr)
+	w.bgErr = nil
+	w.mu.Unlock()
 	return err
 }
 
@@ -340,6 +460,53 @@ func (w *Warehouse) begin() (func(), error) {
 	}
 	w.wg.Add(1)
 	return w.wg.Done, nil
+}
+
+// pin acquires the current snapshot for one execution, taking a
+// reference on its backend. Admission is never blocked by appends or
+// compaction: pin only takes the (briefly held) state mutex. The caller
+// must already hold an in-flight registration (begin) and must unpin
+// the snapshot's backend when done.
+func (w *Warehouse) pin() (snapshot, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.cur.b == nil {
+		return snapshot{}, fmt.Errorf("mdhf: backend not built")
+	}
+	w.cur.b.refs.Add(1)
+	return w.cur, nil
+}
+
+// unpin releases one reference; the last release of a retired backend
+// cleans it up (closes files, removes its epoch directory).
+func (w *Warehouse) unpin(b *backend) {
+	if b.refs.Add(-1) == 0 && b.retired.Load() {
+		w.cleanupBackend(b)
+	}
+}
+
+// retire marks the backend dead and drops the serving reference the
+// snapshot held since the build.
+func (w *Warehouse) retire(b *backend) {
+	b.retired.Store(true)
+	w.unpin(b)
+}
+
+// cleanupBackend closes a retired backend's files and removes its epoch
+// directory, deferring any errors to Close.
+func (w *Warehouse) cleanupBackend(b *backend) {
+	var err error
+	if b.be != nil {
+		err = errors.Join(err, b.be.Close())
+	}
+	if b.own && b.dir != "" {
+		err = errors.Join(err, os.RemoveAll(b.dir))
+	}
+	if err != nil {
+		w.mu.Lock()
+		w.bgErr = errors.Join(w.bgErr, err)
+		w.mu.Unlock()
+	}
 }
 
 // ensureData generates the fact table once (unless Config.Table supplied
@@ -363,11 +530,11 @@ func (w *Warehouse) ensureBackend(ctx context.Context) error {
 	return w.buildErr
 }
 
-// build assembles the configured backend: the in-memory engine
-// (optionally compressed), or the on-disk store + bitmap file +
-// executor, optionally declustered over a DiskSet. The executor is
-// attached to the warehouse's admission scheduler so every query shares
-// one pool.
+// build assembles the epoch-0 backend, the delta index, the delta
+// journal (on-disk backends) and the background compactor. On failure
+// everything built so far — including an owned temporary directory — is
+// cleaned up immediately, so a warehouse whose lazy first-Execute build
+// failed partway leaves nothing behind even if Close is never called.
 func (w *Warehouse) build() error {
 	if w.spec == nil {
 		return fmt.Errorf("mdhf: warehouse opened without a fragmentation")
@@ -375,65 +542,97 @@ func (w *Warehouse) build() error {
 	if err := w.ensureData(); err != nil {
 		return err
 	}
+	ix, err := frag.NewDeltaIndex(w.spec, w.icfg)
+	if err != nil {
+		return err
+	}
+	b, err := w.buildBackendFrom(w.table, 0)
+	if err != nil {
+		w.removeOwnedRoot()
+		return err
+	}
+	if w.opt.onDisk {
+		dlog, err := storage.OpenDeltaLog(w.rootDir, w.star)
+		if err != nil {
+			w.cleanupBackend(b)
+			w.removeOwnedRoot()
+			return err
+		}
+		if b.be.Disks != nil {
+			dlog.Attach(b.be.Disks, b.be.Placement)
+		}
+		w.dlog = dlog
+	}
+	w.ix = ix
+	w.compactor = storage.NewCompactor(w.compactOnce)
+	w.mu.Lock()
+	w.cur = snapshot{epoch: 0, b: b}
+	d, set := w.curDelay, w.curDelaySet
+	w.mu.Unlock()
+	if set && b.be != nil {
+		applyIODelay(b.be, d)
+	}
+	return nil
+}
+
+// removeOwnedRoot deletes the warehouse's own temporary root after a
+// failed build and forgets it, so neither Close nor a later cleanup
+// touches a half-built directory.
+func (w *Warehouse) removeOwnedRoot() {
+	if w.ownRoot && w.rootDir != "" {
+		os.RemoveAll(w.rootDir)
+		w.rootDir, w.ownRoot = "", false
+	}
+}
+
+// buildBackendFrom builds one epoch's backend from the given base rows:
+// the in-memory engine, or an on-disk Backend in its own epoch
+// subdirectory of the warehouse root. On error no partial state leaks —
+// files built before the failure are closed and the epoch directory
+// removed (the root itself is handled by the caller).
+func (w *Warehouse) buildBackendFrom(t *data.Table, epoch int64) (*backend, error) {
+	b := &backend{table: t}
+	b.refs.Store(1) // the serving snapshot's reference
 	if !w.opt.onDisk {
 		var err error
 		if w.opt.compress {
-			w.engine, err = engine.BuildCompressed(w.table, w.spec, w.icfg)
+			b.engine, err = engine.BuildCompressed(t, w.spec, w.icfg)
 		} else {
-			w.engine, err = engine.Build(w.table, w.spec, w.icfg)
+			b.engine, err = engine.Build(t, w.spec, w.icfg)
 		}
-		return err
-	}
-	dir := w.opt.dir
-	if dir == "" {
-		var err error
-		dir, err = os.MkdirTemp("", "mdhf-warehouse-*")
 		if err != nil {
-			return err
+			return nil, err
 		}
-		w.ownDir = true
+		return b, nil
 	}
-	w.dir = dir
-	store, err := storage.Build(dir, w.table, w.spec)
-	if err != nil {
-		return err
+	if w.rootDir == "" {
+		dir := w.opt.dir
+		if dir == "" {
+			var err error
+			dir, err = os.MkdirTemp("", "mdhf-warehouse-*")
+			if err != nil {
+				return nil, err
+			}
+			w.ownRoot = true
+		}
+		w.rootDir = dir
 	}
-	var bf *storage.BitmapFile
-	if w.opt.compress {
-		bf, err = storage.BuildCompressedBitmaps(dir, store, w.icfg)
-	} else {
-		bf, err = storage.BuildBitmaps(dir, store, w.icfg)
+	epochDir := filepath.Join(w.rootDir, fmt.Sprintf("epoch-%03d", epoch))
+	cfg := storage.BackendConfig{
+		Compress:     w.opt.compress,
+		PrefetchFact: w.opt.params.FactPrefetch,
+		Sched:        w.sched,
 	}
-	if err != nil {
-		store.Close()
-		return err
-	}
-	var ds *storage.DiskSet
-	var pl alloc.Placement
 	if w.opt.disks > 0 {
-		pl = alloc.Placement{Disks: w.opt.disks, Scheme: w.opt.scheme, Staggered: w.opt.staggered, Cluster: w.opt.cluster}
-		if ds, err = storage.Decluster(store, bf, pl); err != nil {
-			store.Close()
-			bf.Close()
-			return err
-		}
+		cfg.Placement = alloc.Placement{Disks: w.opt.disks, Scheme: w.opt.scheme, Staggered: w.opt.staggered, Cluster: w.opt.cluster}
 	}
-	ex := storage.NewExecutor(store, bf)
-	ex.PrefetchFact = w.opt.params.FactPrefetch
-	ex.Sched = w.sched
-	// Publish under the mutex: DiskSet/DiskStats/SetIODelay may be called
-	// concurrently with this first-Execute build. (The Execute path itself
-	// is ordered by the build sync.Once, and Close by the in-flight
-	// WaitGroup.)
-	w.mu.Lock()
-	w.store, w.bitmaps = store, bf
-	w.diskset, w.placement = ds, pl
-	w.sexec = ex
-	w.mu.Unlock()
-	if w.opt.ioDelay > 0 {
-		w.SetIODelay(w.opt.ioDelay)
+	be, err := storage.BuildBackend(epochDir, t, w.spec, w.icfg, cfg)
+	if err != nil {
+		os.RemoveAll(epochDir)
+		return nil, err
 	}
-	return nil
+	b.be, b.dir, b.own = be, epochDir, true
+	return b, nil
 }
 
 // modelPlacement is the placement assumed by Explain's queue response

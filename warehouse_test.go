@@ -241,7 +241,7 @@ func TestWarehouseAdvisory(t *testing.T) {
 	}
 	th := Thresholds{MinBitmapFragPages: 0, MaxFragments: MaxFragments(star, 1)}
 	got := w.Advise(mix, th)
-	want := AdviseParallel(star, w.Indexes(), mix, th, DefaultCostParams(), 2)
+	want := Advise(star, w.Indexes(), mix, th, DefaultCostParams())
 	if len(got) == 0 || len(got) != len(want) {
 		t.Fatalf("advise: %d candidates, legacy %d", len(got), len(want))
 	}
@@ -309,7 +309,7 @@ func TestWarehouseClose(t *testing.T) {
 	if _, _, err := w.Query(q).Execute(ctx); err != nil {
 		t.Fatal(err)
 	}
-	dir := w.dir
+	dir := w.rootDir
 	if dir == "" {
 		t.Fatal("no backend dir recorded")
 	}
