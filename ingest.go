@@ -121,6 +121,14 @@ func (w *Warehouse) Append(ctx context.Context, rows []FactRow) error {
 
 	w.mu.Lock()
 	w.cur.deltas = set
+	if w.rcache != nil {
+		// Fragment-granular invalidation, atomic with the publish: only
+		// result-cache entries whose confinement region contains a touched
+		// fragment are evicted (and intersecting in-flight computations
+		// poisoned); everything else is re-keyed to the new MaxSeq and
+		// keeps serving.
+		w.rcache.invalidate(w.spec, order, set.MaxSeq())
+	}
 	w.mu.Unlock()
 	w.appends.Add(1)
 	w.appendedRows.Add(int64(len(rows)))
@@ -230,6 +238,12 @@ func (w *Warehouse) compact(ctx context.Context) error {
 	old := w.cur
 	w.cur = snapshot{epoch: snap.epoch + 1, b: nb, deltas: old.deltas.After(boundary)}
 	live := w.cur.deltas
+	if w.rcache != nil {
+		// Compaction is result-neutral (the rebuilt backend serves
+		// byte-identical results), so re-key every entry to the new epoch
+		// instead of flushing the cache.
+		w.rcache.rekeyAll(w.cur.epoch, live.MaxSeq())
+	}
 	w.mu.Unlock()
 	w.compacting = false
 	var resetErr error

@@ -1,0 +1,46 @@
+package cost
+
+import "math"
+
+// CacheCost predicts how a byte-budgeted buffer pool serves one query —
+// the analytical counterpart of the pool's measured hit/miss counters.
+// The model follows directly from confinement: a query's working set is
+// exactly the pages its relevant fragments make it read (QueryCost's
+// fact + bitmap volume), so under an LRU pool shared by repetitions of
+// the query the steady-state hit rate is the resident fraction of that
+// working set — min(1, budget/workingSet). Hot confined queries (the
+// current quarter, one store group) have small stable working sets and
+// go resident; unconfined scans blow the budget and keep missing.
+type CacheCost struct {
+	// WorkingSetBytes is the query's per-execution read volume — the
+	// bytes competing for pool residency.
+	WorkingSetBytes int64
+	// PoolBytes is the configured pool budget (0 = no pool).
+	PoolBytes int64
+	// HitRate is the expected steady-state pool hit rate for repeated
+	// executions: the resident fraction of the working set.
+	HitRate float64
+	// AbsorbedIOs and AbsorbedBytes are the expected physical reads the
+	// pool absorbs per warm execution — HitRate times the query's logical
+	// I/O counts.
+	AbsorbedIOs   int64
+	AbsorbedBytes int64
+}
+
+// EstimateCache predicts the buffer pool's steady-state effect on a
+// query whose I/O estimate is c, under a pool of poolBytes. A zero
+// budget (no pool) predicts zero absorption.
+func EstimateCache(c QueryCost, poolBytes int64) CacheCost {
+	out := CacheCost{WorkingSetBytes: c.TotalBytes, PoolBytes: poolBytes}
+	if poolBytes <= 0 || c.TotalBytes <= 0 {
+		return out
+	}
+	hr := float64(poolBytes) / float64(c.TotalBytes)
+	if hr > 1 {
+		hr = 1
+	}
+	out.HitRate = hr
+	out.AbsorbedIOs = int64(math.Round(hr * float64(c.TotalIOs())))
+	out.AbsorbedBytes = int64(math.Round(hr * float64(c.TotalBytes)))
+	return out
+}

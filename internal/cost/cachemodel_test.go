@@ -1,0 +1,55 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEstimateCacheBounds(t *testing.T) {
+	c := QueryCost{FactIOs: 10, BitmapIOs: 2, TotalBytes: 1 << 20}
+
+	if got := EstimateCache(c, 0); got.HitRate != 0 || got.AbsorbedIOs != 0 || got.AbsorbedBytes != 0 {
+		t.Fatalf("no pool predicted absorption: %+v", got)
+	}
+	if got := EstimateCache(QueryCost{}, 1<<20); got.HitRate != 0 {
+		t.Fatalf("zero working set predicted hit rate %v", got.HitRate)
+	}
+
+	// Pool covering the whole working set: everything absorbed.
+	full := EstimateCache(c, 1<<21)
+	if full.HitRate != 1 {
+		t.Fatalf("oversized pool hit rate %v, want 1", full.HitRate)
+	}
+	if full.AbsorbedIOs != c.TotalIOs() || full.AbsorbedBytes != c.TotalBytes {
+		t.Fatalf("oversized pool absorption %+v, want all of %d IOs / %d bytes", full, c.TotalIOs(), c.TotalBytes)
+	}
+
+	// Half the working set resident: half the physical reads absorbed.
+	half := EstimateCache(c, 1<<19)
+	if half.HitRate != 0.5 {
+		t.Fatalf("half pool hit rate %v, want 0.5", half.HitRate)
+	}
+	if half.AbsorbedIOs != int64(math.Round(0.5*float64(c.TotalIOs()))) {
+		t.Fatalf("half pool absorbed %d IOs", half.AbsorbedIOs)
+	}
+	if half.WorkingSetBytes != c.TotalBytes || half.PoolBytes != 1<<19 {
+		t.Fatalf("echoed inputs wrong: %+v", half)
+	}
+}
+
+// TestEstimateCacheMonotone mirrors the pool's measured property: the
+// predicted hit rate never decreases with budget and never exceeds one.
+func TestEstimateCacheMonotone(t *testing.T) {
+	c := QueryCost{FactIOs: 100, BitmapIOs: 20, TotalBytes: 3 << 20}
+	prev := -1.0
+	for b := int64(1 << 16); b <= 1<<23; b *= 2 {
+		got := EstimateCache(c, b)
+		if got.HitRate < prev {
+			t.Fatalf("budget %d hit rate %v below smaller budget's %v", b, got.HitRate, prev)
+		}
+		if got.HitRate < 0 || got.HitRate > 1 {
+			t.Fatalf("budget %d hit rate %v out of [0,1]", b, got.HitRate)
+		}
+		prev = got.HitRate
+	}
+}

@@ -22,6 +22,12 @@ type BackendConfig struct {
 	PrefetchFact int
 	// Sched attaches the executor to a shared admission scheduler.
 	Sched *exec.Scheduler
+	// Pool, when non-nil, routes the store's granule reads and the bitmap
+	// file's payload reads through a shared buffer pool, keyed under
+	// PoolEpoch — the backend's serving epoch, so a compaction's epoch
+	// swap invalidates the old backend's entries for free.
+	Pool      *BufPool
+	PoolEpoch int64
 }
 
 // Backend bundles one complete on-disk execution backend: the paged fact
@@ -67,6 +73,10 @@ func BuildBackend(dir string, t *data.Table, spec *frag.Spec, icfg frag.IndexCon
 			return nil, err
 		}
 		b.Disks, b.Placement = ds, cfg.Placement
+	}
+	if cfg.Pool != nil {
+		store.AttachPool(cfg.Pool, cfg.PoolEpoch)
+		bf.AttachPool(cfg.Pool, cfg.PoolEpoch)
 	}
 	ex := NewExecutor(store, bf)
 	if cfg.PrefetchFact > 0 {

@@ -52,6 +52,17 @@ type BitmapFile struct {
 	// serialized queues when non-nil (see Decluster in disk.go).
 	disks     *DiskSet
 	placement alloc.Placement
+	// pool, when non-nil, caches bitmap payload reads under poolEpoch
+	// (see AttachPool on Store; the pool is shared with the fact store).
+	pool      *BufPool
+	poolEpoch int64
+}
+
+// AttachPool routes this file's payload reads through a shared buffer
+// pool, keying its entries under the given serving epoch. Must be called
+// before queries run; a nil pool detaches.
+func (bf *BitmapFile) AttachPool(p *BufPool, epoch int64) {
+	bf.pool, bf.poolEpoch = p, epoch
 }
 
 // SetIODelay adds a simulated disk access time to every bitmap fragment
@@ -271,60 +282,96 @@ func (bf *BitmapFile) TotalPages() int64 {
 }
 
 // readPayload reads the raw page-padded payload of bitmap di of the
-// fragment into buf (reused when large enough), returning the filled
-// slice and the number of pages read — one physical I/O.
-func (bf *BitmapFile) readPayload(buf []byte, fragID int64, di int) ([]byte, int, error) {
+// fragment, consulting the buffer pool first when one is attached. data
+// is the payload to decode from; scratch is the caller's reusable buffer
+// (grown when the unpooled read needed more room — store it back). When
+// ent is non-nil the data is pool-resident and pinned: the caller must
+// ent.Unpin() after decoding (the decode copies, so the pin is short).
+// Pool hit/miss accounting folds into st when non-nil.
+func (bf *BitmapFile) readPayload(buf []byte, fragID int64, di int, st *IOStats) (data, scratch []byte, pages int, ent *PoolEntry, err error) {
 	base, ok := bf.loc[fragID]
 	if !ok {
-		return nil, 0, fmt.Errorf("storage: fragment %d has no bitmaps", fragID)
+		return nil, buf, 0, nil, fmt.Errorf("storage: fragment %d has no bitmaps", fragID)
 	}
 	pagesOf := bf.fragPages[fragID]
 	off := base
 	for i := 0; i < di; i++ {
 		off += int64(pagesOf[i])
 	}
-	pages := int(pagesOf[di])
+	pages = int(pagesOf[di])
 	n := pages * bf.pageSize
+
+	if bf.pool != nil {
+		key := PoolKey{Epoch: bf.poolEpoch, File: PoolBitmap, Frag: fragID, Off: int32(di), Len: int32(pages)}
+		if e := bf.pool.Get(key); e != nil {
+			if bf.disks != nil {
+				bf.disks.notePoolHit(bf.placement.BitmapDisk(fragID, di), pages)
+			}
+			if st != nil {
+				st.PoolHits++
+				st.PoolBytes += int64(n)
+			}
+			return e.Data(), buf, pages, e, nil
+		}
+		if st != nil {
+			st.PoolMisses++
+		}
+		// Miss: read into a fresh buffer the pool can own.
+		fresh := make([]byte, n)
+		if err := bf.readPayloadAt(fresh, off, fragID, di, pages); err != nil {
+			return nil, buf, 0, nil, err
+		}
+		if e := bf.pool.Add(key, fresh); e != nil {
+			return e.Data(), buf, pages, e, nil
+		}
+		return fresh, buf, pages, nil, nil // pool rejected: serve privately
+	}
+
 	if cap(buf) < n {
 		buf = make([]byte, n)
 	}
 	buf = buf[:n]
+	if err := bf.readPayloadAt(buf, off, fragID, di, pages); err != nil {
+		return nil, buf, 0, nil, err
+	}
+	return buf, buf, pages, nil, nil
+}
+
+// readPayloadAt performs the physical read of a payload into dst — one
+// I/O through the disk queue (or the implicit single disk's delay).
+func (bf *BitmapFile) readPayloadAt(dst []byte, off int64, fragID int64, di, pages int) error {
 	read := func() error {
-		_, err := bf.file.ReadAt(buf, off*int64(bf.pageSize))
+		_, err := bf.file.ReadAt(dst, off*int64(bf.pageSize))
 		return err
 	}
-	var err error
 	if bf.disks != nil {
-		err = bf.disks.do(bf.placement.BitmapDisk(fragID, di), pages, read)
-	} else {
-		if d := bf.ioDelay.Load(); d > 0 {
-			time.Sleep(time.Duration(d))
-		}
-		err = read()
+		return bf.disks.do(bf.placement.BitmapDisk(fragID, di), pages, read)
 	}
-	if err != nil {
-		return nil, 0, err
+	if d := bf.ioDelay.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
 	}
-	return buf, pages, nil
+	return read()
 }
 
 // ReadBitmapFragment reads (one physical I/O per page run) the bitmap
 // fragment identified by desc for the given fact fragment. It returns the
 // bitset and the number of pages read.
 func (bf *BitmapFile) ReadBitmapFragment(fragID int64, desc BitmapDesc) (*bitmap.Bitset, int, error) {
-	bs, _, pages, err := bf.readBitmapInto(nil, nil, fragID, desc)
+	bs, _, pages, err := bf.readBitmapInto(nil, nil, fragID, desc, nil)
 	return bs, pages, err
 }
 
 // readBitmapInto is ReadBitmapFragment decoding into dst (allocated when
-// nil) with buf as the reusable page buffer. It returns the bitset, the
-// grown page buffer and the page count.
-func (bf *BitmapFile) readBitmapInto(dst *bitmap.Bitset, buf []byte, fragID int64, desc BitmapDesc) (*bitmap.Bitset, []byte, int, error) {
+// nil) with buf as the reusable page buffer and st receiving the pool
+// accounting (nil allowed). It returns the bitset, the grown page buffer
+// and the page count. Pool pins are released before returning — the
+// decode copies the payload into dst.
+func (bf *BitmapFile) readBitmapInto(dst *bitmap.Bitset, buf []byte, fragID int64, desc BitmapDesc, st *IOStats) (*bitmap.Bitset, []byte, int, error) {
 	di := bf.descIndex(desc)
 	if di < 0 {
 		return nil, buf, 0, fmt.Errorf("storage: bitmap %+v not stored (eliminated by the fragmentation?)", desc)
 	}
-	buf, pages, err := bf.readPayload(buf, fragID, di)
+	data, buf, pages, ent, err := bf.readPayload(buf, fragID, di, st)
 	if err != nil {
 		return nil, buf, 0, err
 	}
@@ -333,10 +380,14 @@ func (bf *BitmapFile) readBitmapInto(dst *bitmap.Bitset, buf []byte, fragID int6
 	}
 	if bf.compressed {
 		var c bitmap.Compressed
-		decodeCompressedInto(&c, buf)
-		return c.DecompressInto(dst), buf, pages, nil
+		decodeCompressedInto(&c, data)
+		dst = c.DecompressInto(dst)
+	} else {
+		unpackBitsInto(dst, data, int(bf.rowsOf[fragID]))
 	}
-	unpackBitsInto(dst, buf, int(bf.rowsOf[fragID]))
+	if ent != nil {
+		ent.Unpin()
+	}
 	return dst, buf, pages, nil
 }
 
@@ -345,13 +396,15 @@ func (bf *BitmapFile) readBitmapInto(dst *bitmap.Bitset, buf []byte, fragID int6
 // entry point of the compressed execution fast path. The file must have
 // been built with compression.
 func (bf *BitmapFile) ReadCompressedFragment(fragID int64, desc BitmapDesc) (*bitmap.Compressed, int, error) {
-	c, _, pages, err := bf.readCompressedInto(nil, nil, fragID, desc)
+	c, _, pages, err := bf.readCompressedInto(nil, nil, fragID, desc, nil)
 	return c, pages, err
 }
 
 // readCompressedInto is ReadCompressedFragment decoding into dst
-// (allocated when nil) with buf as the reusable page buffer.
-func (bf *BitmapFile) readCompressedInto(dst *bitmap.Compressed, buf []byte, fragID int64, desc BitmapDesc) (*bitmap.Compressed, []byte, int, error) {
+// (allocated when nil) with buf as the reusable page buffer and st
+// receiving the pool accounting (nil allowed). Pool pins are released
+// before returning — the decode copies the words into dst.
+func (bf *BitmapFile) readCompressedInto(dst *bitmap.Compressed, buf []byte, fragID int64, desc BitmapDesc, st *IOStats) (*bitmap.Compressed, []byte, int, error) {
 	if !bf.compressed {
 		return nil, buf, 0, fmt.Errorf("storage: bitmap file is not compressed")
 	}
@@ -359,14 +412,17 @@ func (bf *BitmapFile) readCompressedInto(dst *bitmap.Compressed, buf []byte, fra
 	if di < 0 {
 		return nil, buf, 0, fmt.Errorf("storage: bitmap %+v not stored (eliminated by the fragmentation?)", desc)
 	}
-	buf, pages, err := bf.readPayload(buf, fragID, di)
+	data, buf, pages, ent, err := bf.readPayload(buf, fragID, di, st)
 	if err != nil {
 		return nil, buf, 0, err
 	}
 	if dst == nil {
 		dst = &bitmap.Compressed{}
 	}
-	decodeCompressedInto(dst, buf)
+	decodeCompressedInto(dst, data)
+	if ent != nil {
+		ent.Unpin()
+	}
 	return dst, buf, pages, nil
 }
 

@@ -33,7 +33,12 @@ type diskQueue struct {
 	delay atomic.Int64 // simulated access time, ns
 	ios   atomic.Int64
 	pages atomic.Int64
-	_     [5]int64 // keep queues off each other's cache line
+	// poolHits/poolPages count reads the buffer pool absorbed — accesses
+	// this disk would have served without the pool. They never touch the
+	// queue: a pool hit costs no disk time by construction.
+	poolHits  atomic.Int64
+	poolPages atomic.Int64
+	_         [3]int64 // keep queues off each other's cache line
 }
 
 // DiskStats is one disk's access counters — the observable per-disk load
@@ -41,6 +46,11 @@ type diskQueue struct {
 type DiskStats struct {
 	IOs   int64
 	Pages int64
+	// PoolHits/PoolPages count the accesses the buffer pool served in this
+	// disk's stead (attributed to the disk the placement would have routed
+	// them to). IOs/Pages stay purely physical.
+	PoolHits  int64
+	PoolPages int64
 }
 
 // NewDiskSet builds a set of d idle virtual disks (d >= 1).
@@ -75,7 +85,12 @@ func (ds *DiskSet) SetDiskIODelay(disk int, d time.Duration) {
 func (ds *DiskSet) Stats() []DiskStats {
 	out := make([]DiskStats, len(ds.disks))
 	for i := range ds.disks {
-		out[i] = DiskStats{IOs: ds.disks[i].ios.Load(), Pages: ds.disks[i].pages.Load()}
+		out[i] = DiskStats{
+			IOs:       ds.disks[i].ios.Load(),
+			Pages:     ds.disks[i].pages.Load(),
+			PoolHits:  ds.disks[i].poolHits.Load(),
+			PoolPages: ds.disks[i].poolPages.Load(),
+		}
 	}
 	return out
 }
@@ -85,7 +100,17 @@ func (ds *DiskSet) ResetStats() {
 	for i := range ds.disks {
 		ds.disks[i].ios.Store(0)
 		ds.disks[i].pages.Store(0)
+		ds.disks[i].poolHits.Store(0)
+		ds.disks[i].poolPages.Store(0)
 	}
+}
+
+// notePoolHit records a read the buffer pool absorbed on behalf of disk
+// `disk` — pure accounting, the disk queue is never entered.
+func (ds *DiskSet) notePoolHit(disk, pages int) {
+	q := &ds.disks[disk]
+	q.poolHits.Add(1)
+	q.poolPages.Add(int64(pages))
 }
 
 // do performs one physical access of `pages` pages on disk `disk`: the

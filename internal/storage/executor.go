@@ -22,6 +22,14 @@ type IOStats struct {
 	// DeltaRows counts appended (not yet compacted) rows aggregated from
 	// in-memory delta segments — rows served without any physical I/O.
 	DeltaRows int64
+	// PoolHits/PoolMisses/PoolBytes record how the buffer pool served the
+	// logical reads above: hits cost no physical I/O (the Fact*/Bitmap*
+	// counters stay logical — what the query asked for — while the DiskSet
+	// counters stay physical — what actually reached a disk). PoolBytes is
+	// the bytes served from the pool. All zero without a pool.
+	PoolHits   int64
+	PoolMisses int64
+	PoolBytes  int64
 }
 
 // Add folds another execution's counters in.
@@ -32,6 +40,9 @@ func (st *IOStats) Add(o IOStats) {
 	st.BitmapIOs += o.BitmapIOs
 	st.RowsRead += o.RowsRead
 	st.DeltaRows += o.DeltaRows
+	st.PoolHits += o.PoolHits
+	st.PoolMisses += o.PoolMisses
+	st.PoolBytes += o.PoolBytes
 }
 
 // Aggregate is the star query result over the stored measures — the
@@ -132,10 +143,11 @@ type execScratch struct {
 	cres, ctmp *bitmap.Compressed   // AndAll / AndNot ping-pong results
 
 	// Async prefetch pipeline (see prefetch.go).
-	gran   []granule   // the fragment's granule read list
-	gpipe  granulePipe // in-flight pipeline state
-	free   chan []byte // empty pipeline buffers (capacity 2)
-	filled chan gread  // completed granule reads
+	gran   []granule     // the fragment's granule read list
+	gpipe  granulePipe   // in-flight pipeline state
+	free   chan []byte   // empty pipeline buffers (capacity 2, unpooled)
+	tok    chan struct{} // read-ahead tokens (capacity 2, pooled)
+	filled chan gread    // completed granule reads
 
 	dsc *frag.DeltaScratch // delta segment selection buffers (lazy)
 }
@@ -329,7 +341,7 @@ func (e *Executor) selectPred(id int64, p frag.Pred, st *IOStats, sc *execScratc
 		}
 		var pages int
 		var err error
-		_, sc.bbuf, pages, err = e.bitmaps.readBitmapInto(dst, sc.bbuf, id, BitmapDesc{Dim: p.Dim, Level: p.Level, Member: p.Member, Simple: true})
+		_, sc.bbuf, pages, err = e.bitmaps.readBitmapInto(dst, sc.bbuf, id, BitmapDesc{Dim: p.Dim, Level: p.Level, Member: p.Member, Simple: true}, st)
 		st.BitmapIOs++
 		if err != nil {
 			return pages, err
@@ -360,7 +372,7 @@ func (e *Executor) selectPred(id int64, p frag.Pred, st *IOStats, sc *execScratc
 		}
 		var pages int
 		var err error
-		_, sc.bbuf, pages, err = e.bitmaps.readBitmapInto(dst, sc.bbuf, id, BitmapDesc{Dim: p.Dim, Bit: b})
+		_, sc.bbuf, pages, err = e.bitmaps.readBitmapInto(dst, sc.bbuf, id, BitmapDesc{Dim: p.Dim, Bit: b}, st)
 		if err != nil {
 			return pagesTotal, err
 		}
@@ -398,7 +410,7 @@ func (e *Executor) processFragmentCompressed(id int64, loc FragLoc, q frag.Query
 		nread++
 		var pages int
 		var err error
-		_, sc.bbuf, pages, err = e.bitmaps.readCompressedInto(c, sc.bbuf, id, desc)
+		_, sc.bbuf, pages, err = e.bitmaps.readCompressedInto(c, sc.bbuf, id, desc, st)
 		if err != nil {
 			return nil, err
 		}

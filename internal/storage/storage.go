@@ -58,7 +58,21 @@ type Store struct {
 	// queues when non-nil (see Decluster in disk.go).
 	disks     *DiskSet
 	placement alloc.Placement
+	// pool, when non-nil, caches prefetch-granule reads under poolEpoch
+	// (see AttachPool and ReadGranule).
+	pool      *BufPool
+	poolEpoch int64
 }
+
+// AttachPool routes this store's granule reads through a shared buffer
+// pool, keying its entries under the given serving epoch. Must be called
+// before queries run (backend assembly time); a nil pool detaches.
+func (s *Store) AttachPool(p *BufPool, epoch int64) {
+	s.pool, s.poolEpoch = p, epoch
+}
+
+// Pooled reports whether a buffer pool is attached.
+func (s *Store) Pooled() bool { return s.pool != nil }
 
 // SetIODelay adds a simulated disk access time to every physical read —
 // the per-access latency of the paper's Table 4 disk model (seek + settle
@@ -327,6 +341,39 @@ func (s *Store) ReadPagesInto(buf []byte, id int64, start, count int) ([]byte, e
 		return nil, err
 	}
 	return buf, nil
+}
+
+// ReadGranule is the pool-aware ReadPagesInto used by the executor's
+// prefetch pipeline. With no pool attached it behaves exactly like
+// ReadPagesInto (data == the grown buf, ent nil). With a pool, a hit
+// returns the resident pages with zero physical I/O and a miss reads into
+// a fresh buffer and offers it to the pool. When ent is non-nil the
+// returned data belongs to the pool and is pinned — the caller must
+// ent.Unpin() once done aggregating from it (and must not retain or reuse
+// data as scratch); when ent is nil the data is the caller's private
+// buffer. hit reports whether the pool served the read.
+func (s *Store) ReadGranule(buf []byte, id int64, start, count int) (data []byte, ent *PoolEntry, hit bool, err error) {
+	if s.pool == nil {
+		data, err = s.ReadPagesInto(buf, id, start, count)
+		return data, nil, false, err
+	}
+	key := PoolKey{Epoch: s.poolEpoch, File: PoolFact, Frag: id, Off: int32(start), Len: int32(count)}
+	if e := s.pool.Get(key); e != nil {
+		if s.disks != nil {
+			s.disks.notePoolHit(s.placement.FactDisk(id), count)
+		}
+		return e.Data(), e, true, nil
+	}
+	// Miss: read into a fresh buffer the pool can take ownership of (the
+	// caller's scratch would be overwritten by its next read).
+	data, err = s.ReadPagesInto(make([]byte, 0, count*s.pageSize), id, start, count)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if e := s.pool.Add(key, data); e != nil {
+		return e.Data(), e, false, nil
+	}
+	return data, nil, false, nil // pool full of pinned entries: serve privately
 }
 
 // ScanFragment calls fn for every tuple of the fragment, reading it page

@@ -430,6 +430,13 @@ type (
 	StorageExecutor = storage.Executor
 	// StorageIOStats counts the physical I/O of an execution.
 	StorageIOStats = storage.IOStats
+	// BufferPool is the granule/page buffer pool between the executor's
+	// read paths and the disks (see WithBufferPool).
+	BufferPool = storage.BufPool
+	// PoolStats is the buffer pool's counter snapshot.
+	PoolStats = storage.PoolStats
+	// CacheCost is Explain's predicted buffer-pool effect on one query.
+	CacheCost = cost.CacheCost
 )
 
 // BuildStore writes the fragmented fact table into dir.

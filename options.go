@@ -26,6 +26,8 @@ type options struct {
 	params      cost.Params
 	simCfg      simpad.Config
 	autoCompact int
+	poolBytes   int64
+	resultCache int
 }
 
 func defaultOptions() options {
@@ -124,6 +126,45 @@ func WithAutoCompaction(rows int) Option {
 			rows = 0
 		}
 		o.autoCompact = rows
+	}
+}
+
+// WithBufferPool gives the warehouse a shared granule/page buffer pool
+// of the given byte budget: on-disk fact prefetch granules and bitmap
+// payload reads are served from memory on repeat access, with strict
+// sharded-LRU eviction, pages pinned while a fragment worker aggregates
+// from them, and entries keyed by serving epoch so a compaction's swap
+// invalidates the retired epoch wholesale. Results are byte-identical
+// with and without the pool; the effect is visible in Stats.IO
+// (PoolHits/PoolMisses), DiskStats and ServingStats.Cache.Pool, and
+// predicted by Explain.Cache. Values below 1 disable the pool. The pool
+// only applies to on-disk backends (the in-memory engine reads no
+// pages).
+func WithBufferPool(bytes int64) Option {
+	return func(o *options) {
+		if bytes < 1 {
+			bytes = 0
+		}
+		o.poolBytes = bytes
+	}
+}
+
+// WithResultCache gives the warehouse a query-result cache of the given
+// entry capacity: Execute serves repeated queries from memory while the
+// serving state they were computed under still holds. Invalidation is
+// fragment-granular — an Append evicts only the entries whose
+// confinement region contains a touched fragment, and a compaction
+// (result-neutral by construction) re-keys entries instead of flushing
+// them. Identical concurrent executions collapse onto one computation
+// (singleflight). Results are byte-identical to uncached execution;
+// Stats.CacheHit/Shared and ServingStats.Cache report the effect.
+// Values below 1 disable the cache.
+func WithResultCache(entries int) Option {
+	return func(o *options) {
+		if entries < 1 {
+			entries = 0
+		}
+		o.resultCache = entries
 	}
 }
 

@@ -65,6 +65,13 @@ type Stats struct {
 	// DeltaRows is the number of appended (not yet compacted) rows folded
 	// into the result, on any backend.
 	DeltaRows int64
+	// CacheHit reports that the result was served from the warehouse's
+	// result cache (WithResultCache) without touching the backend; Shared
+	// reports that it was obtained by joining an identical concurrent
+	// execution (singleflight). Either way the result is byte-identical to
+	// an uncached execution and the I/O counters below are zero.
+	CacheHit bool
+	Shared   bool
 
 	// Engine holds the in-memory engine's work counters
 	// (fragments/rows/bitmaps).
@@ -108,6 +115,11 @@ type Explain struct {
 	// as to base fragments, so only the relevant fraction is visited.
 	// Zero before anything is appended (or after compaction caught up).
 	Delta DeltaCost
+	// Cache predicts how the configured buffer pool serves the query's
+	// working set (zero value when the warehouse has no pool): the
+	// confinement-derived bytes the query touches, the expected steady-
+	// state hit rate, and the physical I/O the pool absorbs.
+	Cache CacheCost
 }
 
 // PreparedQuery is a star query bound to a Warehouse: a cheap, stateless
@@ -174,6 +186,9 @@ func (p *PreparedQuery) Explain(ctx context.Context) (Explain, error) {
 			Rows:      set.Rows(),
 		})
 	}
+	if w.pool != nil {
+		ex.Cache = cost.EstimateCache(ex.Cost, w.pool.Budget())
+	}
 	return ex, nil
 }
 
@@ -198,6 +213,9 @@ func (p *PreparedQuery) Execute(ctx context.Context) (Result, Stats, error) {
 	if err := w.ensureBackend(ctx); err != nil {
 		return Result{}, Stats{}, err
 	}
+	if w.rcache != nil {
+		return p.executeCached(ctx)
+	}
 	// Pin the serving snapshot: this epoch's backend plus the delta
 	// segments sealed so far. Concurrent appends and compactions replace
 	// the warehouse's snapshot copy-on-write, so this execution's view —
@@ -207,11 +225,37 @@ func (p *PreparedQuery) Execute(ctx context.Context) (Result, Stats, error) {
 		return Result{}, Stats{}, err
 	}
 	defer w.unpin(snap.b)
+	return p.executeOn(ctx, snap)
+}
+
+// errBackendNotBuilt matches pin's failure for the cached admission path.
+func errBackendNotBuilt() error { return fmt.Errorf("mdhf: backend not built") }
+
+// baseStats fills the execution-independent Stats fields for a snapshot —
+// the backend identity a cache-served result still reports.
+func (w *Warehouse) baseStats(snap snapshot) Stats {
 	st := Stats{
 		Compressed: w.opt.compress,
 		Workers:    w.sched.Workers(),
 		Epoch:      snap.epoch,
 	}
+	switch {
+	case snap.b.engine != nil:
+		st.Backend = InMemoryBackend
+	case snap.b.be.Disks != nil:
+		st.Backend = DeclusteredBackend
+	default:
+		st.Backend = OnDiskBackend
+	}
+	return st
+}
+
+// executeOn runs the query against an already-pinned snapshot — the
+// shared tail of the plain and cached Execute paths. The caller owns the
+// pin and the in-flight registration.
+func (p *PreparedQuery) executeOn(ctx context.Context, snap snapshot) (Result, Stats, error) {
+	w := p.w
+	st := w.baseStats(snap)
 	deltas := kernel.Deltas{Ix: w.ix, Set: snap.deltas}
 	start := time.Now()
 	if snap.b.engine != nil {
@@ -219,7 +263,6 @@ func (p *PreparedQuery) Execute(ctx context.Context) (Result, Stats, error) {
 		if err != nil {
 			return Result{}, Stats{}, err
 		}
-		st.Backend = InMemoryBackend
 		st.Engine = est
 		st.DeltaRows = est.DeltaRows
 		st.Wall = time.Since(start)
@@ -232,10 +275,7 @@ func (p *PreparedQuery) Execute(ctx context.Context) (Result, Stats, error) {
 	st.IO = io
 	st.DeltaRows = io.DeltaRows
 	if snap.b.be.Disks != nil {
-		st.Backend = DeclusteredBackend
 		st.Disks = snap.b.be.Disks.Stats()
-	} else {
-		st.Backend = OnDiskBackend
 	}
 	st.Wall = time.Since(start)
 	return res, st, nil

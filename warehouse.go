@@ -63,6 +63,7 @@ type backend struct {
 	table  *data.Table // the rows this backend serves as its base
 	dir    string      // the backend's own epoch directory ("" in-memory)
 	own    bool        // remove dir when retired
+	epoch  int64       // the serving epoch (keys the buffer pool's entries)
 
 	refs    atomic.Int64
 	retired atomic.Bool
@@ -112,7 +113,14 @@ type Warehouse struct {
 
 	sched *exec.Scheduler
 
-	mu     sync.Mutex // guards closed, cur, delay, bgErr
+	// pool is the shared granule/page buffer pool (nil without
+	// WithBufferPool); rcache the query-result cache (nil without
+	// WithResultCache). The pool has its own internal locking; rcache is
+	// guarded by mu like the serving snapshot it is keyed against.
+	pool   *storage.BufPool
+	rcache *resCache
+
+	mu     sync.Mutex // guards closed, cur, delay, bgErr, rcache contents
 	closed bool
 	wg     sync.WaitGroup // in-flight executions, waited on by Close
 	cur    snapshot
@@ -207,6 +215,12 @@ func Open(ctx context.Context, cfg Config, opts ...Option) (*Warehouse, error) {
 		curDelay:    opt.ioDelay,
 		curDelaySet: opt.ioDelay > 0,
 	}
+	if opt.poolBytes > 0 && opt.onDisk {
+		w.pool = storage.NewBufPool(opt.poolBytes)
+	}
+	if opt.resultCache > 0 {
+		w.rcache = newResCache(opt.resultCache)
+	}
 	return w, nil
 }
 
@@ -242,6 +256,10 @@ type ServingStats struct {
 	// delta rows they folded into the base.
 	Compactions   int64
 	CompactedRows int64
+	// Cache snapshots the caching layer: result-cache hit/miss/shared and
+	// invalidation counters plus the buffer pool's counters. Zero when
+	// neither WithBufferPool nor WithResultCache was given.
+	Cache CacheStats
 }
 
 // ServingStats snapshots the admission scheduler's accounting — queries
@@ -259,7 +277,19 @@ func (w *Warehouse) ServingStats() ServingStats {
 	st.Epoch = w.cur.epoch
 	st.DeltaSegments = w.cur.deltas.Segments()
 	st.DeltaRows = w.cur.deltas.Rows()
+	if c := w.rcache; c != nil {
+		st.Cache.Hits = c.hits
+		st.Cache.Misses = c.misses
+		st.Cache.Shared = c.shared
+		st.Cache.Invalidations = c.invalidations
+		st.Cache.Rekeys = c.rekeys
+		st.Cache.Entries = len(c.entries)
+		st.Cache.Capacity = c.cap
+	}
 	w.mu.Unlock()
+	if w.pool != nil {
+		st.Cache.Pool = w.pool.Stats()
+	}
 	return st
 }
 
@@ -497,6 +527,12 @@ func (w *Warehouse) retire(b *backend) {
 func (w *Warehouse) cleanupBackend(b *backend) {
 	var err error
 	if b.be != nil {
+		if w.pool != nil {
+			// The retired epoch's last pinned query is done: its pooled
+			// pages can never hit again (new lookups key the new epoch), so
+			// drop them eagerly instead of letting them age out of the LRU.
+			w.pool.InvalidateEpoch(b.epoch)
+		}
 		err = errors.Join(err, b.be.Close())
 	}
 	if b.own && b.dir != "" {
@@ -591,7 +627,7 @@ func (w *Warehouse) removeOwnedRoot() {
 // files built before the failure are closed and the epoch directory
 // removed (the root itself is handled by the caller).
 func (w *Warehouse) buildBackendFrom(t *data.Table, epoch int64) (*backend, error) {
-	b := &backend{table: t}
+	b := &backend{table: t, epoch: epoch}
 	b.refs.Store(1) // the serving snapshot's reference
 	if !w.opt.onDisk {
 		var err error
@@ -622,6 +658,8 @@ func (w *Warehouse) buildBackendFrom(t *data.Table, epoch int64) (*backend, erro
 		Compress:     w.opt.compress,
 		PrefetchFact: w.opt.params.FactPrefetch,
 		Sched:        w.sched,
+		Pool:         w.pool,
+		PoolEpoch:    epoch,
 	}
 	if w.opt.disks > 0 {
 		cfg.Placement = alloc.Placement{Disks: w.opt.disks, Scheme: w.opt.scheme, Staggered: w.opt.staggered, Cluster: w.opt.cluster}
