@@ -108,7 +108,7 @@ func (w *Warehouse) Append(ctx context.Context, rows []FactRow) error {
 		w.seq++
 		seg := sb.Seal(w.seq)
 		if w.dlog != nil {
-			if err := w.dlog.AppendSegment(seg); err != nil {
+			if err := w.dlog.AppendSegment(seg, replace); err != nil {
 				return err
 			}
 		}

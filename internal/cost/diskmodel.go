@@ -25,6 +25,26 @@ type DiskParams struct {
 	// Workers bounds the number of concurrent fragment subqueries issuing
 	// I/O (0 = unbounded, i.e. only the disks limit parallelism).
 	Workers int
+	// Degraded maps disk index → expected-attempts multiplier for a disk
+	// serving reads through retries (see RetryFactor): its routed I/Os are
+	// inflated by the factor, so a flaky disk deepens its queue and can
+	// become (or worsen) the bottleneck. Disks absent from the map are
+	// healthy (factor 1).
+	Degraded map[int]float64
+}
+
+// RetryFactor converts a per-read fault probability p into the expected
+// number of attempts per successful read under retry-until-success,
+// 1/(1-p) — the load multiplier a degraded disk imposes on its queue.
+// Probabilities at or above 1 are clamped just below it.
+func RetryFactor(p float64) float64 {
+	if p <= 0 {
+		return 1
+	}
+	if p > 0.99 {
+		p = 0.99
+	}
+	return 1 / (1 - p)
 }
 
 // ResponseEstimate is the modelled response of one query under a
@@ -82,6 +102,12 @@ func EstimateResponse(spec *frag.Spec, cfg frag.IndexConfig, q frag.Query, p Par
 		}
 		return true
 	})
+
+	for k, f := range dp.Degraded {
+		if k >= 0 && k < d && f > 1 {
+			out.DiskIOs[k] *= f
+		}
+	}
 
 	var used int
 	var sum float64

@@ -13,10 +13,24 @@ package exec
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 )
+
+// runTask invokes one task, converting a panic into a task-scoped error
+// so a poisoned task can never kill its worker goroutine (and with it
+// the whole process) — the private-pool counterpart of the shared
+// scheduler's in-task recovery.
+func runTask[S, T any](fn func(s S, i int) (T, error), scratch S, i int) (r T, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("exec: task %d panicked: %v", i, p)
+		}
+	}()
+	return fn(scratch, i)
+}
 
 // Workers resolves a worker-count option: any value below 1 means "one
 // worker per available CPU" (GOMAXPROCS).
@@ -88,7 +102,7 @@ func MapWith[S, T any](ctx context.Context, workers, n int, newScratch func() S,
 				if i >= n {
 					return
 				}
-				r, err := fn(scratch, i)
+				r, err := runTask(fn, scratch, i)
 				if err != nil {
 					errs[i] = err
 					stopped.Store(true)
@@ -200,7 +214,7 @@ func MapShardedWith[S, T any](ctx context.Context, workers, n int, shardOf func(
 						}
 					}
 				}
-				r, err := fn(scratch, i)
+				r, err := runTask(fn, scratch, i)
 				if err != nil {
 					errs[i] = err
 					stopped.Store(true)

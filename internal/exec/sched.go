@@ -2,9 +2,17 @@ package exec
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 )
+
+// ErrOverloaded is returned (wrapped) when an execution is refused
+// admission because the scheduler's in-flight limit is reached — the
+// load-shedding signal: the caller should surface the overload to its
+// client rather than queue unboundedly.
+var ErrOverloaded = errors.New("exec: scheduler overloaded, execution shed")
 
 // Scheduler is the serving layer's admission scheduler: one fixed pool of
 // worker goroutines that concurrent query executions share. Each admitted
@@ -31,6 +39,10 @@ type Scheduler struct {
 	inflight atomic.Int64
 	peak     atomic.Int64
 	tasksRun atomic.Int64
+	// limit bounds InFlight (0 = unlimited); admissions beyond it are
+	// shed with ErrOverloaded and counted in shed.
+	limit atomic.Int64
+	shed  atomic.Int64
 }
 
 // SchedStats is a snapshot of a scheduler's admission accounting.
@@ -47,6 +59,10 @@ type SchedStats struct {
 	PeakInFlight int64
 	// TasksRun counts fragment tasks executed by the pool.
 	TasksRun int64
+	// AdmitLimit is the in-flight admission bound (0 = unlimited).
+	AdmitLimit int64
+	// Shed counts executions refused admission with ErrOverloaded.
+	Shed int64
 }
 
 // NewScheduler starts a shared pool of `workers` goroutines (values below
@@ -78,7 +94,20 @@ func (s *Scheduler) Stats() SchedStats {
 		InFlight:        s.inflight.Load(),
 		PeakInFlight:    s.peak.Load(),
 		TasksRun:        s.tasksRun.Load(),
+		AdmitLimit:      s.limit.Load(),
+		Shed:            s.shed.Load(),
 	}
+}
+
+// SetLimit bounds the number of concurrently admitted executions:
+// admissions beyond n are refused with ErrOverloaded instead of queued.
+// Zero (the default) removes the bound. Safe to call at any time; the
+// new bound applies to subsequent admissions.
+func (s *Scheduler) SetLimit(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.limit.Store(int64(n))
 }
 
 // Close stops the pool's workers after the tasks of every admitted
@@ -89,19 +118,29 @@ func (s *Scheduler) Close() {
 	s.wg.Wait()
 }
 
-// admit registers one execution and returns its release func.
-func (s *Scheduler) admit() func() {
-	s.admitted.Add(1)
-	in := s.inflight.Add(1)
+// admit registers one execution and returns its release func, or sheds
+// it with ErrOverloaded when the in-flight limit is reached.
+func (s *Scheduler) admit() (func(), error) {
 	for {
-		p := s.peak.Load()
-		if in <= p || s.peak.CompareAndSwap(p, in) {
-			break
+		in := s.inflight.Load()
+		if lim := s.limit.Load(); lim > 0 && in >= lim {
+			s.shed.Add(1)
+			return nil, ErrOverloaded
 		}
-	}
-	return func() {
-		s.inflight.Add(-1)
-		s.done.Add(1)
+		if s.inflight.CompareAndSwap(in, in+1) {
+			in++
+			s.admitted.Add(1)
+			for {
+				p := s.peak.Load()
+				if in <= p || s.peak.CompareAndSwap(p, in) {
+					break
+				}
+			}
+			return func() {
+				s.inflight.Add(-1)
+				s.done.Add(1)
+			}, nil
+		}
 	}
 }
 
@@ -156,7 +195,10 @@ func mapOnOrdered[S, T any](ctx context.Context, s *Scheduler, n int, order []in
 		}
 		return nil, nil
 	}
-	release := s.admit()
+	release, err := s.admit()
+	if err != nil {
+		return nil, err
+	}
 	defer release()
 	var (
 		results = make([]T, n)
@@ -185,6 +227,14 @@ submit:
 			if stopped.Load() {
 				return
 			}
+			// A panicking task must poison only its own execution, never
+			// the shared pool: recover it into this task's error slot.
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("exec: task %d panicked: %v", i, r)
+					stopped.Store(true)
+				}
+			}()
 			if !made[w] {
 				scratches[w] = newScratch()
 				made[w] = true

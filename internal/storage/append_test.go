@@ -36,31 +36,33 @@ func sealSegments(t *testing.T, star *schema.Star, rowsPerSeg ...int) (*frag.Del
 func TestDeltaLogAppendAndReset(t *testing.T) {
 	star := schema.Tiny()
 	dir := t.TempDir()
-	l, err := OpenDeltaLog(dir, star)
+	l, recovered, err := OpenDeltaLog(dir, star)
 	if err != nil {
 		t.Fatal(err)
 	}
+	if len(recovered) != 0 {
+		t.Fatalf("fresh journal recovered %d records", len(recovered))
+	}
 	defer l.Close()
 	_, segs := sealSegments(t, star, 3, 70, 1)
-	var wantRows, wantPages int64
-	tpp := star.PageSize / TupleSize(star)
+	var wantRows, wantBytes int64
 	for _, seg := range segs {
-		if err := l.AppendSegment(seg); err != nil {
+		if err := l.AppendSegment(seg, false); err != nil {
 			t.Fatal(err)
 		}
 		wantRows += int64(seg.Rows())
-		wantPages += int64((seg.Rows() + tpp - 1) / tpp)
+		wantBytes += int64(recHeaderSize + seg.Rows()*TupleSize(star))
 	}
 	st := l.Stats()
-	if st.Segments != int64(len(segs)) || st.Rows != wantRows || st.Pages != wantPages {
-		t.Fatalf("stats = %+v, want {%d %d %d}", st, len(segs), wantRows, wantPages)
+	if st.Segments != int64(len(segs)) || st.Rows != wantRows || st.Bytes != wantBytes {
+		t.Fatalf("stats = %+v, want {%d %d %d}", st, len(segs), wantRows, wantBytes)
 	}
 	fi, err := os.Stat(filepath.Join(dir, deltaFileName))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if fi.Size() != wantPages*int64(star.PageSize) {
-		t.Fatalf("file size %d, want %d pages of %d", fi.Size(), wantPages, star.PageSize)
+	if fi.Size() != wantBytes {
+		t.Fatalf("file size %d, want %d", fi.Size(), wantBytes)
 	}
 
 	// Reset keeps only the still-live tail.
@@ -75,7 +77,7 @@ func TestDeltaLogAppendAndReset(t *testing.T) {
 
 func TestDeltaLogRoutesThroughDisks(t *testing.T) {
 	star := schema.Tiny()
-	l, err := OpenDeltaLog(t.TempDir(), star)
+	l, _, err := OpenDeltaLog(t.TempDir(), star)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +87,7 @@ func TestDeltaLogRoutesThroughDisks(t *testing.T) {
 	l.Attach(ds, pl)
 	_, segs := sealSegments(t, star, 5, 5, 5)
 	for _, seg := range segs {
-		if err := l.AppendSegment(seg); err != nil {
+		if err := l.AppendSegment(seg, false); err != nil {
 			t.Fatal(err)
 		}
 	}

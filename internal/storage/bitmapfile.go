@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -56,6 +57,11 @@ type BitmapFile struct {
 	// (see AttachPool on Store; the pool is shared with the fact store).
 	pool      *BufPool
 	poolEpoch int64
+	// sums holds one CRC32C per bitmap-file page, indexed by absolute page
+	// number — computed at build and verified on every physical read. The
+	// bitmap file is always rebuilt alongside its store, so the table lives
+	// in memory only.
+	sums []uint32
 }
 
 // AttachPool routes this file's payload reads through a shared buffer
@@ -159,9 +165,12 @@ func buildBitmaps(dirPath string, s *Store, icfg frag.IndexConfig, compress bool
 			}
 			buf := make([]byte, pages*bf.pageSize)
 			copy(buf, payload)
+			for p := 0; p < pages; p++ {
+				bf.sums = append(bf.sums, pageCRC(buf[p*bf.pageSize:(p+1)*bf.pageSize]))
+			}
 			if _, err := f.Write(buf); err != nil {
 				f.Close()
-				return nil, err
+				return nil, fmt.Errorf("storage: writing bitmap pages of fragment %d: %w", id, err)
 			}
 			pagesOf = append(pagesOf, int32(pages))
 			pageOff += int64(pages)
@@ -288,7 +297,7 @@ func (bf *BitmapFile) TotalPages() int64 {
 // ent is non-nil the data is pool-resident and pinned: the caller must
 // ent.Unpin() after decoding (the decode copies, so the pin is short).
 // Pool hit/miss accounting folds into st when non-nil.
-func (bf *BitmapFile) readPayload(buf []byte, fragID int64, di int, st *IOStats) (data, scratch []byte, pages int, ent *PoolEntry, err error) {
+func (bf *BitmapFile) readPayload(ctx context.Context, buf []byte, fragID int64, di int, st *IOStats) (data, scratch []byte, pages int, ent *PoolEntry, err error) {
 	base, ok := bf.loc[fragID]
 	if !ok {
 		return nil, buf, 0, nil, fmt.Errorf("storage: fragment %d has no bitmaps", fragID)
@@ -318,7 +327,7 @@ func (bf *BitmapFile) readPayload(buf []byte, fragID int64, di int, st *IOStats)
 		}
 		// Miss: read into a fresh buffer the pool can own.
 		fresh := make([]byte, n)
-		if err := bf.readPayloadAt(fresh, off, fragID, di, pages); err != nil {
+		if err := bf.readPayloadAt(ctx, fresh, off, fragID, di, pages); err != nil {
 			return nil, buf, 0, nil, err
 		}
 		if e := bf.pool.Add(key, fresh); e != nil {
@@ -331,33 +340,59 @@ func (bf *BitmapFile) readPayload(buf []byte, fragID int64, di int, st *IOStats)
 		buf = make([]byte, n)
 	}
 	buf = buf[:n]
-	if err := bf.readPayloadAt(buf, off, fragID, di, pages); err != nil {
+	if err := bf.readPayloadAt(ctx, buf, off, fragID, di, pages); err != nil {
 		return nil, buf, 0, nil, err
 	}
 	return buf, buf, pages, nil, nil
 }
 
 // readPayloadAt performs the physical read of a payload into dst — one
-// I/O through the disk queue (or the implicit single disk's delay).
-func (bf *BitmapFile) readPayloadAt(dst []byte, off int64, fragID int64, di, pages int) error {
+// I/O through the disk queue (or the implicit single disk's delay),
+// retried per the disk set's retry policy and verified against the
+// per-page checksum table (see fault.go).
+func (bf *BitmapFile) readPayloadAt(ctx context.Context, dst []byte, off int64, fragID int64, di, pages int) error {
+	byteOff := off * int64(bf.pageSize)
 	read := func() error {
-		_, err := bf.file.ReadAt(dst, off*int64(bf.pageSize))
-		return err
+		if bf.disks == nil {
+			if d := bf.ioDelay.Load(); d > 0 {
+				time.Sleep(time.Duration(d))
+			}
+		}
+		if _, err := bf.file.ReadAt(dst, byteOff); err != nil {
+			return fmt.Errorf("storage: reading bitmap %d of fragment %d at offset %d: %w", di, fragID, byteOff, err)
+		}
+		return nil
 	}
+	var verify func() error
+	if bf.sums != nil {
+		verify = func() error {
+			for i := 0; i < pages; i++ {
+				page := dst[i*bf.pageSize : (i+1)*bf.pageSize]
+				want := bf.sums[off+int64(i)]
+				if got := pageCRC(page); got != want {
+					return &FaultError{
+						File: "bitmaps", Frag: fragID, Offset: byteOff + int64(i*bf.pageSize), Kind: FaultChecksum,
+						Err: fmt.Errorf("page %d crc32c %08x != stored %08x", off+int64(i), got, want),
+					}
+				}
+			}
+			return nil
+		}
+	}
+	site := faultSite{file: "bitmaps", frag: fragID, off: byteOff}
+	disk := 0
 	if bf.disks != nil {
-		return bf.disks.do(bf.placement.BitmapDisk(fragID, di), pages, read)
+		disk = bf.placement.BitmapDisk(fragID, di)
 	}
-	if d := bf.ioDelay.Load(); d > 0 {
-		time.Sleep(time.Duration(d))
-	}
-	return read()
+	corrupt := func() { corruptPages(dst, bf.pageSize) }
+	return retryRead(ctx, bf.disks, disk, pages, site, read, corrupt, verify)
 }
 
 // ReadBitmapFragment reads (one physical I/O per page run) the bitmap
 // fragment identified by desc for the given fact fragment. It returns the
 // bitset and the number of pages read.
 func (bf *BitmapFile) ReadBitmapFragment(fragID int64, desc BitmapDesc) (*bitmap.Bitset, int, error) {
-	bs, _, pages, err := bf.readBitmapInto(nil, nil, fragID, desc, nil)
+	bs, _, pages, err := bf.readBitmapInto(context.Background(), nil, nil, fragID, desc, nil)
 	return bs, pages, err
 }
 
@@ -366,12 +401,12 @@ func (bf *BitmapFile) ReadBitmapFragment(fragID int64, desc BitmapDesc) (*bitmap
 // accounting (nil allowed). It returns the bitset, the grown page buffer
 // and the page count. Pool pins are released before returning — the
 // decode copies the payload into dst.
-func (bf *BitmapFile) readBitmapInto(dst *bitmap.Bitset, buf []byte, fragID int64, desc BitmapDesc, st *IOStats) (*bitmap.Bitset, []byte, int, error) {
+func (bf *BitmapFile) readBitmapInto(ctx context.Context, dst *bitmap.Bitset, buf []byte, fragID int64, desc BitmapDesc, st *IOStats) (*bitmap.Bitset, []byte, int, error) {
 	di := bf.descIndex(desc)
 	if di < 0 {
 		return nil, buf, 0, fmt.Errorf("storage: bitmap %+v not stored (eliminated by the fragmentation?)", desc)
 	}
-	data, buf, pages, ent, err := bf.readPayload(buf, fragID, di, st)
+	data, buf, pages, ent, err := bf.readPayload(ctx, buf, fragID, di, st)
 	if err != nil {
 		return nil, buf, 0, err
 	}
@@ -396,7 +431,7 @@ func (bf *BitmapFile) readBitmapInto(dst *bitmap.Bitset, buf []byte, fragID int6
 // entry point of the compressed execution fast path. The file must have
 // been built with compression.
 func (bf *BitmapFile) ReadCompressedFragment(fragID int64, desc BitmapDesc) (*bitmap.Compressed, int, error) {
-	c, _, pages, err := bf.readCompressedInto(nil, nil, fragID, desc, nil)
+	c, _, pages, err := bf.readCompressedInto(context.Background(), nil, nil, fragID, desc, nil)
 	return c, pages, err
 }
 
@@ -404,7 +439,7 @@ func (bf *BitmapFile) ReadCompressedFragment(fragID int64, desc BitmapDesc) (*bi
 // (allocated when nil) with buf as the reusable page buffer and st
 // receiving the pool accounting (nil allowed). Pool pins are released
 // before returning — the decode copies the words into dst.
-func (bf *BitmapFile) readCompressedInto(dst *bitmap.Compressed, buf []byte, fragID int64, desc BitmapDesc, st *IOStats) (*bitmap.Compressed, []byte, int, error) {
+func (bf *BitmapFile) readCompressedInto(ctx context.Context, dst *bitmap.Compressed, buf []byte, fragID int64, desc BitmapDesc, st *IOStats) (*bitmap.Compressed, []byte, int, error) {
 	if !bf.compressed {
 		return nil, buf, 0, fmt.Errorf("storage: bitmap file is not compressed")
 	}
@@ -412,7 +447,7 @@ func (bf *BitmapFile) readCompressedInto(dst *bitmap.Compressed, buf []byte, fra
 	if di < 0 {
 		return nil, buf, 0, fmt.Errorf("storage: bitmap %+v not stored (eliminated by the fragmentation?)", desc)
 	}
-	data, buf, pages, ent, err := bf.readPayload(buf, fragID, di, st)
+	data, buf, pages, ent, err := bf.readPayload(ctx, buf, fragID, di, st)
 	if err != nil {
 		return nil, buf, 0, err
 	}

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,10 +25,14 @@ import (
 // fact fragments, as in Figure 2.
 type DiskSet struct {
 	disks []diskQueue
+	// retry holds the read retry policy override (nil means defaults); see
+	// fault.go for the retry/breaker machinery.
+	retry atomic.Pointer[RetryPolicy]
 }
 
 // diskQueue is one virtual disk: a mutex serializing its accesses, an
-// atomically adjustable per-access delay, and access counters.
+// atomically adjustable per-access delay, access counters, and the
+// disk's fault state (plan + PRNG, sticky failure, circuit breaker).
 type diskQueue struct {
 	mu    sync.Mutex
 	delay atomic.Int64 // simulated access time, ns
@@ -38,11 +43,24 @@ type diskQueue struct {
 	// queue: a pool hit costs no disk time by construction.
 	poolHits  atomic.Int64
 	poolPages atomic.Int64
-	_         [3]int64 // keep queues off each other's cache line
+
+	// Fault machinery (fault.go). plan/rng/corruptNext are guarded by mu;
+	// the breaker has its own mutex so open-state checks never queue
+	// behind a slow access.
+	plan   *FaultPlan
+	rng    *rand.Rand
+	failed atomic.Bool
+	brk    breaker
+
+	// Resilience counters.
+	retries       atomic.Int64 // re-read attempts after a failed read
+	trips         atomic.Int64 // breaker open transitions
+	checksumFails atomic.Int64 // pages whose CRC32C did not match
+	injected      atomic.Int64 // faults injected by the plan
 }
 
 // DiskStats is one disk's access counters — the observable per-disk load
-// used to measure allocation balance.
+// used to measure allocation balance, plus its resilience counters.
 type DiskStats struct {
 	IOs   int64
 	Pages int64
@@ -51,6 +69,14 @@ type DiskStats struct {
 	// them to). IOs/Pages stay purely physical.
 	PoolHits  int64
 	PoolPages int64
+	// Retries counts re-read attempts after failed reads, BreakerTrips the
+	// times this disk's circuit breaker opened, ChecksumFailures the pages
+	// whose CRC32C did not match, and InjectedFaults the faults the active
+	// FaultPlan injected.
+	Retries          int64
+	BreakerTrips     int64
+	ChecksumFailures int64
+	InjectedFaults   int64
 }
 
 // NewDiskSet builds a set of d idle virtual disks (d >= 1).
@@ -86,10 +112,14 @@ func (ds *DiskSet) Stats() []DiskStats {
 	out := make([]DiskStats, len(ds.disks))
 	for i := range ds.disks {
 		out[i] = DiskStats{
-			IOs:       ds.disks[i].ios.Load(),
-			Pages:     ds.disks[i].pages.Load(),
-			PoolHits:  ds.disks[i].poolHits.Load(),
-			PoolPages: ds.disks[i].poolPages.Load(),
+			IOs:              ds.disks[i].ios.Load(),
+			Pages:            ds.disks[i].pages.Load(),
+			PoolHits:         ds.disks[i].poolHits.Load(),
+			PoolPages:        ds.disks[i].poolPages.Load(),
+			Retries:          ds.disks[i].retries.Load(),
+			BreakerTrips:     ds.disks[i].trips.Load(),
+			ChecksumFailures: ds.disks[i].checksumFails.Load(),
+			InjectedFaults:   ds.disks[i].injected.Load(),
 		}
 	}
 	return out
@@ -102,6 +132,10 @@ func (ds *DiskSet) ResetStats() {
 		ds.disks[i].pages.Store(0)
 		ds.disks[i].poolHits.Store(0)
 		ds.disks[i].poolPages.Store(0)
+		ds.disks[i].retries.Store(0)
+		ds.disks[i].trips.Store(0)
+		ds.disks[i].checksumFails.Store(0)
+		ds.disks[i].injected.Store(0)
 	}
 }
 

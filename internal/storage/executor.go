@@ -237,7 +237,7 @@ func (e *Executor) ExecuteGroupedDeltas(ctx context.Context, q frag.Query, delta
 				p.fp.Groups = kernel.NewGrouped()
 			}
 		}
-		if err := e.processFragment(ids[i], q, &p, sc, base, perRow); err != nil {
+		if err := e.processFragment(ctx, ids[i], q, &p, sc, base, perRow); err != nil {
 			return partial{}, err
 		}
 		if !deltas.Empty() {
@@ -293,17 +293,20 @@ func (e *Executor) ExecuteGroupedDeltas(ctx context.Context, q frag.Query, delta
 // fragments are read as raw WAH words, intersected by one run-skipping
 // AndAll (complemented operands folded in via AndNot), and the hit rows
 // stream out of the compressed result — nothing is ever decompressed.
-func (e *Executor) processFragment(id int64, q frag.Query, p *partial, sc *execScratch, base uint64, perRow []kernel.RowLevel) error {
+func (e *Executor) processFragment(ctx context.Context, id int64, q frag.Query, p *partial, sc *execScratch, base uint64, perRow []kernel.RowLevel) error {
 	loc, ok := e.store.Loc(id)
 	if !ok {
 		return nil // no rows at this density
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	ta := &tupleAcc{agg: &p.fp.Agg, st: &p.st, base: base, perRow: perRow}
 	if len(perRow) != 0 {
 		ta.g = p.fp.Groups
 	}
 	if e.bitmaps.compressed {
-		return e.processFragmentCompressed(id, loc, q, ta, sc)
+		return e.processFragmentCompressed(ctx, id, loc, q, ta, sc)
 	}
 	spec := e.store.spec
 
@@ -313,7 +316,7 @@ func (e *Executor) processFragment(id int64, q frag.Query, p *partial, sc *execS
 		if !spec.NeedsBitmap(pr) {
 			continue
 		}
-		pages, err := e.selectPred(id, pr, &p.st, sc, first)
+		pages, err := e.selectPred(ctx, id, pr, &p.st, sc, first)
 		if err != nil {
 			return err
 		}
@@ -323,15 +326,15 @@ func (e *Executor) processFragment(id int64, q frag.Query, p *partial, sc *execS
 
 	if first {
 		// IOC1: every page of the fragment is read with full prefetch.
-		return e.scanWhole(id, loc, ta, sc)
+		return e.scanWhole(ctx, id, loc, ta, sc)
 	}
-	return e.readHits(id, loc, sc.hits, ta, sc)
+	return e.readHits(ctx, id, loc, sc.hits, ta, sc)
 }
 
 // selectPred evaluates one predicate via the stored bitmap fragments,
 // ANDing the selection into sc.hits (or initialising it when first). It
 // returns the number of bitmap pages read.
-func (e *Executor) selectPred(id int64, p frag.Pred, st *IOStats, sc *execScratch, first bool) (int, error) {
+func (e *Executor) selectPred(ctx context.Context, id int64, p frag.Pred, st *IOStats, sc *execScratch, first bool) (int, error) {
 	star := e.store.star
 	dim := &star.Dims[p.Dim]
 	if e.bitmaps.icfg[p.Dim].Kind == frag.SimpleIndexes {
@@ -341,7 +344,7 @@ func (e *Executor) selectPred(id int64, p frag.Pred, st *IOStats, sc *execScratc
 		}
 		var pages int
 		var err error
-		_, sc.bbuf, pages, err = e.bitmaps.readBitmapInto(dst, sc.bbuf, id, BitmapDesc{Dim: p.Dim, Level: p.Level, Member: p.Member, Simple: true}, st)
+		_, sc.bbuf, pages, err = e.bitmaps.readBitmapInto(ctx, dst, sc.bbuf, id, BitmapDesc{Dim: p.Dim, Level: p.Level, Member: p.Member, Simple: true}, st)
 		st.BitmapIOs++
 		if err != nil {
 			return pages, err
@@ -372,7 +375,7 @@ func (e *Executor) selectPred(id int64, p frag.Pred, st *IOStats, sc *execScratc
 		}
 		var pages int
 		var err error
-		_, sc.bbuf, pages, err = e.bitmaps.readBitmapInto(dst, sc.bbuf, id, BitmapDesc{Dim: p.Dim, Bit: b}, st)
+		_, sc.bbuf, pages, err = e.bitmaps.readBitmapInto(ctx, dst, sc.bbuf, id, BitmapDesc{Dim: p.Dim, Bit: b}, st)
 		if err != nil {
 			return pagesTotal, err
 		}
@@ -399,7 +402,7 @@ func (e *Executor) selectPred(id int64, p frag.Pred, st *IOStats, sc *execScratc
 // all verbatim ones with a single k-way AndAll, fold complements in with
 // run-skipping AndNot, and drive the prefetch-granule fact reads from the
 // compressed result's range iterator.
-func (e *Executor) processFragmentCompressed(id int64, loc FragLoc, q frag.Query, ta *tupleAcc, sc *execScratch) error {
+func (e *Executor) processFragmentCompressed(ctx context.Context, id int64, loc FragLoc, q frag.Query, ta *tupleAcc, sc *execScratch) error {
 	star := e.store.star
 	spec := e.store.spec
 	st := ta.st
@@ -410,7 +413,7 @@ func (e *Executor) processFragmentCompressed(id int64, loc FragLoc, q frag.Query
 		nread++
 		var pages int
 		var err error
-		_, sc.bbuf, pages, err = e.bitmaps.readCompressedInto(c, sc.bbuf, id, desc, st)
+		_, sc.bbuf, pages, err = e.bitmaps.readCompressedInto(ctx, c, sc.bbuf, id, desc, st)
 		if err != nil {
 			return nil, err
 		}
@@ -456,7 +459,7 @@ func (e *Executor) processFragmentCompressed(id int64, loc FragLoc, q frag.Query
 
 	if !anyBitmap {
 		// IOC1: every page of the fragment is read with full prefetch.
-		return e.scanWhole(id, loc, ta, sc)
+		return e.scanWhole(ctx, id, loc, ta, sc)
 	}
 	var res *bitmap.Compressed
 	if len(pos) > 0 {
@@ -474,17 +477,17 @@ func (e *Executor) processFragmentCompressed(id int64, loc FragLoc, q frag.Query
 	if !res.Any() {
 		return nil // empty intersection: no fact page is touched
 	}
-	return e.readHitsCompressed(id, loc, res, ta, sc)
+	return e.readHitsCompressed(ctx, id, loc, res, ta, sc)
 }
 
 // scanWhole aggregates every tuple of the fragment, reading it in
 // prefetch-granule runs with the next granule read in flight while the
 // current one aggregates.
-func (e *Executor) scanWhole(id int64, loc FragLoc, ta *tupleAcc, sc *execScratch) error {
+func (e *Executor) scanWhole(ctx context.Context, id int64, loc FragLoc, ta *tupleAcc, sc *execScratch) error {
 	tpp := TuplesPerPage(e.store.star)
 	sc.gran = appendWholeGranules(sc.gran[:0], int(loc.Pages), e.PrefetchFact)
 	remaining := int(loc.Rows)
-	return e.forEachGranule(sc, ta.st, id, sc.gran, func(g granule, buf []byte) {
+	return e.forEachGranule(ctx, sc, ta.st, id, sc.gran, func(g granule, buf []byte) {
 		for p := 0; p < int(g.count); p++ {
 			n := tpp
 			if remaining < n {
@@ -504,7 +507,7 @@ func (e *Executor) scanWhole(id int64, loc FragLoc, ta *tupleAcc, sc *execScratc
 // readHits reads only the prefetch granules containing hit rows (the
 // prefetch-efficiency effect of Section 4.5), prefetching one granule
 // ahead of aggregation.
-func (e *Executor) readHits(id int64, loc FragLoc, hits *bitmap.Bitset, ta *tupleAcc, sc *execScratch) error {
+func (e *Executor) readHits(ctx context.Context, id int64, loc FragLoc, hits *bitmap.Bitset, ta *tupleAcc, sc *execScratch) error {
 	tpp := TuplesPerPage(e.store.star)
 	g := e.PrefetchFact
 	granules := int(math.Ceil(float64(loc.Pages) / float64(g)))
@@ -523,7 +526,7 @@ func (e *Executor) readHits(id int64, loc FragLoc, hits *bitmap.Bitset, ta *tupl
 		sc.gran = append(sc.gran, granule{start: int32(start), count: int32(count)})
 		next = hits.NextSet(rowHi) // first hit beyond this granule
 	}
-	return e.forEachGranule(sc, ta.st, id, sc.gran, func(g granule, buf []byte) {
+	return e.forEachGranule(ctx, sc, ta.st, id, sc.gran, func(g granule, buf []byte) {
 		rowLo := int(g.start) * tpp
 		rowHi := rowLo + int(g.count)*tpp
 		if rowHi > int(loc.Rows) {
@@ -544,7 +547,7 @@ func (e *Executor) readHits(id int64, loc FragLoc, hits *bitmap.Bitset, ta *tupl
 // materialised path skips them), the prefetch pipeline reads them ahead,
 // and a second streaming pass aggregates the hit rows as the granule
 // buffers arrive in order.
-func (e *Executor) readHitsCompressed(id int64, loc FragLoc, hits *bitmap.Compressed, ta *tupleAcc, sc *execScratch) error {
+func (e *Executor) readHitsCompressed(ctx context.Context, id int64, loc FragLoc, hits *bitmap.Compressed, ta *tupleAcc, sc *execScratch) error {
 	tpp := TuplesPerPage(e.store.star)
 	g := e.PrefetchFact
 	rowsPerGranule := g * tpp
@@ -564,7 +567,7 @@ func (e *Executor) readHitsCompressed(id int64, loc FragLoc, hits *bitmap.Compre
 			sc.gran = append(sc.gran, granule{start: int32(start), count: int32(count)})
 		}
 	})
-	pipe := e.startGranules(sc, ta.st, id, sc.gran)
+	pipe := e.startGranules(ctx, sc, ta.st, id, sc.gran)
 	var buf []byte
 	var readErr error
 	loaded := -1 // granule index of buf

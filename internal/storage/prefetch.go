@@ -1,5 +1,7 @@
 package storage
 
+import "context"
+
 // Async granule prefetch: the executor's fact reads are issued one
 // prefetch granule ahead of aggregation, so the disk (or the simulated
 // per-disk queue) works on granule g+1 while the CPU unpacks and
@@ -41,6 +43,7 @@ type gread struct {
 // channels and the two pipeline buffers persist.
 type granulePipe struct {
 	e      *Executor
+	ctx    context.Context
 	sc     *execScratch
 	st     *IOStats
 	id     int64
@@ -56,9 +59,9 @@ type granulePipe struct {
 // startGranules begins reading the fragment's granules in list order.
 // Async prefetch engages when enabled and there is more than one granule
 // (a single granule has nothing to overlap with).
-func (e *Executor) startGranules(sc *execScratch, st *IOStats, id int64, grans []granule) *granulePipe {
+func (e *Executor) startGranules(ctx context.Context, sc *execScratch, st *IOStats, id int64, grans []granule) *granulePipe {
 	p := &sc.gpipe
-	*p = granulePipe{e: e, sc: sc, st: st, id: id, grans: grans,
+	*p = granulePipe{e: e, ctx: ctx, sc: sc, st: st, id: id, grans: grans,
 		pooled: e.store.pool != nil,
 		async:  e.AsyncPrefetch && len(grans) > 1}
 	if p.async {
@@ -91,7 +94,7 @@ func (p *granulePipe) reader() {
 	if p.pooled {
 		for _, g := range p.grans {
 			<-p.sc.tok
-			buf, ent, hit, err := p.e.store.ReadGranule(nil, p.id, int(g.start), int(g.count))
+			buf, ent, hit, err := p.e.store.ReadGranuleCtx(p.ctx, nil, p.id, int(g.start), int(g.count))
 			p.sc.filled <- gread{buf: buf, ent: ent, hit: hit, err: err}
 			if err != nil {
 				return
@@ -101,7 +104,7 @@ func (p *granulePipe) reader() {
 	}
 	for _, g := range p.grans {
 		buf := <-p.sc.free
-		buf, err := p.e.store.ReadPagesInto(buf, p.id, int(g.start), int(g.count))
+		buf, err := p.e.store.ReadPagesCtx(p.ctx, buf, p.id, int(g.start), int(g.count))
 		p.sc.filled <- gread{buf: buf, err: err}
 		if err != nil {
 			return
@@ -159,13 +162,13 @@ func (p *granulePipe) next() (granule, []byte, error) {
 		buf = r.buf
 	case p.pooled:
 		var err error
-		buf, p.pent, hit, err = p.e.store.ReadGranule(nil, p.id, int(g.start), int(g.count))
+		buf, p.pent, hit, err = p.e.store.ReadGranuleCtx(p.ctx, nil, p.id, int(g.start), int(g.count))
 		if err != nil {
 			return g, nil, err
 		}
 	default:
 		var err error
-		p.sc.page, err = p.e.store.ReadPagesInto(p.sc.page, p.id, int(g.start), int(g.count))
+		p.sc.page, err = p.e.store.ReadPagesCtx(p.ctx, p.sc.page, p.id, int(g.start), int(g.count))
 		if err != nil {
 			return g, nil, err
 		}
@@ -199,8 +202,8 @@ func (p *granulePipe) finish() {
 
 // forEachGranule streams the granule list through the pipe, calling fn
 // with each granule and its pages.
-func (e *Executor) forEachGranule(sc *execScratch, st *IOStats, id int64, grans []granule, fn func(g granule, buf []byte)) error {
-	p := e.startGranules(sc, st, id, grans)
+func (e *Executor) forEachGranule(ctx context.Context, sc *execScratch, st *IOStats, id int64, grans []granule, fn func(g granule, buf []byte)) error {
+	p := e.startGranules(ctx, sc, st, id, grans)
 	for range grans {
 		g, buf, err := p.next()
 		if err != nil {

@@ -12,6 +12,7 @@
 package storage
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"os"
@@ -31,6 +32,9 @@ const (
 	metaFileName = "meta.dat"
 	magic        = 0x4d444846 // "MDHF"
 	formatV1     = 1
+	// formatV2 appends a per-page CRC32C table to the meta file; pages are
+	// verified against it on every physical read (see fault.go).
+	formatV2 = 2
 )
 
 // FragLoc locates one fact fragment inside the fact file.
@@ -62,6 +66,10 @@ type Store struct {
 	// (see AttachPool and ReadGranule).
 	pool      *BufPool
 	poolEpoch int64
+	// sums holds one CRC32C per fact-file page, indexed by absolute page
+	// number — computed at Build, persisted in the formatV2 meta file, and
+	// verified on every physical read (nil for pre-checksum V1 stores).
+	sums []uint32
 }
 
 // AttachPool routes this store's granule reads through a shared buffer
@@ -154,9 +162,10 @@ func Build(dirPath string, t *data.Table, spec *frag.Spec) (*Store, error) {
 			for _, ri := range rows[lo:hi] {
 				off = encodeTuple(page, off, t, int(ri))
 			}
+			s.sums = append(s.sums, pageCRC(page))
 			if _, err := f.Write(page); err != nil {
 				f.Close()
-				return nil, err
+				return nil, fmt.Errorf("storage: writing fact page %d of fragment %d: %w", p, id, err)
 			}
 		}
 		pageOff += int64(pages)
@@ -202,7 +211,8 @@ func (s *Store) decodeTuple(page []byte, off int, keys []uint16) (Tuple, int) {
 }
 
 // writeMeta persists the directory: magic, version, page size, #frags,
-// then (id, pageOff, pages, rows) per fragment.
+// then (id, pageOff, pages, rows) per fragment, then (formatV2) the
+// per-page CRC32C table: a page count followed by one uint32 per page.
 func (s *Store) writeMeta(dirPath string) error {
 	f, err := os.Create(filepath.Join(dirPath, metaFileName))
 	if err != nil {
@@ -217,7 +227,7 @@ func (s *Store) writeMeta(dirPath string) error {
 		}
 		return nil
 	}
-	if err := w(magic, formatV1, int64(s.pageSize), int64(len(s.order))); err != nil {
+	if err := w(magic, formatV2, int64(s.pageSize), int64(len(s.order))); err != nil {
 		return err
 	}
 	for _, id := range s.order {
@@ -226,7 +236,10 @@ func (s *Store) writeMeta(dirPath string) error {
 			return err
 		}
 	}
-	return nil
+	if err := w(int64(len(s.sums))); err != nil {
+		return err
+	}
+	return binary.Write(f, binary.LittleEndian, s.sums)
 }
 
 // Open reopens a store built earlier in dirPath. star and spec must match
@@ -247,7 +260,7 @@ func Open(dirPath string, star *schema.Star, spec *frag.Spec) (*Store, error) {
 		return nil, fmt.Errorf("storage: bad meta file (magic %x)", mg)
 	}
 	ver, _ := r()
-	if ver != formatV1 {
+	if ver != formatV1 && ver != formatV2 {
 		return nil, fmt.Errorf("storage: unsupported format %d", ver)
 	}
 	ps, _ := r()
@@ -278,6 +291,16 @@ func Open(dirPath string, star *schema.Star, spec *frag.Spec) (*Store, error) {
 		}
 		s.dir[id] = FragLoc{PageOff: off, Pages: int32(pages), Rows: int32(rows)}
 		s.order = append(s.order, id)
+	}
+	if ver >= formatV2 {
+		npages, err := r()
+		if err != nil {
+			return nil, fmt.Errorf("storage: reading checksum table length: %w", err)
+		}
+		s.sums = make([]uint32, npages)
+		if err := binary.Read(mf, binary.LittleEndian, s.sums); err != nil {
+			return nil, fmt.Errorf("storage: reading checksum table: %w", err)
+		}
 	}
 	f, err := os.Open(filepath.Join(dirPath, factFileName))
 	if err != nil {
@@ -312,35 +335,70 @@ func (s *Store) ReadPages(id int64, start, count int) ([]byte, error) {
 // (allocating otherwise) — the buffer-reuse variant for the executor's
 // per-worker scratch. It returns the filled slice.
 func (s *Store) ReadPagesInto(buf []byte, id int64, start, count int) ([]byte, error) {
+	return s.ReadPagesCtx(context.Background(), buf, id, start, count)
+}
+
+// ReadPagesCtx is ReadPagesInto under a context: the physical read runs
+// under the retry policy (backoff between attempts is context-aware and
+// a cancelled ctx stops the read before it queues on the disk), every
+// page is verified against its stored CRC32C, and failures surface as
+// typed *FaultError values locating the disk, file, fragment and byte
+// offset.
+func (s *Store) ReadPagesCtx(ctx context.Context, buf []byte, id int64, start, count int) ([]byte, error) {
 	loc, ok := s.dir[id]
 	if !ok {
 		return nil, fmt.Errorf("storage: fragment %d not stored", id)
 	}
 	if start < 0 || start+count > int(loc.Pages) {
-		return nil, fmt.Errorf("storage: pages [%d,%d) out of fragment's %d", start, start+count, loc.Pages)
+		return nil, fmt.Errorf("storage: fragment %d pages [%d,%d) out of fragment's %d", id, start, start+count, loc.Pages)
 	}
 	n := count * s.pageSize
 	if cap(buf) < n {
 		buf = make([]byte, n)
 	}
 	buf = buf[:n]
+	absPage := loc.PageOff + int64(start)
+	byteOff := absPage * int64(s.pageSize)
 	read := func() error {
-		_, err := s.file.ReadAt(buf, (loc.PageOff+int64(start))*int64(s.pageSize))
-		return err
-	}
-	var err error
-	if s.disks != nil {
-		err = s.disks.do(s.placement.FactDisk(id), count, read)
-	} else {
-		if d := s.ioDelay.Load(); d > 0 {
-			time.Sleep(time.Duration(d))
+		if s.disks == nil {
+			if d := s.ioDelay.Load(); d > 0 {
+				time.Sleep(time.Duration(d))
+			}
 		}
-		err = read()
+		if _, err := s.file.ReadAt(buf, byteOff); err != nil {
+			return fmt.Errorf("storage: reading %d fact pages of fragment %d at offset %d: %w", count, id, byteOff, err)
+		}
+		return nil
 	}
-	if err != nil {
+	var verify func() error
+	if s.sums != nil {
+		verify = func() error { return s.verifyPages(buf, absPage, id, byteOff) }
+	}
+	site := faultSite{file: "fact", frag: id, off: byteOff}
+	disk := 0
+	if s.disks != nil {
+		disk = s.placement.FactDisk(id)
+	}
+	corrupt := func() { corruptPages(buf, s.pageSize) }
+	if err := retryRead(ctx, s.disks, disk, count, site, read, corrupt, verify); err != nil {
 		return nil, err
 	}
 	return buf, nil
+}
+
+// verifyPages checks each page of buf against the checksum table.
+func (s *Store) verifyPages(buf []byte, absPage, id int64, byteOff int64) error {
+	for i := 0; i*s.pageSize < len(buf); i++ {
+		page := buf[i*s.pageSize : (i+1)*s.pageSize]
+		want := s.sums[absPage+int64(i)]
+		if got := pageCRC(page); got != want {
+			return &FaultError{
+				File: "fact", Frag: id, Offset: byteOff + int64(i*s.pageSize), Kind: FaultChecksum,
+				Err: fmt.Errorf("page %d crc32c %08x != stored %08x", absPage+int64(i), got, want),
+			}
+		}
+	}
+	return nil
 }
 
 // ReadGranule is the pool-aware ReadPagesInto used by the executor's
@@ -353,8 +411,15 @@ func (s *Store) ReadPagesInto(buf []byte, id int64, start, count int) ([]byte, e
 // data as scratch); when ent is nil the data is the caller's private
 // buffer. hit reports whether the pool served the read.
 func (s *Store) ReadGranule(buf []byte, id int64, start, count int) (data []byte, ent *PoolEntry, hit bool, err error) {
+	return s.ReadGranuleCtx(context.Background(), buf, id, start, count)
+}
+
+// ReadGranuleCtx is ReadGranule under a context (see ReadPagesCtx for
+// the retry/verification semantics of the miss path; pool hits never
+// touch the disk and need no verification).
+func (s *Store) ReadGranuleCtx(ctx context.Context, buf []byte, id int64, start, count int) (data []byte, ent *PoolEntry, hit bool, err error) {
 	if s.pool == nil {
-		data, err = s.ReadPagesInto(buf, id, start, count)
+		data, err = s.ReadPagesCtx(ctx, buf, id, start, count)
 		return data, nil, false, err
 	}
 	key := PoolKey{Epoch: s.poolEpoch, File: PoolFact, Frag: id, Off: int32(start), Len: int32(count)}
@@ -366,7 +431,7 @@ func (s *Store) ReadGranule(buf []byte, id int64, start, count int) (data []byte
 	}
 	// Miss: read into a fresh buffer the pool can take ownership of (the
 	// caller's scratch would be overwritten by its next read).
-	data, err = s.ReadPagesInto(make([]byte, 0, count*s.pageSize), id, start, count)
+	data, err = s.ReadPagesCtx(ctx, make([]byte, 0, count*s.pageSize), id, start, count)
 	if err != nil {
 		return nil, nil, false, err
 	}

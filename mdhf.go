@@ -261,6 +261,54 @@ type (
 // NewDiskSet builds a set of d idle virtual disks.
 func NewDiskSet(d int) *DiskSet { return storage.NewDiskSet(d) }
 
+// Fault tolerance: deterministic fault injection on the disk set, typed
+// fault errors, and the retry/circuit-breaker policy every physical read
+// runs under (see WithFaultPlan, WithRetryPolicy, WithAdmissionLimit and
+// WithQueryDeadline).
+type (
+	// FaultPlan is a deterministic, seedable disk-fault plan: transient
+	// read errors, latency spikes, corrupt pages, and sticky disk
+	// failures.
+	FaultPlan = storage.FaultPlan
+	// FaultError is the typed error wrapping every physical-read failure
+	// with its disk, file, fragment, offset and fault kind; unwrap with
+	// errors.As.
+	FaultError = storage.FaultError
+	// FaultKind classifies a FaultError.
+	FaultKind = storage.FaultKind
+	// RetryPolicy bounds the retry/backoff/circuit-breaker behaviour of
+	// physical reads.
+	RetryPolicy = storage.RetryPolicy
+)
+
+// Fault kinds.
+const (
+	// FaultTransient is a read error that may succeed on retry.
+	FaultTransient = storage.FaultTransient
+	// FaultChecksum is a page whose CRC32C did not match.
+	FaultChecksum = storage.FaultChecksum
+	// FaultDiskFailed is a read against a disk marked failed.
+	FaultDiskFailed = storage.FaultDiskFailed
+	// FaultBreakerOpen is a read refused because the disk's circuit
+	// breaker is open (not retried: fail fast).
+	FaultBreakerOpen = storage.FaultBreakerOpen
+)
+
+// ErrOverloaded is returned by Execute when the warehouse's admission
+// limit is reached and the execution is shed (see WithAdmissionLimit).
+var ErrOverloaded = exec.ErrOverloaded
+
+// DefaultRetryPolicy returns the retry policy physical reads run under
+// when WithRetryPolicy is not given: 6 attempts with full-jitter
+// exponential backoff, breaker opening after 3 consecutively exhausted
+// reads.
+func DefaultRetryPolicy() RetryPolicy { return storage.DefaultRetryPolicy() }
+
+// SetChecksumVerification toggles page-checksum verification on reads
+// globally (default on). Disabling it is meant for measuring the
+// checksum overhead in benchmarks, not for production use.
+func SetChecksumVerification(on bool) { storage.SetChecksumVerification(on) }
+
 // DeclusterStore shards a store's fact fragments and its bitmap file's
 // bitmap fragments across one new DiskSet per the placement (Figure 2:
 // round-robin or gap fact placement, staggered or co-located bitmaps).

@@ -6,6 +6,7 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/cost"
 	"repro/internal/simpad"
+	"repro/internal/storage"
 )
 
 // Option configures a Warehouse at Open time.
@@ -28,6 +29,10 @@ type options struct {
 	autoCompact int
 	poolBytes   int64
 	resultCache int
+	faultPlan   *storage.FaultPlan
+	retry       *storage.RetryPolicy
+	admitLimit  int
+	deadline    time.Duration
 }
 
 func defaultOptions() options {
@@ -165,6 +170,55 @@ func WithResultCache(entries int) Option {
 			entries = 0
 		}
 		o.resultCache = entries
+	}
+}
+
+// WithFaultPlan installs a deterministic, seedable fault plan on the
+// warehouse's disk set: transient read errors, latency spikes, corrupt
+// pages and sticky disk failures are injected at the configured rates,
+// and every physical read runs under the retry policy with per-page
+// CRC32C verification and per-disk circuit breaking. Implies the
+// on-disk backend (a single-disk set when WithDisks was not given).
+// With retries on, query results under a transient/corrupt plan are
+// byte-identical to the fault-free run; ServingStats and DiskStats
+// report Retries/BreakerTrips/ChecksumFailures/InjectedFaults.
+func WithFaultPlan(plan FaultPlan) Option {
+	return func(o *options) {
+		o.onDisk = true
+		o.faultPlan = &plan
+	}
+}
+
+// WithRetryPolicy overrides the physical-read retry policy (attempts,
+// backoff, circuit-breaker threshold and cooldown). Zero fields keep
+// their defaults (see DefaultRetryPolicy). Implies the on-disk backend.
+func WithRetryPolicy(p RetryPolicy) Option {
+	return func(o *options) {
+		o.onDisk = true
+		o.retry = &p
+	}
+}
+
+// WithAdmissionLimit bounds the number of concurrently admitted query
+// executions: executions beyond the limit are shed immediately with
+// ErrOverloaded instead of queueing unboundedly — the warehouse stays
+// responsive for the admitted load. Zero (the default) means unbounded.
+func WithAdmissionLimit(n int) Option {
+	return func(o *options) { o.admitLimit = n }
+}
+
+// WithQueryDeadline enforces a per-query deadline on every Execute: the
+// execution's context is bounded to d, so a query stuck behind failing
+// disks or a deep queue fails with context.DeadlineExceeded instead of
+// hanging its caller. Zero (the default) means no deadline; an explicit
+// deadline on the caller's own context always applies too (whichever
+// expires first wins).
+func WithQueryDeadline(d time.Duration) Option {
+	return func(o *options) {
+		if d < 0 {
+			d = 0
+		}
+		o.deadline = d
 	}
 }
 

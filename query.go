@@ -167,10 +167,24 @@ func (p *PreparedQuery) Explain(ctx context.Context) (Explain, error) {
 	// analytical estimate vary with the host's core count. Callers
 	// wanting the worker-limited critical path can call EstimateResponse
 	// with an explicit DiskParams.Workers.
-	ex.Response = cost.EstimateResponse(w.spec, w.icfg, p.q, w.opt.params, cost.DiskParams{
+	dp := cost.DiskParams{
 		Placement:  w.modelPlacement(),
 		AccessTime: w.modelAccessTime(),
-	})
+	}
+	if plan := w.opt.faultPlan; plan != nil {
+		// Degraded-disk response: under a fault plan every read costs
+		// RetryFactor(p) expected attempts, so each disk's queue deepens by
+		// that factor (a permanently failed disk fails queries instead of
+		// slowing them, so it is not modelled here).
+		f := cost.RetryFactor(plan.ReadErrorRate + plan.CorruptRate)
+		if f > 1 {
+			dp.Degraded = make(map[int]float64, dp.Placement.Disks)
+			for k := 0; k < dp.Placement.Disks; k++ {
+				dp.Degraded[k] = f
+			}
+		}
+	}
+	ex.Response = cost.EstimateResponse(w.spec, w.icfg, p.q, w.opt.params, dp)
 	plan := simpad.NewPlan(w.spec, w.icfg, p.q, w.opt.simCfg)
 	if w.opt.cluster > 1 {
 		plan = plan.Clustered(w.opt.cluster)
@@ -210,6 +224,14 @@ func (p *PreparedQuery) Execute(ctx context.Context) (Result, Stats, error) {
 		return Result{}, Stats{}, err
 	}
 	defer release()
+	if d := w.opt.deadline; d > 0 {
+		// Per-query deadline (WithQueryDeadline): bound this execution so a
+		// query stuck behind failing disks fails with DeadlineExceeded
+		// instead of hanging its caller. A tighter caller deadline wins.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
 	if err := w.ensureBackend(ctx); err != nil {
 		return Result{}, Stats{}, err
 	}

@@ -194,6 +194,14 @@ func Open(ctx context.Context, cfg Config, opts ...Option) (*Warehouse, error) {
 	if len(icfg) != len(star.Dims) {
 		return nil, fmt.Errorf("mdhf: index config has %d entries for %d dimensions", len(icfg), len(star.Dims))
 	}
+	if opt.faultPlan != nil && opt.disks == 0 {
+		// Fault injection, retry accounting and circuit breaking live on
+		// the per-disk queues, so a fault plan needs a disk set even when
+		// declustering was not asked for: a single-disk set routes every
+		// physical read through one faultable queue while keeping the
+		// executor's non-sharded dispatch.
+		opt.disks = 1
+	}
 	if opt.disks != 0 {
 		p := alloc.Placement{Disks: opt.disks, Scheme: opt.scheme, Staggered: opt.staggered, Cluster: opt.cluster}
 		if err := p.Validate(); err != nil {
@@ -214,6 +222,9 @@ func Open(ctx context.Context, cfg Config, opts ...Option) (*Warehouse, error) {
 		table:       cfg.Table,
 		curDelay:    opt.ioDelay,
 		curDelaySet: opt.ioDelay > 0,
+	}
+	if opt.admitLimit > 0 {
+		w.sched.SetLimit(opt.admitLimit)
 	}
 	if opt.poolBytes > 0 && opt.onDisk {
 		w.pool = storage.NewBufPool(opt.poolBytes)
@@ -260,6 +271,24 @@ type ServingStats struct {
 	// invalidation counters plus the buffer pool's counters. Zero when
 	// neither WithBufferPool nor WithResultCache was given.
 	Cache CacheStats
+	// Faults aggregates the fault-tolerance counters over the current
+	// epoch's disk set (see DiskStats for the per-disk breakdown). Zero
+	// without a disk set; Shed (load-shedding) lives in SchedStats.
+	Faults FaultStats
+}
+
+// FaultStats is the warehouse-wide fault-tolerance accounting: the sum of
+// every disk's injected faults, retried reads, checksum failures and
+// circuit-breaker trips since the epoch's disk set was installed.
+type FaultStats struct {
+	// InjectedFaults counts faults the active FaultPlan injected.
+	InjectedFaults int64
+	// Retries counts re-read attempts after failed or corrupt reads.
+	Retries int64
+	// ChecksumFailures counts pages whose CRC32C did not match.
+	ChecksumFailures int64
+	// BreakerTrips counts circuit-breaker openings across all disks.
+	BreakerTrips int64
 }
 
 // ServingStats snapshots the admission scheduler's accounting — queries
@@ -289,6 +318,12 @@ func (w *Warehouse) ServingStats() ServingStats {
 	w.mu.Unlock()
 	if w.pool != nil {
 		st.Cache.Pool = w.pool.Stats()
+	}
+	for _, d := range w.DiskStats() {
+		st.Faults.InjectedFaults += d.InjectedFaults
+		st.Faults.Retries += d.Retries
+		st.Faults.ChecksumFailures += d.ChecksumFailures
+		st.Faults.BreakerTrips += d.BreakerTrips
 	}
 	return st
 }
@@ -587,8 +622,9 @@ func (w *Warehouse) build() error {
 		w.removeOwnedRoot()
 		return err
 	}
+	var recovered *frag.DeltaSet
 	if w.opt.onDisk {
-		dlog, err := storage.OpenDeltaLog(w.rootDir, w.star)
+		dlog, recs, err := storage.OpenDeltaLog(w.rootDir, w.star)
 		if err != nil {
 			w.cleanupBackend(b)
 			w.removeOwnedRoot()
@@ -598,11 +634,34 @@ func (w *Warehouse) build() error {
 			dlog.Attach(b.be.Disks, b.be.Placement)
 		}
 		w.dlog = dlog
+		// Crash recovery: every acked Append wrote its segment to the
+		// journal before publishing, so replaying the journal's intact
+		// prefix through the delta index reconstructs exactly the delta
+		// set (and seal sequence) the warehouse served before the crash.
+		for _, rec := range recs {
+			sb := ix.NewSegment(rec.Frag)
+			leaves := make([]int32, len(rec.Leaves))
+			for i := 0; i < rec.Rows(); i++ {
+				for d := range rec.Leaves {
+					leaves[d] = rec.Leaves[d][i]
+				}
+				sb.Add(leaves, rec.Units[i], rec.Dollars[i], rec.Costs[i])
+			}
+			seg := sb.Seal(rec.Seq)
+			if rec.Replace {
+				recovered = recovered.WithTailReplaced(seg)
+			} else {
+				recovered = recovered.With(seg)
+			}
+			if rec.Seq > w.seq {
+				w.seq = rec.Seq
+			}
+		}
 	}
 	w.ix = ix
 	w.compactor = storage.NewCompactor(w.compactOnce)
 	w.mu.Lock()
-	w.cur = snapshot{epoch: 0, b: b}
+	w.cur = snapshot{epoch: 0, b: b, deltas: recovered}
 	d, set := w.curDelay, w.curDelaySet
 	w.mu.Unlock()
 	if set && b.be != nil {
@@ -668,6 +727,17 @@ func (w *Warehouse) buildBackendFrom(t *data.Table, epoch int64) (*backend, erro
 	if err != nil {
 		os.RemoveAll(epochDir)
 		return nil, err
+	}
+	// Install the fault plan and retry policy only after the backend is
+	// fully built: build-time reads stay fault-free, and every epoch a
+	// compaction rebuilds inherits the same plan on its fresh disk set.
+	if be.Disks != nil {
+		if w.opt.retry != nil {
+			be.Disks.SetRetryPolicy(*w.opt.retry)
+		}
+		if w.opt.faultPlan != nil {
+			be.Disks.SetFaultPlan(w.opt.faultPlan)
+		}
 	}
 	b.be, b.dir, b.own = be, epochDir, true
 	return b, nil
