@@ -1,0 +1,317 @@
+package mdhf
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+)
+
+// clusterOracle executes every ingest query on a plain single-node
+// Warehouse over the given rows — the reference every cluster result
+// must match byte-identically.
+func clusterOracle(t *testing.T, star *Star, tab *FactTable) []Result {
+	t.Helper()
+	ctx := context.Background()
+	w, err := Open(ctx, Config{Star: star, Fragmentation: "time::month, product::group", Table: tab})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	out := make([]Result, len(ingestQueries))
+	for i, text := range ingestQueries {
+		pq, err := w.QueryText(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, _, err := pq.Execute(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = res
+	}
+	return out
+}
+
+// checkCluster runs every ingest query on the cluster and compares each
+// result to the oracle's.
+func checkCluster(t *testing.T, c *Cluster, want []Result, leg string) {
+	t.Helper()
+	ctx := context.Background()
+	for i, text := range ingestQueries {
+		cq, err := c.QueryText(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, st, err := cq.Execute(ctx)
+		if err != nil {
+			t.Fatalf("%s: query %q: %v", leg, text, err)
+		}
+		if !reflect.DeepEqual(got, want[i]) {
+			t.Errorf("%s: query %q: cluster %+v != warehouse %+v", leg, text, got, want[i])
+		}
+		if st.Backend != ClusterBackend {
+			t.Fatalf("%s: backend %v", leg, st.Backend)
+		}
+		if st.Cluster == nil || st.Cluster.NodesUsed < 1 || st.Cluster.NodesUsed > c.Nodes() {
+			t.Fatalf("%s: query %q: bad fan-out stats %+v", leg, text, st.Cluster)
+		}
+	}
+}
+
+// TestClusterEquivalenceMatrix is the acceptance matrix: every ingest
+// query (Q1-Q4, grouped and ungrouped) over node counts 1/2/4/8 and both
+// ownership schemes, with appends mid-flight (awaited), a compaction
+// leg, and an injected node fault — byte-identical to a single Warehouse
+// over the same rows throughout. Run with -race.
+func TestClusterEquivalenceMatrix(t *testing.T) {
+	ctx := context.Background()
+	star := TinySchema()
+	full := MustGenerateData(star, 8)
+	n := full.N()
+	base := prefixTable(full, n*2/3)
+	extra := splitRows(full, n*2/3, n)
+	wantBase := clusterOracle(t, star, base)
+	wantFull := clusterOracle(t, star, full)
+
+	for _, scheme := range []AllocScheme{RoundRobin, GapRoundRobin} {
+		for _, nodes := range []int{1, 2, 4, 8} {
+			t.Run(fmt.Sprintf("scheme=%v/nodes=%d", scheme, nodes), func(t *testing.T) {
+				c, err := OpenCluster(ctx,
+					Config{Star: star, Fragmentation: "time::month, product::group", Table: base},
+					WithNodes(nodes, scheme))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer c.Close()
+
+				checkCluster(t, c, wantBase, "base")
+				if err := c.Append(ctx, extra); err != nil {
+					t.Fatal(err)
+				}
+				checkCluster(t, c, wantFull, "appended")
+				if err := c.Compact(ctx); err != nil {
+					t.Fatal(err)
+				}
+				checkCluster(t, c, wantFull, "compacted")
+
+				// Injected fault: a cluster-wide query fails with a typed
+				// NodeError naming the victim; never a wrong answer.
+				victim := nodes - 1
+				if err := c.FailNode(victim); err != nil {
+					t.Fatal(err)
+				}
+				cq, err := c.QueryText("")
+				if err != nil {
+					t.Fatal(err)
+				}
+				_, _, err = cq.Execute(ctx)
+				if !errors.Is(err, ErrNodeFailed) {
+					t.Fatalf("failed node: got %v, want ErrNodeFailed", err)
+				}
+				var ne *NodeError
+				if !errors.As(err, &ne) || ne.Node != victim {
+					t.Fatalf("error does not name node %d: %v", victim, err)
+				}
+				if err := c.ReviveNode(victim); err != nil {
+					t.Fatal(err)
+				}
+				checkCluster(t, c, wantFull, "revived")
+			})
+		}
+	}
+}
+
+// TestClusterHTTPFacade runs the facade over real loopback HTTP servers
+// (WithNodeAddrs) and checks equivalence plus append routing — the real-
+// transport leg of the matrix. Short-mode friendly: loopback only.
+func TestClusterHTTPFacade(t *testing.T) {
+	ctx := context.Background()
+	star := TinySchema()
+	full := MustGenerateData(star, 8)
+	n := full.N()
+	base := prefixTable(full, n*2/3)
+	extra := splitRows(full, n*2/3, n)
+	wantBase := clusterOracle(t, star, base)
+	wantFull := clusterOracle(t, star, full)
+
+	const nodes = 4
+	spec, err := ParseFragmentation(star, "time::month, product::group")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := Placement{Disks: nodes, Scheme: GapRoundRobin}
+	shards := PartitionFactTable(spec, cl, base)
+	addrs := make([]string, nodes)
+	for k := 0; k < nodes; k++ {
+		node, err := NewClusterNode(ClusterNodeConfig{
+			Spec: spec, Indexes: APB1Indexes(star), Index: k, Cluster: cl,
+		}, shards[k])
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { node.Close() })
+		srv := httptest.NewServer(NewNodeHandler(node))
+		t.Cleanup(srv.Close)
+		addrs[k] = srv.URL
+	}
+
+	c, err := OpenCluster(ctx,
+		Config{Star: star, Fragmentation: "time::month, product::group"},
+		WithNodes(nodes, GapRoundRobin), WithNodeAddrs(addrs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	checkCluster(t, c, wantBase, "http/base")
+	if err := c.Append(ctx, extra); err != nil {
+		t.Fatal(err)
+	}
+	checkCluster(t, c, wantFull, "http/appended")
+	if err := c.Compact(ctx); err != nil {
+		t.Fatal(err)
+	}
+	checkCluster(t, c, wantFull, "http/compacted")
+
+	st, err := c.ServingStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Nodes) != nodes || len(st.Client) != nodes {
+		t.Fatalf("stats for %d/%d nodes, want %d", len(st.Nodes), len(st.Client), nodes)
+	}
+	var appended, queries int64
+	for k, ns := range st.Nodes {
+		if ns.Index != k {
+			t.Errorf("node %d reports index %d", k, ns.Index)
+		}
+		appended += ns.AppendedRows
+		queries += ns.Queries
+		if ns.Compactions < 1 {
+			t.Errorf("node %d: no compactions recorded", k)
+		}
+	}
+	if appended != int64(len(extra)) {
+		t.Errorf("cluster-wide AppendedRows = %d, want %d", appended, len(extra))
+	}
+	if queries == 0 {
+		t.Error("no node-side query counters")
+	}
+	// FailNode is an in-process affordance; over HTTP it must refuse.
+	if err := c.FailNode(0); err == nil {
+		t.Error("FailNode over WithNodeAddrs should error")
+	}
+}
+
+// TestClusterServingStats checks the local facade's cluster-wide
+// counters: per-node queries and ingestion on the owning nodes only, and
+// the coordinator's client-side accounting.
+func TestClusterServingStats(t *testing.T) {
+	ctx := context.Background()
+	star := TinySchema()
+	tab := MustGenerateData(star, 8)
+	c, err := OpenCluster(ctx,
+		Config{Star: star, Fragmentation: "time::month, product::group", Table: tab},
+		WithNodes(4, RoundRobin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	cq, err := c.QueryText("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cq.Execute(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rows := splitRows(tab, 0, 3)
+	if err := c.Append(ctx, rows); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.ServingStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var queries, appended, clientQueries int64
+	for _, ns := range st.Nodes {
+		queries += ns.Queries
+		appended += ns.AppendedRows
+	}
+	for _, cs := range st.Client {
+		clientQueries += cs.Queries
+	}
+	if queries != 4 {
+		t.Errorf("node-side Queries = %d, want 4 (cluster-wide scatter)", queries)
+	}
+	if clientQueries != 4 {
+		t.Errorf("client-side Queries = %d, want 4", clientQueries)
+	}
+	if appended != 3 {
+		t.Errorf("AppendedRows = %d, want 3", appended)
+	}
+}
+
+// TestClusterExplainNodeBottleneck is the response-model fix: with more
+// than one node the modelled queues are two-tier (node-major
+// node×disk), the reported bottleneck is a node's own deepest disk, and
+// the response never benefits from pooling disks across nodes.
+func TestClusterExplainNodeBottleneck(t *testing.T) {
+	ctx := context.Background()
+	star := TinySchema()
+	open := func(nodes, disks int) *Cluster {
+		c, err := OpenCluster(ctx,
+			Config{Star: star, Fragmentation: "time::month, product::group"},
+			WithNodes(nodes, RoundRobin), WithDisks(disks, RoundRobin))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		return c
+	}
+	explain := func(c *Cluster, text string) Explain {
+		cq, err := c.QueryText(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex, err := cq.Explain(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ex
+	}
+
+	const q = "time::quarter=1 group by product::group"
+	four := explain(open(4, 2), q)
+	if four.Response.Nodes != 4 {
+		t.Fatalf("Nodes = %d, want 4", four.Response.Nodes)
+	}
+	if got, want := len(four.Response.DiskIOs), 4*2; got != want {
+		t.Fatalf("%d disk queues, want %d (node-major node x disk)", got, want)
+	}
+	if len(four.Response.NodeIOs) != 4 {
+		t.Fatalf("NodeIOs over %d nodes, want 4", len(four.Response.NodeIOs))
+	}
+	bn := four.Response.BottleneckNode
+	if bn < 0 || bn >= 4 {
+		t.Fatalf("BottleneckNode = %d out of range", bn)
+	}
+	if four.Response.NodeIOs[bn] == 0 {
+		t.Fatal("bottleneck node received no I/O")
+	}
+
+	// The node-bottleneck response is never better than a hypothetical
+	// global pool of the same nodes*disks queues would allow: 8 queues
+	// on one node lower-bounds 4 nodes x 2 disks.
+	pooled := explain(open(1, 8), q)
+	if four.Response.Response < pooled.Response.Response {
+		t.Errorf("4x2 response %v beats pooled 1x8 %v; node bottleneck must not pool across nodes",
+			four.Response.Response, pooled.Response.Response)
+	}
+	if pooled.Response.Nodes != 1 || pooled.Response.NodesUsed != 1 {
+		t.Errorf("single node models %d/%d nodes", pooled.Response.Nodes, pooled.Response.NodesUsed)
+	}
+}

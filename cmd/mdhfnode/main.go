@@ -1,0 +1,100 @@
+// Command mdhfnode serves one node of an MDHF cluster over HTTP — the
+// server side of mdhf.OpenCluster(..., mdhf.WithNodeAddrs(...)). It
+// generates the fact table deterministically from the schema scale and
+// seed, keeps only the shard the cluster placement assigns to its node
+// index, and serves scattered sub-queries, appends, compactions and
+// stats on the given address.
+//
+// Every node of a cluster must be started with identical -frag, -nodes,
+// -scheme, -scale and -seed (they are the sharding contract); only
+// -node and -addr differ per process.
+//
+// Usage:
+//
+//	mdhfnode -addr :7070 -frag "time::month, product::group" -nodes 4 -node 0
+//	mdhfnode -addr :7071 -frag "time::month, product::group" -nodes 4 -node 1 ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	mdhf "repro"
+)
+
+func main() {
+	addr := flag.String("addr", ":7070", "listen address")
+	fragText := flag.String("frag", "time::month, product::group", "MDHF fragmentation (identical across the cluster)")
+	nodes := flag.Int("nodes", 1, "cluster node count (identical across the cluster)")
+	node := flag.Int("node", 0, "this node's index in [0,nodes)")
+	gap := flag.Bool("gap", false, "use the gap round-robin node placement scheme")
+	scale := flag.Int("scale", 60, "APB1Scaled reduction factor of the generated warehouse")
+	seed := flag.Int64("seed", 1, "deterministic data generation seed (identical across the cluster)")
+	workers := flag.Int("workers", 0, "node worker pool size (<1 = one per CPU)")
+	admit := flag.Int("admit", 0, "admission limit (0 = unbounded)")
+	onDisk := flag.String("ondisk", "", "serve from paged files under this directory (empty = in-memory engine)")
+	disks := flag.Int("disks", 0, "decluster the on-disk backend over this many virtual disks")
+	compress := flag.Bool("compress", false, "WAH-compressed bitmaps")
+	ioDelay := flag.Duration("iodelay", 0, "simulated per-access disk latency (on-disk only)")
+	flag.Parse()
+
+	if *node < 0 || *node >= *nodes {
+		fmt.Fprintf(os.Stderr, "mdhfnode: -node %d out of range [0,%d)\n", *node, *nodes)
+		os.Exit(2)
+	}
+	star := mdhf.APB1Scaled(*scale)
+	spec, err := mdhf.ParseFragmentation(star, *fragText)
+	if err != nil {
+		log.Fatalf("mdhfnode: %v", err)
+	}
+	scheme := mdhf.RoundRobin
+	if *gap {
+		scheme = mdhf.GapRoundRobin
+	}
+	cl := mdhf.Placement{Disks: *nodes, Scheme: scheme}
+
+	log.Printf("mdhfnode: generating APB1Scaled(%d) seed %d ...", *scale, *seed)
+	table, err := mdhf.GenerateData(star, *seed)
+	if err != nil {
+		log.Fatalf("mdhfnode: %v", err)
+	}
+	shard := mdhf.PartitionFactTable(spec, cl, table)[*node]
+	log.Printf("mdhfnode: node %d/%d owns %d of %d rows", *node, *nodes, shard.N(), table.N())
+
+	cfg := mdhf.ClusterNodeConfig{
+		Spec:       spec,
+		Indexes:    mdhf.APB1Indexes(star),
+		Index:      *node,
+		Cluster:    cl,
+		Workers:    *workers,
+		AdmitLimit: *admit,
+		Compress:   *compress,
+	}
+	if *onDisk != "" {
+		cfg.OnDisk = true
+		cfg.Dir = *onDisk
+		cfg.Disks = *disks
+		cfg.Staggered = true
+		if *ioDelay > 0 {
+			cfg.IODelay = *ioDelay
+			cfg.IODelaySet = true
+		}
+	}
+	n, err := mdhf.NewClusterNode(cfg, shard)
+	if err != nil {
+		log.Fatalf("mdhfnode: %v", err)
+	}
+	defer n.Close()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mdhf.NewNodeHandler(n),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("mdhfnode: node %d serving on %s", *node, *addr)
+	log.Fatal(srv.ListenAndServe())
+}

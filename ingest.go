@@ -6,8 +6,8 @@ import (
 	"fmt"
 
 	"repro/internal/alloc"
-	"repro/internal/data"
 	"repro/internal/frag"
+	"repro/internal/kernel"
 )
 
 // FactRow is one incoming fact: the leaf member per dimension (in schema
@@ -219,7 +219,7 @@ func (w *Warehouse) compact(ctx context.Context) error {
 	}
 
 	// Phase 2: rebuild, lock-free.
-	merged := mergedTable(snap.b.table, snap.deltas)
+	merged := kernel.MergedTable(snap.b.table, snap.deltas)
 	nb, err := w.buildBackendFrom(merged, snap.epoch+1)
 	if err != nil {
 		clearCompacting()
@@ -262,29 +262,4 @@ func (w *Warehouse) compact(ctx context.Context) error {
 	w.compactions.Add(1)
 	w.compactedRows.Add(snap.deltas.Rows())
 	return resetErr
-}
-
-// mergedTable concatenates the base rows with every delta row, fragments
-// in ascending id order and segments in seal order — the deterministic
-// compaction input. Per-fragment row order (base first, then segments in
-// seal order) matches the order queries fold deltas in, so a backend
-// rebuilt from the merged table serves byte-identical results.
-func mergedTable(base *data.Table, deltas *frag.DeltaSet) *data.Table {
-	n := base.N() + int(deltas.Rows())
-	t := &data.Table{Star: base.Star, Dims: make([][]int32, len(base.Dims))}
-	for d := range base.Dims {
-		t.Dims[d] = append(make([]int32, 0, n), base.Dims[d]...)
-	}
-	t.UnitsSold = append(make([]int64, 0, n), base.UnitsSold...)
-	t.DollarSales = append(make([]int64, 0, n), base.DollarSales...)
-	t.Cost = append(make([]int64, 0, n), base.Cost...)
-	deltas.ForEachSegment(func(seg *frag.DeltaSegment) {
-		for d := range t.Dims {
-			t.Dims[d] = append(t.Dims[d], seg.Leaves(d)...)
-		}
-		t.UnitsSold = append(t.UnitsSold, seg.Units()...)
-		t.DollarSales = append(t.DollarSales, seg.Dollars()...)
-		t.Cost = append(t.Cost, seg.Costs()...)
-	})
-	return t
 }

@@ -1,0 +1,59 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is the coordinator's per-node circuit breaker: after
+// `threshold` consecutive failed sub-requests the node is considered
+// down and requests to it fail fast (ErrBreakerOpen) for `cooldown`,
+// after which traffic is allowed through again — a success closes the
+// breaker, another failure streak re-opens it. It protects tail latency
+// the same way the storage layer's per-disk breaker does, one level up.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	strikes   int
+	openUntil time.Time
+	trips     int64
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether a request may proceed (false = open, fail fast).
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return !now.Before(b.openUntil)
+}
+
+// success closes the breaker.
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.strikes = 0
+	b.mu.Unlock()
+}
+
+// failure records one failed sub-request, opening the breaker on the
+// threshold'th consecutive one.
+func (b *breaker) failure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.strikes++
+	if b.strikes >= b.threshold {
+		b.openUntil = now.Add(b.cooldown)
+		b.strikes = 0
+		b.trips++
+	}
+}
+
+// tripCount returns the number of times the breaker has opened.
+func (b *breaker) tripCount() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

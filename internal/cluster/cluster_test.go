@@ -1,0 +1,387 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/data"
+	"repro/internal/engine"
+	"repro/internal/frag"
+	"repro/internal/kernel"
+	"repro/internal/schema"
+	"repro/internal/storage"
+)
+
+// clusterFixture builds a tiny-schema fact table, its fragmentation and
+// the shared query list every cluster test runs.
+func clusterFixture(t *testing.T) (*schema.Star, *frag.Spec, frag.IndexConfig, *data.Table, []frag.Query) {
+	t.Helper()
+	star := schema.Tiny()
+	spec := frag.MustParse(star, "time::month, product::group")
+	icfg := frag.APB1Indexes(star)
+	tab := data.MustGenerate(star, 7)
+	texts := []string{
+		"time::month=1",
+		"product::code=3",
+		"time::month=2, product::code=1",
+		"",
+		"time::month=1 group by product::group",
+		"group by time::month, customer::store",
+	}
+	qs := make([]frag.Query, len(texts))
+	for i, text := range texts {
+		q, err := frag.ParseQuery(star, text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs[i] = q
+	}
+	return star, spec, icfg, tab, qs
+}
+
+// buildLocalCluster partitions the table over n in-memory nodes and
+// returns a coordinator over the Local transport (closed by t.Cleanup).
+func buildLocalCluster(t *testing.T, spec *frag.Spec, icfg frag.IndexConfig, tab *data.Table, n int, scheme alloc.Scheme) (*Coordinator, []*Node) {
+	t.Helper()
+	cl := alloc.Placement{Disks: n, Scheme: scheme}
+	parts := PartitionTable(spec, cl, tab)
+	nodes := make([]*Node, n)
+	for k := range nodes {
+		node, err := NewNode(NodeConfig{Spec: spec, Indexes: icfg, Index: k, Cluster: cl}, parts[k])
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { node.Close() })
+		nodes[k] = node
+	}
+	coord, err := NewCoordinator(CoordinatorConfig{Spec: spec, Cluster: cl}, NewLocal(nodes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return coord, nodes
+}
+
+func TestPartitionTableOwnership(t *testing.T) {
+	_, spec, _, tab, _ := clusterFixture(t)
+	for _, scheme := range []alloc.Scheme{alloc.RoundRobin, alloc.GapRoundRobin} {
+		for _, n := range []int{1, 2, 3, 4, 8} {
+			cl := alloc.Placement{Disks: n, Scheme: scheme}
+			parts := PartitionTable(spec, cl, tab)
+			if len(parts) != n {
+				t.Fatalf("n=%d: %d shards", n, len(parts))
+			}
+			total := 0
+			buf := make([]int, len(tab.Star.Dims))
+			for k, p := range parts {
+				total += p.N()
+				if p.Star != tab.Star {
+					t.Fatalf("n=%d node %d: shard has a different schema pointer", n, k)
+				}
+				for i := 0; i < p.N(); i++ {
+					id := spec.ID(spec.CoordOf(p.LeafMembers(i, buf)))
+					if NodeOf(cl, id) != k {
+						t.Fatalf("n=%d scheme=%d: row of fragment %d landed on node %d, owner is %d",
+							n, scheme, id, k, NodeOf(cl, id))
+					}
+				}
+			}
+			if total != tab.N() {
+				t.Fatalf("n=%d: shards hold %d rows, table has %d", n, total, tab.N())
+			}
+		}
+	}
+}
+
+// TestCoordinatorEquivalence is the core oracle: the scattered, merged
+// result equals the brute-force scan over the whole table for every
+// query, node count and scheme.
+func TestCoordinatorEquivalence(t *testing.T) {
+	_, spec, icfg, tab, qs := clusterFixture(t)
+	for _, scheme := range []alloc.Scheme{alloc.RoundRobin, alloc.GapRoundRobin} {
+		for _, n := range []int{1, 2, 4, 8} {
+			t.Run(fmt.Sprintf("scheme=%d/nodes=%d", scheme, n), func(t *testing.T) {
+				coord, _ := buildLocalCluster(t, spec, icfg, tab, n, scheme)
+				for _, q := range qs {
+					want, err := engine.ScanGrouped(tab, q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, st, err := coord.Execute(context.Background(), q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Errorf("query %+v: cluster %+v != scan %+v", q, got, want)
+					}
+					if st.NodesUsed < 1 || st.NodesUsed > n {
+						t.Errorf("query %+v: NodesUsed=%d out of [1,%d]", q, st.NodesUsed, n)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestNodeAppendOwnership verifies the single-writer-per-fragment
+// invariant: a node rejects rows of fragments it does not own, and the
+// coordinator routes every row to its owner.
+func TestNodeAppendOwnership(t *testing.T) {
+	_, spec, icfg, tab, qs := clusterFixture(t)
+	const n = 4
+	coord, nodes := buildLocalCluster(t, spec, icfg, tab, n, alloc.RoundRobin)
+	ctx := context.Background()
+
+	// Rows re-derived from the table: every row offered to the wrong node
+	// must be rejected with a NodeError naming the owner.
+	buf := make([]int, len(tab.Star.Dims))
+	leaves := tab.LeafMembers(0, buf)
+	row := Row{Leaves: make([]int32, len(leaves)), UnitsSold: 1, DollarSales: 2, Cost: 3}
+	for d, m := range leaves {
+		row.Leaves[d] = int32(m)
+	}
+	owner := NodeOf(alloc.Placement{Disks: n}, spec.ID(spec.CoordOf(leaves)))
+	wrong := (owner + 1) % n
+	err := nodes[wrong].Append(ctx, []Row{row})
+	var ne *NodeError
+	if !errors.As(err, &ne) || ne.Node != wrong {
+		t.Fatalf("foreign append: got %v, want NodeError from node %d", err, wrong)
+	}
+
+	// The coordinator routes the same row correctly and the appended
+	// measures show up in a full-table query on the owning node only.
+	before, _, err := coord.Execute(ctx, frag.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Append(ctx, []Row{row}); err != nil {
+		t.Fatal(err)
+	}
+	after, _, err := coord.Execute(ctx, frag.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Count != before.Count+1 || after.UnitsSold != before.UnitsSold+1 {
+		t.Fatalf("append not visible: before %+v after %+v", before, after)
+	}
+	st, err := coord.NodeStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, s := range st {
+		wantRows := int64(0)
+		if k == owner {
+			wantRows = 1
+		}
+		if s.AppendedRows != wantRows {
+			t.Errorf("node %d: AppendedRows=%d, want %d", k, s.AppendedRows, wantRows)
+		}
+	}
+	_ = qs
+}
+
+// stubTransport scripts per-node Exec outcomes for coordinator fault
+// machinery tests.
+type stubTransport struct {
+	n     int
+	calls atomic.Int64
+	exec  func(call int64, node int, req Request) (Response, error)
+}
+
+func (s *stubTransport) Nodes() int { return s.n }
+func (s *stubTransport) Exec(ctx context.Context, node int, req Request) (Response, error) {
+	return s.exec(s.calls.Add(1), node, req)
+}
+func (s *stubTransport) Append(ctx context.Context, node int, rows []Row) error { return nil }
+func (s *stubTransport) Compact(ctx context.Context, node int) error            { return nil }
+func (s *stubTransport) Stats(ctx context.Context, node int) (NodeStats, error) {
+	return NodeStats{Index: node}, nil
+}
+func (s *stubTransport) Close() error { return nil }
+
+func stubCoordinator(t *testing.T, tr *stubTransport, retry storage.RetryPolicy, hedge time.Duration) *Coordinator {
+	t.Helper()
+	star := schema.Tiny()
+	spec := frag.MustParse(star, "time::month, product::group")
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Spec:    spec,
+		Cluster: alloc.Placement{Disks: tr.n},
+		Retry:   retry,
+		Hedge:   hedge,
+	}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return coord
+}
+
+func TestCoordinatorRetriesOnlyUnavailable(t *testing.T) {
+	// Two transport-level failures then success: the coordinator retries
+	// through them and reports the retry count.
+	tr := &stubTransport{n: 1}
+	tr.exec = func(call int64, node int, req Request) (Response, error) {
+		if call <= 2 {
+			return Response{}, fmt.Errorf("%w: connection refused", ErrUnavailable)
+		}
+		return Response{Agg: kernelAgg(5)}, nil
+	}
+	retry := storage.RetryPolicy{MaxAttempts: 5, BaseBackoff: time.Microsecond, MaxBackoff: 10 * time.Microsecond}
+	coord := stubCoordinator(t, tr, retry, 0)
+	res, st, err := coord.Execute(context.Background(), frag.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 5 || st.Retries != 2 {
+		t.Fatalf("count=%d retries=%d, want 5/2", res.Count, st.Retries)
+	}
+
+	// A node-side error is not retried: exactly one transport call.
+	tr2 := &stubTransport{n: 1}
+	tr2.exec = func(call int64, node int, req Request) (Response, error) {
+		return Response{}, &NodeError{Node: 0, Err: ErrNodeFailed}
+	}
+	coord2 := stubCoordinator(t, tr2, retry, 0)
+	_, _, err = coord2.Execute(context.Background(), frag.Query{})
+	if !errors.Is(err, ErrNodeFailed) {
+		t.Fatalf("got %v, want ErrNodeFailed", err)
+	}
+	if got := tr2.calls.Load(); got != 1 {
+		t.Fatalf("node-side error retried: %d transport calls", got)
+	}
+}
+
+func TestCoordinatorBreakerFastFail(t *testing.T) {
+	tr := &stubTransport{n: 1}
+	tr.exec = func(call int64, node int, req Request) (Response, error) {
+		return Response{}, &NodeError{Node: 0, Err: ErrNodeFailed}
+	}
+	retry := storage.RetryPolicy{
+		MaxAttempts: 1, BaseBackoff: time.Microsecond, MaxBackoff: time.Microsecond,
+		BreakerThreshold: 3, BreakerCooldown: time.Hour,
+	}
+	coord := stubCoordinator(t, tr, retry, 0)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, _, err := coord.Execute(ctx, frag.Query{}); !errors.Is(err, ErrNodeFailed) {
+			t.Fatalf("strike %d: %v", i, err)
+		}
+	}
+	calls := tr.calls.Load()
+	_, _, err := coord.Execute(ctx, frag.Query{})
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("after threshold: got %v, want ErrBreakerOpen", err)
+	}
+	var ne *NodeError
+	if !errors.As(err, &ne) || ne.Node != 0 {
+		t.Fatalf("breaker error not a NodeError naming node 0: %v", err)
+	}
+	if tr.calls.Load() != calls {
+		t.Fatal("breaker-open request still reached the transport")
+	}
+	cs := coord.ClientStats()[0]
+	if cs.FastFails != 1 || cs.BreakerTrips < 1 {
+		t.Fatalf("client stats %+v: want FastFails=1, BreakerTrips>=1", cs)
+	}
+}
+
+func TestCoordinatorHedgedRequests(t *testing.T) {
+	// First attempt stalls; the hedge fires and wins.
+	tr := &stubTransport{n: 1}
+	release := make(chan struct{})
+	tr.exec = func(call int64, node int, req Request) (Response, error) {
+		if call == 1 {
+			<-release
+			return Response{Agg: kernelAgg(1)}, nil
+		}
+		return Response{Agg: kernelAgg(1)}, nil
+	}
+	coord := stubCoordinator(t, tr, storage.RetryPolicy{}, time.Millisecond)
+	res, st, err := coord.Execute(context.Background(), frag.Query{})
+	close(release)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 1 {
+		t.Fatalf("count=%d, want 1 (first answer wins, no double count)", res.Count)
+	}
+	if st.Hedges != 1 {
+		t.Fatalf("hedges=%d, want 1", st.Hedges)
+	}
+	cs := coord.ClientStats()[0]
+	if cs.Hedges != 1 || cs.HedgeWins != 1 {
+		t.Fatalf("client stats %+v: want Hedges=1 HedgeWins=1", cs)
+	}
+}
+
+// TestNodeFailRevive exercises the node-kill model end to end on real
+// nodes: fail-fast typed errors, unaffected confined queries, and full
+// equivalence after revival.
+func TestNodeFailRevive(t *testing.T) {
+	_, spec, icfg, tab, qs := clusterFixture(t)
+	const n = 4
+	coord, nodes := buildLocalCluster(t, spec, icfg, tab, n, alloc.RoundRobin)
+	ctx := context.Background()
+
+	// A query on both fragmentation attributes confines to one fragment,
+	// hence one node.
+	confined, err := frag.ParseQuery(tab.Star, "time::month=0, product::group=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := spec.FragmentIDs(confined)
+	if len(ids) != 1 {
+		t.Fatalf("confined query touches %d fragments, want 1", len(ids))
+	}
+	owner := NodeOf(alloc.Placement{Disks: n}, ids[0])
+	victim := (owner + 1) % n
+	nodes[victim].Fail()
+
+	// Confined query avoids the victim and still answers correctly.
+	want, err := engine.ScanGrouped(tab, confined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := coord.Execute(ctx, confined)
+	if err != nil {
+		t.Fatalf("confined query with node %d down: %v", victim, err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("confined query: %+v != %+v", got, want)
+	}
+	if st.NodesUsed != 1 {
+		t.Fatalf("confined query used %d nodes", st.NodesUsed)
+	}
+
+	// A cluster-wide query fails with a typed NodeError, never a wrong
+	// answer.
+	_, _, err = coord.Execute(ctx, frag.Query{})
+	var ne *NodeError
+	if !errors.As(err, &ne) || ne.Node != victim || !errors.Is(err, ErrNodeFailed) {
+		t.Fatalf("cluster-wide query: got %v, want NodeError{%d, ErrNodeFailed}", err, victim)
+	}
+
+	// Revive: full equivalence is restored for every query.
+	nodes[victim].Revive()
+	for _, q := range qs {
+		want, err := engine.ScanGrouped(tab, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := coord.Execute(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("after revive, query %+v: %+v != %+v", q, got, want)
+		}
+	}
+}
+
+func kernelAgg(count int64) kernel.Aggregate {
+	return kernel.Aggregate{Count: count}
+}

@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/gob"
+	"sort"
+
+	"repro/internal/kernel"
+)
+
+// The wire codec: responses carry a node's kernel.FragPartial as
+// parallel key/aggregate slices sorted by group key — a canonical form,
+// so encoding the same partial always yields the same bytes regardless
+// of map iteration order — and gob frames everything that crosses the
+// HTTP transport. The Local transport exchanges the identical Response
+// structs without serialising, which is what lets the equivalence tests
+// isolate any divergence to this file.
+
+// packPartial canonicalises a node partial onto the response.
+func packPartial(resp *Response, p kernel.FragPartial) {
+	resp.Agg = p.Agg
+	if p.Groups == nil {
+		return
+	}
+	type kv struct {
+		k uint64
+		a kernel.Aggregate
+	}
+	pairs := make([]kv, 0, p.Groups.Len())
+	p.Groups.ForEach(func(k uint64, a kernel.Aggregate) {
+		pairs = append(pairs, kv{k, a})
+	})
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	if len(pairs) == 0 {
+		return
+	}
+	resp.GroupKeys = make([]uint64, len(pairs))
+	resp.GroupAggs = make([]kernel.Aggregate, len(pairs))
+	for i, p := range pairs {
+		resp.GroupKeys[i] = p.k
+		resp.GroupAggs[i] = p.a
+	}
+}
+
+// Partial reassembles the response's kernel.FragPartial (Groups non-nil
+// exactly when the sub-query was grouped).
+func (r Response) Partial() kernel.FragPartial {
+	p := kernel.FragPartial{Agg: r.Agg}
+	if r.Grouped {
+		p.Groups = kernel.NewGrouped()
+		for i, k := range r.GroupKeys {
+			p.Groups.Add(k, r.GroupAggs[i])
+		}
+	}
+	return p
+}
+
+// EncodeResponse gob-encodes a response — the framing the HTTP transport
+// ships partials in.
+func EncodeResponse(r Response) ([]byte, error) { return encodeGob(&r) }
+
+// DecodeResponse decodes EncodeResponse's framing.
+func DecodeResponse(data []byte) (Response, error) {
+	var r Response
+	err := decodeGob(data, &r)
+	return r, err
+}
+
+func encodeGob(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeGob(data []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}

@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+func TestPackPartialCanonical(t *testing.T) {
+	// Two partials with the same content built in different insertion
+	// orders must encode to identical bytes (sorted parallel slices).
+	build := func(keys []uint64) kernel.FragPartial {
+		g := kernel.NewGrouped()
+		for i, k := range keys {
+			g.Add(k, kernel.Aggregate{Count: int64(i%3) + 1, UnitsSold: int64(k)})
+		}
+		// Re-add in the given order so both builds hold identical sums.
+		return kernel.FragPartial{Agg: kernel.Aggregate{Count: 9}, Groups: g}
+	}
+	a := build([]uint64{7, 1, 99, 3})
+	b := build([]uint64{7, 1, 99, 3})
+	var ra, rb Response
+	ra.Grouped, rb.Grouped = true, true
+	packPartial(&ra, a)
+	packPartial(&rb, b)
+	ea, err := EncodeResponse(ra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := EncodeResponse(rb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ea, eb) {
+		t.Fatal("same partial content encoded to different bytes")
+	}
+	for i := 1; i < len(ra.GroupKeys); i++ {
+		if ra.GroupKeys[i-1] >= ra.GroupKeys[i] {
+			t.Fatalf("keys not strictly ascending: %v", ra.GroupKeys)
+		}
+	}
+}
+
+func TestResponsePartialRoundTrip(t *testing.T) {
+	g := kernel.NewGrouped()
+	g.Add(3, kernel.Aggregate{Count: 2, UnitsSold: 5, DollarSales: 7, Cost: 11})
+	g.Add(1, kernel.Aggregate{Count: 1, UnitsSold: 1})
+	p := kernel.FragPartial{Agg: kernel.Aggregate{Count: 3, UnitsSold: 6, DollarSales: 7, Cost: 11}, Groups: g}
+	resp := Response{Grouped: true, Epoch: 4, DeltaRows: 2}
+	packPartial(&resp, p)
+	data, err := EncodeResponse(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeResponse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Epoch != 4 || dec.DeltaRows != 2 {
+		t.Fatalf("metadata lost: %+v", dec)
+	}
+	got := dec.Partial()
+	if got.Agg != p.Agg {
+		t.Fatalf("Agg %+v != %+v", got.Agg, p.Agg)
+	}
+	want := map[uint64]kernel.Aggregate{}
+	p.Groups.ForEach(func(k uint64, a kernel.Aggregate) { want[k] = a })
+	gotm := map[uint64]kernel.Aggregate{}
+	got.Groups.ForEach(func(k uint64, a kernel.Aggregate) { gotm[k] = a })
+	if !reflect.DeepEqual(gotm, want) {
+		t.Fatalf("groups %v != %v", gotm, want)
+	}
+}
+
+func TestResponsePartialUngroupedVsEmptyGroups(t *testing.T) {
+	// Grouped-with-zero-matches and ungrouped both carry empty slices;
+	// the Grouped flag must keep them distinguishable through the wire.
+	grouped := Response{Grouped: true}
+	packPartial(&grouped, kernel.FragPartial{Groups: kernel.NewGrouped()})
+	ungrouped := Response{}
+	packPartial(&ungrouped, kernel.FragPartial{})
+	for _, tc := range []struct {
+		name string
+		resp Response
+		want bool
+	}{{"grouped-empty", grouped, true}, {"ungrouped", ungrouped, false}} {
+		data, err := EncodeResponse(tc.resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := DecodeResponse(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := dec.Partial()
+		if (p.Groups != nil) != tc.want {
+			t.Errorf("%s: Groups non-nil = %v, want %v", tc.name, p.Groups != nil, tc.want)
+		}
+	}
+}
+
+// FuzzFragPartialRoundTrip fuzzes the transport codec: arbitrary group
+// maps must survive encode/decode with content intact, and the encoding
+// must be a fixed point (canonical form re-encodes byte-identically).
+func FuzzFragPartialRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	seed := make([]byte, 0, 64)
+	for i := 0; i < 8; i++ {
+		seed = binary.LittleEndian.AppendUint64(seed, uint64(i)*0x9e3779b97f4a7c15)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		g := kernel.NewGrouped()
+		var total kernel.Aggregate
+		want := map[uint64]kernel.Aggregate{}
+		for len(raw) >= 12 {
+			key := binary.LittleEndian.Uint64(raw)
+			v := int64(int32(binary.LittleEndian.Uint32(raw[8:])))
+			raw = raw[12:]
+			a := kernel.Aggregate{Count: 1, UnitsSold: v, DollarSales: -v, Cost: v / 2}
+			g.Add(key, a)
+			total.Add(a)
+			cur := want[key]
+			cur.Add(a)
+			want[key] = cur
+		}
+		resp := Response{Grouped: true, Epoch: 1}
+		packPartial(&resp, kernel.FragPartial{Agg: total, Groups: g})
+		enc, err := EncodeResponse(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := DecodeResponse(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := dec.Partial()
+		if p.Agg != total {
+			t.Fatalf("Agg %+v != %+v", p.Agg, total)
+		}
+		got := map[uint64]kernel.Aggregate{}
+		p.Groups.ForEach(func(k uint64, a kernel.Aggregate) { got[k] = a })
+		if len(got) != len(want) {
+			t.Fatalf("%d groups != %d", len(got), len(want))
+		}
+		for k, a := range want {
+			if got[k] != a {
+				t.Fatalf("group %d: %+v != %+v", k, got[k], a)
+			}
+		}
+		// Canonical fixed point: re-packing the decoded partial encodes to
+		// the same bytes.
+		resp2 := Response{Grouped: true, Epoch: 1}
+		packPartial(&resp2, p)
+		enc2, err := EncodeResponse(resp2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatal("encoding is not canonical: round trip changed the bytes")
+		}
+	})
+}

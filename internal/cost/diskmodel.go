@@ -23,8 +23,20 @@ type DiskParams struct {
 	// TransferPerPage is the per-page transfer time added to each access.
 	TransferPerPage time.Duration
 	// Workers bounds the number of concurrent fragment subqueries issuing
-	// I/O (0 = unbounded, i.e. only the disks limit parallelism).
+	// I/O (0 = unbounded, i.e. only the disks limit parallelism). With a
+	// NodePlacement the bound applies per node: each node drives its own
+	// worker pool, so the worker-limited critical path is the slowest
+	// node's share over its own Workers, not the cluster total pooled.
 	Workers int
+	// NodePlacement, when it has more than one disk, shards the fragments
+	// over that many *nodes* one level above Placement: fragment id is
+	// served by node NodePlacement.FactDisk(id), whose own Placement.Disks
+	// disks hold the node's shard. The response model then becomes
+	// two-tier — I/Os route to (node, disk-within-node) queues, and the
+	// bottleneck is the deepest per-node disk queue (max over nodes of the
+	// node's own bottleneck disk), never a fictitious global pool that
+	// disks of different nodes could share. Zero means a single node.
+	NodePlacement alloc.Placement
 	// Degraded maps disk index → expected-attempts multiplier for a disk
 	// serving reads through retries (see RetryFactor): its routed I/Os are
 	// inflated by the factor, so a flaky disk deepens its queue and can
@@ -68,6 +80,17 @@ type ResponseEstimate struct {
 	// Imbalance is BottleneckIOs divided by the mean nonzero-disk load
 	// (1.0 = perfectly balanced over the used disks).
 	Imbalance float64
+	// Nodes is the modelled node count (1 without a NodePlacement); with
+	// more than one node, DiskIOs holds Nodes×Placement.Disks queues laid
+	// out node-major (queue n*Disks+k is disk k of node n).
+	Nodes int
+	// NodesUsed is the number of nodes receiving any I/O.
+	NodesUsed int
+	// NodeIOs is the total I/O routed to each node (summed over the
+	// node's disks); BottleneckNode is the node owning the bottleneck
+	// disk queue.
+	NodeIOs        []float64
+	BottleneckNode int
 }
 
 // EstimateResponse models the response time of query q under the
@@ -83,51 +106,86 @@ func EstimateResponse(spec *frag.Spec, cfg frag.IndexConfig, q frag.Query, p Par
 		pl.Disks = 1
 	}
 	d := pl.Disks
-	out := ResponseEstimate{Cost: c, DiskIOs: make([]float64, d)}
+	nodes := 1
+	np := dp.NodePlacement
+	if np.Disks > 1 {
+		nodes = np.Disks
+	}
+	out := ResponseEstimate{
+		Cost:    c,
+		DiskIOs: make([]float64, nodes*d),
+		Nodes:   nodes,
+		NodeIOs: make([]float64, nodes),
+	}
 	if c.Fragments == 0 {
 		return out
 	}
 
 	// Route each relevant fragment's I/O to its disks. The model assumes
-	// (as cost.go does) uniform work per relevant fragment.
+	// (as cost.go does) uniform work per relevant fragment. With more
+	// than one node, the fragment first routes to its owning node (the
+	// same placement math one level up) and then to a disk within that
+	// node: queue indices are node-major, so disks of different nodes
+	// never share a queue.
 	factPerFrag := float64(c.FactIOs) / float64(c.Fragments)
 	bmIOsPerBitmap := 0.0
 	if c.BitmapsPerFragment > 0 {
 		bmIOsPerBitmap = float64(c.BitmapIOs) / float64(c.Fragments) / float64(c.BitmapsPerFragment)
 	}
 	spec.ForEachFragment(q, func(id int64, _ []int) bool {
-		out.DiskIOs[pl.FactDisk(id)] += factPerFrag
+		base := 0
+		if nodes > 1 {
+			base = np.FactDisk(id) * d
+		}
+		out.DiskIOs[base+pl.FactDisk(id)] += factPerFrag
 		for k := 0; k < c.BitmapsPerFragment; k++ {
-			out.DiskIOs[pl.BitmapDisk(id, k)] += bmIOsPerBitmap
+			out.DiskIOs[base+pl.BitmapDisk(id, k)] += bmIOsPerBitmap
 		}
 		return true
 	})
 
+	// Degraded maps global queue indices (node*Disks+disk when two-tier).
 	for k, f := range dp.Degraded {
-		if k >= 0 && k < d && f > 1 {
+		if k >= 0 && k < len(out.DiskIOs) && f > 1 {
 			out.DiskIOs[k] *= f
 		}
 	}
 
 	var used int
 	var sum float64
-	for _, l := range out.DiskIOs {
+	for i, l := range out.DiskIOs {
+		out.NodeIOs[i/d] += l
 		if l > 0 {
 			used++
 			sum += l
 		}
 		if l > out.BottleneckIOs {
 			out.BottleneckIOs = l
+			out.BottleneckNode = i / d
 		}
 	}
 	out.DisksUsed = used
+	for _, l := range out.NodeIOs {
+		if l > 0 {
+			out.NodesUsed++
+		}
+	}
 	if used > 0 {
 		out.Imbalance = out.BottleneckIOs / (sum / float64(used))
 	}
 
+	// The completion bound is the deepest per-node disk queue; the
+	// worker bound applies per node (each node's pool only drains its own
+	// shard), so it is the slowest node's total over that node's workers.
 	out.EffectiveIOs = out.BottleneckIOs
 	if dp.Workers > 0 {
-		if lower := sum / float64(dp.Workers); lower > out.EffectiveIOs {
+		maxNode := 0.0
+		for _, l := range out.NodeIOs {
+			if l > maxNode {
+				maxNode = l
+			}
+		}
+		if lower := maxNode / float64(dp.Workers); lower > out.EffectiveIOs {
 			out.EffectiveIOs = lower
 		}
 	}

@@ -160,3 +160,113 @@ func TestEstimateResponseEmptyQueryAndMix(t *testing.T) {
 		t.Errorf("empty mix: response %v imbalance %v", resp, imb)
 	}
 }
+
+func TestEstimateResponseTwoTierNodes(t *testing.T) {
+	// The cluster response model: with a NodePlacement, I/Os route to
+	// node-major (node, disk-within-node) queues and the bottleneck is a
+	// node's own deepest disk — never a pool the disks of different
+	// nodes could share.
+	_, spec, icfg, _, qStore := diskModelFixture(t)
+	p := DefaultParams()
+	at := 12 * time.Millisecond
+	const nodes, d = 4, 2
+	dp := DiskParams{
+		Placement:     alloc.Placement{Disks: d, Scheme: alloc.RoundRobin, Staggered: true},
+		NodePlacement: alloc.Placement{Disks: nodes, Scheme: alloc.RoundRobin},
+		AccessTime:    at,
+	}
+	r := EstimateResponse(spec, icfg, qStore, p, dp)
+	if r.Nodes != nodes {
+		t.Fatalf("Nodes = %d, want %d", r.Nodes, nodes)
+	}
+	if len(r.DiskIOs) != nodes*d {
+		t.Fatalf("%d queues, want %d (node-major)", len(r.DiskIOs), nodes*d)
+	}
+	if len(r.NodeIOs) != nodes || r.NodesUsed != nodes {
+		t.Fatalf("NodeIOs/%d NodesUsed=%d, want %d nodes all used for the full-fanout query",
+			len(r.NodeIOs), r.NodesUsed, nodes)
+	}
+	// NodeIOs is the per-node sum of that node's disk queues, and the
+	// bottleneck node owns the globally deepest queue.
+	var total float64
+	maxQ, argmax := 0.0, 0
+	for i, l := range r.DiskIOs {
+		total += l
+		if l > maxQ {
+			maxQ, argmax = l, i
+		}
+	}
+	var nodeTotal float64
+	for n := 0; n < nodes; n++ {
+		var sum float64
+		for k := 0; k < d; k++ {
+			sum += r.DiskIOs[n*d+k]
+		}
+		if diff := sum - r.NodeIOs[n]; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("node %d: NodeIOs %.3f != disk sum %.3f", n, r.NodeIOs[n], sum)
+		}
+		nodeTotal += r.NodeIOs[n]
+	}
+	if diff := nodeTotal - total; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("NodeIOs total %.3f != DiskIOs total %.3f", nodeTotal, total)
+	}
+	if r.BottleneckIOs != maxQ || r.BottleneckNode != argmax/d {
+		t.Errorf("bottleneck %v@node %d, want %v@node %d", r.BottleneckIOs, r.BottleneckNode, maxQ, argmax/d)
+	}
+
+	// Never better than pooling: the same nodes*d queues on one node is
+	// a lower bound (a global pool can only balance better).
+	pooled := EstimateResponse(spec, icfg, qStore, p, DiskParams{
+		Placement:  alloc.Placement{Disks: nodes * d, Scheme: alloc.RoundRobin, Staggered: true},
+		AccessTime: at,
+	})
+	if r.Response < pooled.Response {
+		t.Errorf("two-tier response %v beats pooled %v", r.Response, pooled.Response)
+	}
+
+	// Zero NodePlacement stays single-tier: identical to the legacy model.
+	single := EstimateResponse(spec, icfg, qStore, p, DiskParams{
+		Placement:  dp.Placement,
+		AccessTime: at,
+	})
+	if single.Nodes != 1 || len(single.NodeIOs) != 1 || len(single.DiskIOs) != d {
+		t.Fatalf("zero NodePlacement: Nodes=%d queues=%d, want legacy single-tier", single.Nodes, len(single.DiskIOs))
+	}
+}
+
+func TestEstimateResponseTwoTierWorkerBound(t *testing.T) {
+	// The worker bound applies per node: each node's pool drains only its
+	// own shard, so the critical path is max(bottleneck disk, slowest
+	// node's total / that node's workers) — not the cluster total over a
+	// pooled worker count.
+	_, spec, icfg, _, qStore := diskModelFixture(t)
+	p := DefaultParams()
+	dp := DiskParams{
+		Placement:     alloc.Placement{Disks: 2, Scheme: alloc.RoundRobin, Staggered: true},
+		NodePlacement: alloc.Placement{Disks: 4, Scheme: alloc.RoundRobin},
+		AccessTime:    12 * time.Millisecond,
+		Workers:       1,
+	}
+	r := EstimateResponse(spec, icfg, qStore, p, dp)
+	maxNode := 0.0
+	for _, l := range r.NodeIOs {
+		if l > maxNode {
+			maxNode = l
+		}
+	}
+	want := r.BottleneckIOs
+	if maxNode > want {
+		want = maxNode
+	}
+	if diff := r.EffectiveIOs - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("EffectiveIOs = %.3f, want max(bottleneck %.3f, slowest node %.3f / 1 worker)",
+			r.EffectiveIOs, r.BottleneckIOs, maxNode)
+	}
+	var total float64
+	for _, l := range r.DiskIOs {
+		total += l
+	}
+	if r.EffectiveIOs >= total {
+		t.Errorf("per-node worker bound %.3f reached the pooled cluster total %.3f", r.EffectiveIOs, total)
+	}
+}

@@ -377,17 +377,65 @@ func (e *Engine) ExecuteGroupedDeltas(ctx context.Context, s *exec.Scheduler, q 
 	return e.executeFull(ctx, q, 0, s, deltas)
 }
 
+// ExecutePartialDeltas runs the query over only the relevant fragments
+// selected by own (nil selects all) and returns the un-flattened partial
+// — the fragment-range contribution one cluster node serves. The grand
+// total and per-key group aggregates commute under addition, so a
+// coordinator merging the partials of a fragment-disjoint node partition
+// and flattening through Grouper.Rows obtains results byte-identical to
+// a single-node execution over the union of the rows.
+func (e *Engine) ExecutePartialDeltas(ctx context.Context, s *exec.Scheduler, q frag.Query, deltas kernel.Deltas, own func(int64) bool) (kernel.FragPartial, Stats, error) {
+	a, gr, err := e.executeAcc(ctx, q, 0, s, deltas, own)
+	if err != nil {
+		return kernel.FragPartial{}, Stats{}, err
+	}
+	p := kernel.FragPartial{Agg: a.agg}
+	if gr != nil {
+		p.Groups = a.g
+		if p.Groups == nil {
+			p.Groups = kernel.NewGrouped()
+		}
+	}
+	return p, a.st, nil
+}
+
 // executeFull runs the query on either dispatch path and assembles the
 // (possibly grouped) result.
 func (e *Engine) executeFull(ctx context.Context, q frag.Query, workers int, s *exec.Scheduler, deltas kernel.Deltas) (kernel.Result, Stats, error) {
-	if err := q.Validate(e.star); err != nil {
-		return kernel.Result{}, Stats{}, err
-	}
-	gr, err := kernel.NewGrouper(e.star, e.spec, q.GroupBy)
+	a, gr, err := e.executeAcc(ctx, q, workers, s, deltas, nil)
 	if err != nil {
 		return kernel.Result{}, Stats{}, err
 	}
+	res := kernel.Result{Aggregate: a.agg}
+	if gr != nil {
+		res.Groups = gr.Rows(a.g)
+	}
+	return res, a.st, nil
+}
+
+// executeAcc is the shared execution core: validate, derive the grouper,
+// enumerate (and optionally ownership-filter) the relevant fragments and
+// fold their partials in task order. It returns the raw accumulator so
+// callers can either flatten it (executeFull) or ship it as a partial
+// (ExecutePartialDeltas).
+func (e *Engine) executeAcc(ctx context.Context, q frag.Query, workers int, s *exec.Scheduler, deltas kernel.Deltas, own func(int64) bool) (acc, *kernel.Grouper, error) {
+	if err := q.Validate(e.star); err != nil {
+		return acc{}, nil, err
+	}
+	gr, err := kernel.NewGrouper(e.star, e.spec, q.GroupBy)
+	if err != nil {
+		return acc{}, nil, err
+	}
 	ids := e.spec.FragmentIDs(q)
+	if own != nil {
+		kept := ids[:0]
+		for _, id := range ids {
+			if own(id) {
+				kept = append(kept, id)
+			}
+		}
+		ids = kept
+	}
 	task := e.fragmentTask(ids, q, gr, deltas)
 	merge := mergePartial(gr != nil)
 	var a acc
@@ -397,13 +445,9 @@ func (e *Engine) executeFull(ctx context.Context, q frag.Query, workers int, s *
 		a, err = exec.ReduceWith(ctx, workers, len(ids), newScratch, task, merge)
 	}
 	if err != nil {
-		return kernel.Result{}, Stats{}, err
+		return acc{}, nil, err
 	}
-	res := kernel.Result{Aggregate: a.agg}
-	if gr != nil {
-		res.Groups = gr.Rows(a.g)
-	}
-	return res, a.st, nil
+	return a, gr, nil
 }
 
 // processFragment evaluates the query inside one fragment: bitmap

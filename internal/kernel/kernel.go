@@ -88,6 +88,15 @@ func (g *Grouped) AddRow(key uint64, unitsSold, dollarSales, cost int64) {
 	g.m[key] = cur
 }
 
+// ForEach calls fn for every non-empty group. Iteration order is
+// unspecified (the map's); callers needing the deterministic order sort
+// the keys themselves or go through Grouper.Rows.
+func (g *Grouped) ForEach(fn func(key uint64, a Aggregate)) {
+	for k, a := range g.m {
+		fn(k, a)
+	}
+}
+
 // Merge folds another accumulator in. Per-key addition commutes, so the
 // merged content is independent of merge order; ordering is imposed only
 // by Grouper.Rows.

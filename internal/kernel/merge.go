@@ -1,0 +1,33 @@
+package kernel
+
+import (
+	"repro/internal/data"
+	"repro/internal/frag"
+)
+
+// MergedTable concatenates a base table's rows with every delta row of
+// the set, fragments in ascending id order and segments in seal order —
+// the deterministic compaction input. Per-fragment row order (base
+// first, then segments in seal order) matches the order queries fold
+// deltas in, so a backend rebuilt from the merged table serves
+// byte-identical results. It is shared by the warehouse's compaction and
+// the per-node compaction of the cluster layer.
+func MergedTable(base *data.Table, deltas *frag.DeltaSet) *data.Table {
+	n := base.N() + int(deltas.Rows())
+	t := &data.Table{Star: base.Star, Dims: make([][]int32, len(base.Dims))}
+	for d := range base.Dims {
+		t.Dims[d] = append(make([]int32, 0, n), base.Dims[d]...)
+	}
+	t.UnitsSold = append(make([]int64, 0, n), base.UnitsSold...)
+	t.DollarSales = append(make([]int64, 0, n), base.DollarSales...)
+	t.Cost = append(make([]int64, 0, n), base.Cost...)
+	deltas.ForEachSegment(func(seg *frag.DeltaSegment) {
+		for d := range t.Dims {
+			t.Dims[d] = append(t.Dims[d], seg.Leaves(d)...)
+		}
+		t.UnitsSold = append(t.UnitsSold, seg.Units()...)
+		t.DollarSales = append(t.DollarSales, seg.Dollars()...)
+		t.Cost = append(t.Cost, seg.Costs()...)
+	})
+	return t
+}

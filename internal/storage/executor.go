@@ -210,16 +210,63 @@ func (e *Executor) ExecuteGrouped(ctx context.Context, q frag.Query) (kernel.Res
 // store rebuilt from scratch with the same rows. Delta rows cost no
 // physical I/O; they are reported in IOStats.DeltaRows.
 func (e *Executor) ExecuteGroupedDeltas(ctx context.Context, q frag.Query, deltas kernel.Deltas) (kernel.Result, IOStats, error) {
-	star := e.store.star
-	spec := e.store.spec
-	if err := q.Validate(star); err != nil {
-		return kernel.Result{}, IOStats{}, err
-	}
-	gr, err := kernel.NewGrouper(star, spec, q.GroupBy)
+	a, gr, err := e.executeAcc(ctx, q, deltas, nil)
 	if err != nil {
 		return kernel.Result{}, IOStats{}, err
 	}
+	res := kernel.Result{Aggregate: a.agg}
+	if gr != nil {
+		res.Groups = gr.Rows(a.g)
+	}
+	return res, a.st, nil
+}
+
+// ExecutePartialDeltas runs the query over only the relevant fragments
+// selected by own (nil selects all) and returns the un-flattened partial
+// — the fragment-range contribution one cluster node serves from its
+// shard of the store. Partials of a fragment-disjoint node partition
+// merge commutatively; the coordinator flattens the merged accumulator
+// through Grouper.Rows for results byte-identical to a single store
+// holding the union of the rows.
+func (e *Executor) ExecutePartialDeltas(ctx context.Context, q frag.Query, deltas kernel.Deltas, own func(int64) bool) (kernel.FragPartial, IOStats, error) {
+	a, gr, err := e.executeAcc(ctx, q, deltas, own)
+	if err != nil {
+		return kernel.FragPartial{}, IOStats{}, err
+	}
+	p := kernel.FragPartial{Agg: a.agg}
+	if gr != nil {
+		p.Groups = a.g
+		if p.Groups == nil {
+			p.Groups = kernel.NewGrouped()
+		}
+	}
+	return p, a.st, nil
+}
+
+// executeAcc is the shared execution core behind ExecuteGroupedDeltas
+// and ExecutePartialDeltas: validate, derive the grouper, enumerate (and
+// optionally ownership-filter) the relevant fragments and fold their
+// partials in task order on whichever dispatch path applies.
+func (e *Executor) executeAcc(ctx context.Context, q frag.Query, deltas kernel.Deltas, own func(int64) bool) (acc, *kernel.Grouper, error) {
+	star := e.store.star
+	spec := e.store.spec
+	if err := q.Validate(star); err != nil {
+		return acc{}, nil, err
+	}
+	gr, err := kernel.NewGrouper(star, spec, q.GroupBy)
+	if err != nil {
+		return acc{}, nil, err
+	}
 	ids := spec.FragmentIDs(q)
+	if own != nil {
+		kept := ids[:0]
+		for _, id := range ids {
+			if own(id) {
+				kept = append(kept, id)
+			}
+		}
+		ids = kept
+	}
 	var perRow []kernel.RowLevel
 	aligned := false
 	if gr != nil {
@@ -279,13 +326,9 @@ func (e *Executor) ExecuteGroupedDeltas(ctx context.Context, q frag.Query, delta
 		a, err = exec.ReduceWith(ctx, e.Workers, len(ids), e.newScratch, run, merge)
 	}
 	if err != nil {
-		return kernel.Result{}, IOStats{}, err
+		return acc{}, nil, err
 	}
-	res := kernel.Result{Aggregate: a.agg}
-	if gr != nil {
-		res.Groups = gr.Rows(a.g)
-	}
-	return res, a.st, nil
+	return a, gr, nil
 }
 
 // processFragment evaluates the query within one fragment. On a

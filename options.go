@@ -33,6 +33,10 @@ type options struct {
 	retry       *storage.RetryPolicy
 	admitLimit  int
 	deadline    time.Duration
+	nodes       int
+	nodeScheme  alloc.Scheme
+	nodeAddrs   []string
+	hedge       time.Duration
 }
 
 func defaultOptions() options {
@@ -219,6 +223,46 @@ func WithQueryDeadline(d time.Duration) Option {
 			d = 0
 		}
 		o.deadline = d
+	}
+}
+
+// WithNodes shards the warehouse over n serving nodes (OpenCluster
+// only): the cluster-level placement assigns every fragment to exactly
+// one node by the given scheme — the same round-robin / gap-round-robin
+// math that declusters fragments over disks, applied one level up —
+// and queries scatter to the owning nodes and gather their partials.
+// Each node gets its own worker pool, admission limit and (WithDisks)
+// disk set; Explain's response model becomes the two-tier node×disk
+// queue model.
+func WithNodes(n int, scheme AllocScheme) Option {
+	return func(o *options) {
+		o.nodes = n
+		o.nodeScheme = scheme
+	}
+}
+
+// WithNodeAddrs serves the cluster over HTTP (OpenCluster only): node k
+// is the server at addrs[k] (see NewNodeHandler and cmd/mdhfnode), the
+// scheme of WithNodes still decides fragment ownership, and sub-queries
+// travel as gob-encoded partials with per-node retry/backoff, circuit
+// breaking and (WithHedgedRequests) straggler hedging. Without it the
+// cluster runs in-process over locally built nodes.
+func WithNodeAddrs(addrs ...string) Option {
+	return func(o *options) { o.nodeAddrs = addrs }
+}
+
+// WithHedgedRequests launches a duplicate sub-query against any node
+// that has not answered within d; the first answer wins (OpenCluster
+// only). Reads are idempotent so hedging never changes results for a
+// fixed serving state, but a hedge pair racing a concurrent Append may
+// observe different epochs — leave hedging off when byte-stable replay
+// matters.
+func WithHedgedRequests(d time.Duration) Option {
+	return func(o *options) {
+		if d < 0 {
+			d = 0
+		}
+		o.hedge = d
 	}
 }
 

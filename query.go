@@ -28,6 +28,9 @@ const (
 	// DeclusteredBackend is the on-disk executor over a DiskSet of
 	// per-disk serialized I/O queues.
 	DeclusteredBackend
+	// ClusterBackend is the multi-node scatter/gather coordinator over
+	// node shards (see OpenCluster).
+	ClusterBackend
 )
 
 func (k BackendKind) String() string {
@@ -38,6 +41,8 @@ func (k BackendKind) String() string {
 		return "on-disk"
 	case DeclusteredBackend:
 		return "declustered"
+	case ClusterBackend:
+		return "cluster"
 	default:
 		return fmt.Sprintf("backend(%d)", int(k))
 	}
@@ -82,6 +87,11 @@ type Stats struct {
 	// at completion. The counters are warehouse-wide (shared by all
 	// in-flight queries); per-query attribution lives in IO.
 	Disks []DiskStats
+	// Cluster reports a scattered execution's fan-out — nodes used,
+	// transport retries, hedges — on the ClusterBackend (nil otherwise);
+	// Engine, IO and DeltaRows above then aggregate the per-node partial
+	// stats.
+	Cluster *ClusterExecStats
 }
 
 // Delta-read cost types (see Explain.Delta).
