@@ -293,6 +293,7 @@ func (c *Cluster) nodeConfig(k int) cluster.NodeConfig {
 		AdmitLimit:   c.opt.admitLimit,
 		FaultPlan:    c.opt.faultPlan,
 		Retry:        c.opt.retry,
+		SharedWindow: c.opt.sharedWindow,
 	}
 	if c.opt.dir != "" {
 		ncfg.Dir = fmt.Sprintf("%s/node-%02d", c.opt.dir, k)
@@ -542,6 +543,7 @@ func (p *ClusterQuery) Execute(ctx context.Context) (Result, Stats, error) {
 		DeltaRows:  est.DeltaRows,
 		Engine:     est.Engine,
 		IO:         est.IO,
+		SharedScan: est.Shared,
 		Cluster:    &est,
 	}
 	return res, st, nil

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -68,6 +67,9 @@ type ExecStats struct {
 	// straggler hedges.
 	Retries int64
 	Hedges  int64
+	// Shared aggregates the nodes' shared-scan batching effect (Batched
+	// is the largest node-side batch this execution rode in).
+	Shared kernel.SharedScanStats
 }
 
 type nodeCounters struct {
@@ -220,6 +222,7 @@ func (c *Coordinator) Execute(ctx context.Context, q frag.Query) (kernel.Result,
 			a.st.IO.Add(p.resp.IO)
 			a.st.Retries += p.retries
 			a.st.Hedges += p.hedges
+			a.st.Shared.Add(p.resp.Shared)
 		})
 	if err != nil {
 		return kernel.Result{}, ExecStats{}, err
@@ -379,47 +382,47 @@ func (c *Coordinator) Append(ctx context.Context, rows []Row) error {
 		k := NodeOf(c.cl, id)
 		parts[k] = append(parts[k], r)
 	}
-	errs := make([]error, len(parts))
-	var wg sync.WaitGroup
-	for k, batch := range parts {
-		if len(batch) == 0 {
-			continue
+	// Fan out on the shared exec helper. Per-node failures come back as
+	// values, not task errors: exec.Map aborts remaining tasks on the
+	// first task error, but every node's batch must still land even when
+	// one node fails.
+	errs, err := exec.Map(ctx, len(parts), len(parts), func(k int) (error, error) {
+		if len(parts[k]) == 0 {
+			return nil, nil
 		}
-		wg.Add(1)
-		go func(k int, batch []Row) {
-			defer wg.Done()
-			if err := c.tr.Append(ctx, k, batch); err != nil {
-				var ne *NodeError
-				if !errors.As(err, &ne) {
-					err = &NodeError{Node: k, Err: err}
-				}
-				errs[k] = err
+		if err := c.tr.Append(ctx, k, parts[k]); err != nil {
+			var ne *NodeError
+			if !errors.As(err, &ne) {
+				err = &NodeError{Node: k, Err: err}
 			}
-		}(k, batch)
+			return err, nil
+		}
+		return nil, nil
+	})
+	if err != nil {
+		return err // ctx cancellation: nothing was gathered
 	}
-	wg.Wait()
 	return errors.Join(errs...)
 }
 
 // Compact fans compaction out to every node in parallel and joins any
 // failures in node order.
 func (c *Coordinator) Compact(ctx context.Context) error {
-	errs := make([]error, len(c.counters))
-	var wg sync.WaitGroup
-	for k := range c.counters {
-		wg.Add(1)
-		go func(k int) {
-			defer wg.Done()
-			if err := c.tr.Compact(ctx, k); err != nil {
-				var ne *NodeError
-				if !errors.As(err, &ne) {
-					err = &NodeError{Node: k, Err: err}
-				}
-				errs[k] = err
+	// Per-node failures return as values so every node still compacts
+	// (exec.Map would abort remaining tasks on a task error).
+	errs, err := exec.Map(ctx, len(c.counters), len(c.counters), func(k int) (error, error) {
+		if err := c.tr.Compact(ctx, k); err != nil {
+			var ne *NodeError
+			if !errors.As(err, &ne) {
+				err = &NodeError{Node: k, Err: err}
 			}
-		}(k)
+			return err, nil
+		}
+		return nil, nil
+	})
+	if err != nil {
+		return err
 	}
-	wg.Wait()
 	return errors.Join(errs...)
 }
 
@@ -427,23 +430,25 @@ func (c *Coordinator) Compact(ctx context.Context) error {
 // A node that cannot answer gets a zero snapshot with only its index
 // set, and the first such error is returned alongside the slice.
 func (c *Coordinator) NodeStats(ctx context.Context) ([]NodeStats, error) {
-	out := make([]NodeStats, len(c.counters))
-	errs := make([]error, len(c.counters))
-	var wg sync.WaitGroup
-	for k := range out {
-		wg.Add(1)
-		go func(k int) {
-			defer wg.Done()
-			st, err := c.tr.Stats(ctx, k)
-			if err != nil {
-				out[k] = NodeStats{Index: k}
-				errs[k] = &NodeError{Node: k, Err: err}
-				return
-			}
-			out[k] = st
-		}(k)
+	type nodeStat struct {
+		st  NodeStats
+		err error
 	}
-	wg.Wait()
+	parts, err := exec.Map(ctx, len(c.counters), len(c.counters), func(k int) (nodeStat, error) {
+		st, err := c.tr.Stats(ctx, k)
+		if err != nil {
+			return nodeStat{st: NodeStats{Index: k}, err: &NodeError{Node: k, Err: err}}, nil
+		}
+		return nodeStat{st: st}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]NodeStats, len(parts))
+	errs := make([]error, len(parts))
+	for k, p := range parts {
+		out[k], errs[k] = p.st, p.err
+	}
 	return out, errors.Join(errs...)
 }
 

@@ -67,6 +67,11 @@ type NodeConfig struct {
 	// read retry policy on the node's disk set.
 	FaultPlan *storage.FaultPlan
 	Retry     *storage.RetryPolicy
+	// SharedWindow enables shared multi-query scans on this node:
+	// sub-requests admitted within the window against the same serving
+	// state batch into one scan over their fragment union (see the
+	// warehouse's WithSharedScans). <= 0 disables sharing.
+	SharedWindow time.Duration
 }
 
 // nodeBackend is one epoch's backend on a node, reference-counted
@@ -99,9 +104,10 @@ type nodeSnap struct {
 // epoch-rolling compaction — the single-node serving machinery scoped to
 // a fragment range. All methods are safe for concurrent use.
 type Node struct {
-	cfg   NodeConfig
-	sched *exec.Scheduler
-	ix    *frag.DeltaIndex
+	cfg    NodeConfig
+	sched  *exec.Scheduler
+	ix     *frag.DeltaIndex
+	shared *exec.Batcher[nodeSharedKey, Request, nodeSharedOut]
 
 	mu     sync.Mutex // guards closed, cur, bgErr
 	closed bool
@@ -154,6 +160,9 @@ func NewNode(cfg NodeConfig, rows *data.Table) (*Node, error) {
 	n := &Node{cfg: cfg, ix: ix, sched: exec.NewScheduler(cfg.Workers)}
 	if cfg.AdmitLimit > 0 {
 		n.sched.SetLimit(cfg.AdmitLimit)
+	}
+	if cfg.SharedWindow > 0 {
+		n.shared = exec.NewBatcher[nodeSharedKey, Request, nodeSharedOut](cfg.SharedWindow)
 	}
 	b, err := n.buildBackend(rows, 0)
 	if err != nil {
@@ -257,6 +266,14 @@ func (n *Node) Exec(ctx context.Context, req Request) (Response, error) {
 	defer release()
 	snap := n.pin()
 	defer n.unpin(snap.b)
+	if n.shared != nil {
+		resp, handled, err := n.execShared(ctx, snap, req)
+		if handled {
+			return resp, err
+		}
+		// Batch-wide failure: fall back to solo execution below, so node-
+		// side batching is only ever a performance effect.
+	}
 	q := req.Query()
 	deltas := kernel.Deltas{Ix: n.ix, Set: snap.deltas}
 	resp := Response{Epoch: snap.epoch, Grouped: len(q.GroupBy) > 0}
@@ -278,6 +295,90 @@ func (n *Node) Exec(ctx context.Context, req Request) (Response, error) {
 	resp.DeltaRows = io.DeltaRows
 	packPartial(&resp, p)
 	return resp, nil
+}
+
+// nodeSharedKey partitions batch compatibility exactly like the
+// warehouse's: same epoch plus same delta high-water mark means a
+// byte-identical serving state.
+type nodeSharedKey struct {
+	epoch int64
+	seq   uint64
+}
+
+// nodeSharedOut is one batched sub-request's outcome: its assembled
+// response, or its per-query error.
+type nodeSharedOut struct {
+	resp Response
+	err  error
+}
+
+// execShared routes one sub-request through the node's admission
+// batcher. handled=false reports a batch-wide failure the caller should
+// retry solo; per-query errors (validation) come back handled with the
+// error attributed to this node.
+func (n *Node) execShared(ctx context.Context, snap nodeSnap, req Request) (Response, bool, error) {
+	key := nodeSharedKey{epoch: snap.epoch, seq: snap.deltas.MaxSeq()}
+	out, _, err := n.shared.Do(ctx, key, req, func(items []Request) ([]nodeSharedOut, error) {
+		return n.runSharedBatch(ctx, snap, items)
+	})
+	if err != nil {
+		if ctx.Err() != nil {
+			return Response{}, true, err
+		}
+		return Response{}, false, err
+	}
+	if out.err != nil {
+		return Response{}, true, n.nodeErr(out.err)
+	}
+	return out.resp, true, nil
+}
+
+// runSharedBatch executes one sealed batch of sub-requests in a single
+// shared pass over the fragments this node owns, assembling each
+// member's Response exactly as solo Exec would.
+func (n *Node) runSharedBatch(ctx context.Context, snap nodeSnap, items []Request) ([]nodeSharedOut, error) {
+	qs := make([]frag.Query, len(items))
+	for i := range items {
+		qs[i] = items[i].Query()
+	}
+	deltas := kernel.Deltas{Ix: n.ix, Set: snap.deltas}
+	outs := make([]nodeSharedOut, len(items))
+	if snap.b.engine != nil {
+		rs, err := snap.b.engine.ExecuteSharedDeltas(ctx, n.sched, qs, deltas, n.owns())
+		if err != nil {
+			return nil, err
+		}
+		for i, r := range rs {
+			if r.Err != nil {
+				outs[i].err = r.Err
+				continue
+			}
+			resp := Response{Epoch: snap.epoch, Grouped: len(qs[i].GroupBy) > 0}
+			resp.Engine = r.St
+			resp.DeltaRows = r.St.DeltaRows
+			resp.Shared = r.Shared
+			packPartial(&resp, r.Part)
+			outs[i].resp = resp
+		}
+		return outs, nil
+	}
+	rs, err := snap.b.be.Exec.ExecuteSharedDeltas(ctx, qs, deltas, n.owns())
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range rs {
+		if r.Err != nil {
+			outs[i].err = r.Err
+			continue
+		}
+		resp := Response{Epoch: snap.epoch, Grouped: len(qs[i].GroupBy) > 0}
+		resp.IO = r.St
+		resp.DeltaRows = r.St.DeltaRows
+		resp.Shared = r.Shared
+		packPartial(&resp, r.Part)
+		outs[i].resp = resp
+	}
+	return outs, nil
 }
 
 // Append ingests a batch of rows into the node's delta set. Every row

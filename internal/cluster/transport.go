@@ -44,6 +44,9 @@ type Response struct {
 	DeltaRows int64
 	Engine    kernel.Stats
 	IO        storage.IOStats
+	// Shared reports the node-side shared-scan batching effect on this
+	// sub-request (zero unless the node was built with a SharedWindow).
+	Shared kernel.SharedScanStats
 }
 
 // NodeStats is one node's serving snapshot, fetched over the transport.

@@ -1,0 +1,89 @@
+package cost
+
+import "repro/internal/frag"
+
+// SharedCost predicts the physical-read reduction a query gets from
+// shared multi-query scans: when K overlapping queries batch, every
+// fragment relevant to more than one of them is read once instead of
+// once per query. The model treats batch-mates as draws from the query
+// mix and fragment overlap as the intersection of confinement regions —
+// the same per-attribute member rectangles the Section 4.5 cost model
+// confines I/O with.
+type SharedCost struct {
+	// Concurrency is the batch size K the estimate assumes (typically the
+	// serving peak in-flight count, at least 2).
+	Concurrency int
+	// OverlapFraction is the mix-weighted expected fraction of this
+	// query's relevant fragments also relevant to one random batch-mate:
+	// E[|A∩B|]/|A| over mix-weighted B.
+	OverlapFraction float64
+	// ExpectedPhysFraction is the expected fraction of the query's solo
+	// physical reads it still pays in a K-batch. A fragment escapes
+	// sharing only when none of the K-1 batch-mates wants it —
+	// probability (1-OverlapFraction)^(K-1) under independence — and a
+	// fragment wanted by all K is still paid once, flooring the fraction
+	// at 1/K.
+	ExpectedPhysFraction float64
+	// SharingFactor is the predicted physical-read reduction factor
+	// 1/ExpectedPhysFraction, clamped to [1, K].
+	SharingFactor float64
+}
+
+// EstimateShared predicts the shared-scan effect for one query batched
+// at concurrency k against the given mix (weights need not be
+// normalised). k below 2 is treated as 2 — sharing needs a batch-mate.
+func EstimateShared(spec *frag.Spec, q frag.Query, mix []WeightedQuery, k int) SharedCost {
+	if k < 2 {
+		k = 2
+	}
+	sc := SharedCost{Concurrency: k, ExpectedPhysFraction: 1, SharingFactor: 1}
+	a := spec.Relevant(q)
+	size := float64(a.Count())
+	if size <= 0 {
+		return sc
+	}
+	var wsum, ov float64
+	for _, wq := range mix {
+		if wq.Weight <= 0 {
+			continue
+		}
+		b := spec.Relevant(wq.Query)
+		inter := int64(1)
+		for i := range a.Lo {
+			lo, hi := a.Lo[i], a.Hi[i]
+			if b.Lo[i] > lo {
+				lo = b.Lo[i]
+			}
+			if b.Hi[i] < hi {
+				hi = b.Hi[i]
+			}
+			if hi <= lo {
+				inter = 0
+				break
+			}
+			inter *= int64(hi - lo)
+		}
+		wsum += wq.Weight
+		ov += wq.Weight * float64(inter) / size
+	}
+	if wsum <= 0 {
+		return sc
+	}
+	sc.OverlapFraction = ov / wsum
+	frac := 1.0
+	for i := 1; i < k; i++ {
+		frac *= 1 - sc.OverlapFraction
+	}
+	if floor := 1 / float64(k); frac < floor {
+		frac = floor
+	}
+	sc.ExpectedPhysFraction = frac
+	sc.SharingFactor = 1 / frac
+	if sc.SharingFactor > float64(k) {
+		sc.SharingFactor = float64(k)
+	}
+	if sc.SharingFactor < 1 {
+		sc.SharingFactor = 1
+	}
+	return sc
+}

@@ -1,0 +1,279 @@
+package engine
+
+import (
+	"context"
+
+	"repro/internal/bitmap"
+	"repro/internal/exec"
+	"repro/internal/frag"
+	"repro/internal/kernel"
+)
+
+// SharedResult is one query's outcome in a shared multi-query scan over
+// the in-memory engine: the flattened result, the un-flattened partial
+// (the cluster node surface), and the query's own logical statistics —
+// byte-identical to solo execution. The in-memory engine performs no
+// physical reads, so Shared records only batch membership and fragment
+// co-scanning (PhysReadsSaved stays 0); the win here is the single
+// column pass feeding K accumulators.
+type SharedResult struct {
+	Res    kernel.Result
+	Part   kernel.FragPartial
+	St     Stats
+	Shared kernel.SharedScanStats
+	Err    error
+}
+
+// engSharedSlot is one query's pre-dispatch state.
+type engSharedSlot struct {
+	q   frag.Query
+	gr  *kernel.Grouper
+	err error
+}
+
+// engSlotPart is one slot's contribution from one fragment task.
+type engSlotPart struct {
+	slot   int
+	fp     kernel.FragPartial
+	st     Stats
+	shared kernel.SharedScanStats
+}
+
+type engTaskPart struct {
+	parts []engSlotPart
+}
+
+type engSharedAcc struct {
+	agg    []kernel.Aggregate
+	g      []*kernel.Grouped
+	st     []Stats
+	shared []kernel.SharedScanStats
+}
+
+// sharedScratch extends the per-worker engine scratch with per-slot
+// selection masks and their union for the shared row walk.
+type sharedScratch struct {
+	sc    *scratch
+	masks []*bitmap.Bitset
+	union *bitmap.Bitset
+}
+
+func newSharedScratch() *sharedScratch {
+	return &sharedScratch{sc: newScratch(), union: bitmap.New(0)}
+}
+
+func (sc *sharedScratch) mask(k int) *bitmap.Bitset {
+	for len(sc.masks) <= k {
+		sc.masks = append(sc.masks, bitmap.New(0))
+	}
+	return sc.masks[k]
+}
+
+// sharedMask computes one slot's selection mask for the fragment: nil
+// when the query needs no bitmap there (every row relevant), an empty
+// mask when nothing matches. BitmapsRead lands on st exactly as solo
+// execution counts it.
+func (e *Engine) sharedMask(f *fragment, q frag.Query, mask *bitmap.Bitset, st *Stats, sc *sharedScratch) *bitmap.Bitset {
+	if e.compressed {
+		ops := sc.sc.ops[:0]
+		for _, pr := range q.Preds {
+			if !e.spec.NeedsBitmap(pr) {
+				continue
+			}
+			switch e.icfg[pr.Dim].Kind {
+			case frag.EncodedIndex:
+				var nb int
+				ops, nb = f.encodedC[pr.Dim].SelectOperands(ops, e.fragLevel(pr.Dim), pr.Level, pr.Member)
+				st.BitmapsRead += int64(nb)
+			default:
+				ops = append(ops, f.simpleC[pr.Dim][pr.Level].Bitmap(pr.Member))
+				st.BitmapsRead++
+			}
+		}
+		sc.sc.ops = ops
+		if len(ops) == 0 {
+			return nil
+		}
+		sc.sc.cres = bitmap.AndAllInto(sc.sc.cres, ops...)
+		return sc.sc.cres.DecompressInto(mask)
+	}
+	first := true
+	for _, pr := range q.Preds {
+		if !e.spec.NeedsBitmap(pr) {
+			continue
+		}
+		dst := mask
+		if !first {
+			dst = sc.sc.sel
+		}
+		switch e.icfg[pr.Dim].Kind {
+		case frag.EncodedIndex:
+			nb := f.encoded[pr.Dim].SelectPartialInto(dst, e.fragLevel(pr.Dim), pr.Level, pr.Member)
+			st.BitmapsRead += int64(nb)
+		default:
+			f.simple[pr.Dim][pr.Level].SelectInto(dst, pr.Member)
+			st.BitmapsRead++
+		}
+		if !first {
+			mask.And(sc.sc.sel)
+		}
+		first = false
+	}
+	if first {
+		return nil
+	}
+	return mask
+}
+
+// ExecuteSharedDeltas executes K queries against the engine in a single
+// shared pass: one task per fragment of the queries' union, each task
+// computing every interested query's selection mask and then feeding
+// all K accumulators from one walk over the fragment's columns
+// (kernel.EvalMany). Results and logical statistics are byte-identical
+// to K solo executions.
+func (e *Engine) ExecuteSharedDeltas(ctx context.Context, s *exec.Scheduler, qs []frag.Query, deltas kernel.Deltas, own func(int64) bool) ([]SharedResult, error) {
+	slots := make([]engSharedSlot, len(qs))
+	taskOf := make(map[int64][]int32)
+	var unionIDs []int64
+	for si, q := range qs {
+		slots[si].q = q
+		if err := q.Validate(e.star); err != nil {
+			slots[si].err = err
+			continue
+		}
+		gr, err := kernel.NewGrouper(e.star, e.spec, q.GroupBy)
+		if err != nil {
+			slots[si].err = err
+			continue
+		}
+		slots[si].gr = gr
+		for _, id := range e.spec.FragmentIDs(q) {
+			if own != nil && !own(id) {
+				continue
+			}
+			if _, ok := taskOf[id]; !ok {
+				unionIDs = append(unionIDs, id)
+			}
+			taskOf[id] = append(taskOf[id], int32(si))
+		}
+	}
+	sortFragIDs(unionIDs)
+
+	run := func(sc *sharedScratch, ti int) (engTaskPart, error) {
+		id := unionIDs[ti]
+		members := taskOf[id]
+		out := engTaskPart{parts: make([]engSlotPart, len(members))}
+		f, ok := e.frags[id]
+		hasDelta := !deltas.Empty() && len(deltas.Set.Of(id)) > 0
+		if !ok && !hasDelta {
+			for k, si := range members {
+				out.parts[k].slot = int(si)
+			}
+			return out, nil // fragment has no rows at this density
+		}
+		kslots := make([]kernel.Slot, len(members))
+		evalSlots := make([]*kernel.Slot, len(members))
+		for k, si := range members {
+			out.parts[k].slot = int(si)
+			kslots[k] = kernel.NewSlot(slots[si].gr, id)
+			evalSlots[k] = &kslots[k]
+		}
+		if ok {
+			shared := len(members) >= 2
+			masks := make([]*bitmap.Bitset, len(members))
+			for k, si := range members {
+				masks[k] = e.sharedMask(f, slots[si].q, sc.mask(k), &out.parts[k].st, sc)
+				if shared {
+					out.parts[k].shared.FragmentsShared = 1
+				}
+			}
+			cols := kernel.Columns{Dims: f.dims, Units: f.unitsSold, Dollars: f.dollarSales, Costs: f.cost}
+			kernel.EvalMany(evalSlots, masks, f.rows, cols, sc.union)
+		}
+		for k, si := range members {
+			p := &out.parts[k]
+			p.st.RowsScanned += kslots[k].Rows
+			if hasDelta {
+				if sc.sc.dsc == nil {
+					sc.sc.dsc = frag.NewDeltaScratch()
+				}
+				n, err := kernel.AddDelta(deltas, id, slots[si].q, &kslots[k].FP, kslots[k].Base, kslots[k].PerRow, sc.sc.dsc)
+				if err != nil {
+					return engTaskPart{}, err
+				}
+				p.st.DeltaRows += n
+			}
+			p.st.FragmentsProcessed = 1
+			p.fp = kslots[k].FP
+		}
+		return out, nil
+	}
+
+	merge := func(a *engSharedAcc, p engTaskPart) {
+		if a.agg == nil {
+			a.agg = make([]kernel.Aggregate, len(qs))
+			a.g = make([]*kernel.Grouped, len(qs))
+			a.st = make([]Stats, len(qs))
+			a.shared = make([]kernel.SharedScanStats, len(qs))
+		}
+		for _, sp := range p.parts {
+			si := sp.slot
+			if slots[si].gr != nil && a.g[si] == nil {
+				a.g[si] = kernel.NewGrouped()
+			}
+			sp.fp.MergeInto(&a.agg[si], a.g[si])
+			a.st[si].Add(sp.st)
+			a.shared[si].FragmentsShared += sp.shared.FragmentsShared
+			a.shared[si].PhysReadsSaved += sp.shared.PhysReadsSaved
+		}
+	}
+
+	var a engSharedAcc
+	var err error
+	if s != nil {
+		a, err = exec.ReduceOn(ctx, s, len(unionIDs), newSharedScratch, run, merge)
+	} else {
+		a, err = exec.ReduceWith(ctx, 0, len(unionIDs), newSharedScratch, run, merge)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]SharedResult, len(qs))
+	for si := range slots {
+		if slots[si].err != nil {
+			out[si].Err = slots[si].err
+			continue
+		}
+		var agg kernel.Aggregate
+		var grp *kernel.Grouped
+		var st Stats
+		var sh kernel.SharedScanStats
+		if a.agg != nil {
+			agg, grp, st, sh = a.agg[si], a.g[si], a.st[si], a.shared[si]
+		}
+		sh.Batched = len(qs)
+		out[si].St = st
+		out[si].Shared = sh
+		out[si].Res = kernel.Result{Aggregate: agg}
+		out[si].Part = kernel.FragPartial{Agg: agg}
+		if gr := slots[si].gr; gr != nil {
+			out[si].Res.Groups = gr.Rows(grp)
+			out[si].Part.Groups = grp
+			if out[si].Part.Groups == nil {
+				out[si].Part.Groups = kernel.NewGrouped()
+			}
+		}
+	}
+	return out, nil
+}
+
+// sortFragIDs sorts fragment ids ascending — each query's own solo
+// dispatch order, preserved by the shared union.
+func sortFragIDs(ids []int64) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

@@ -1,0 +1,608 @@
+package storage
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/bitmap"
+	"repro/internal/exec"
+	"repro/internal/frag"
+	"repro/internal/kernel"
+)
+
+// SharedResult is one query's outcome in a shared multi-query scan: the
+// flattened result (the warehouse surface), the un-flattened partial
+// (the cluster node surface), the query's own *logical* I/O statistics
+// — byte-identical to what its solo execution would report — and the
+// physical savings sharing bought it. Err carries a per-query
+// validation failure; batch-wide failures (I/O errors, cancellation)
+// fail the whole call instead so every caller can fall back to solo
+// execution.
+type SharedResult struct {
+	Res    kernel.Result
+	Part   kernel.FragPartial
+	St     IOStats
+	Shared kernel.SharedScanStats
+	Err    error
+}
+
+// sharedSlot is one query's pre-dispatch state.
+type sharedSlot struct {
+	q   frag.Query
+	gr  *kernel.Grouper
+	err error
+}
+
+// slotPart is one slot's contribution from one fragment task.
+type slotPart struct {
+	slot   int
+	fp     kernel.FragPartial
+	st     IOStats
+	shared kernel.SharedScanStats
+}
+
+// sharedTaskPart is one fragment task's output: the per-slot partials of
+// every query that needed the fragment.
+type sharedTaskPart struct {
+	parts []slotPart
+}
+
+// sharedAcc folds the tasks' outputs per slot.
+type sharedAcc struct {
+	agg    []kernel.Aggregate
+	g      []*kernel.Grouped
+	st     []IOStats
+	shared []kernel.SharedScanStats
+}
+
+// bmCached is one physically-read bitmap fragment cached for the
+// duration of a fragment task, so batch-mates selecting the same bitmap
+// reuse the pages instead of re-reading them.
+type bmCached struct {
+	bs    *bitmap.Bitset
+	c     *bitmap.Compressed
+	pages int
+}
+
+// sharedScratch extends the per-worker executor scratch with the shared
+// path's per-task state: the bitmap read cache, per-slot selection
+// masks, the mask union, and the granule ownership table.
+type sharedScratch struct {
+	sc      *execScratch
+	bm      map[BitmapDesc]*bmCached
+	entries []*bmCached // bmCached freelist, reused across tasks
+	used    int
+	masks   []*bitmap.Bitset
+	union   *bitmap.Bitset
+	payer   []int32 // granule index -> first-paying local slot (-1 = unread)
+	ugran   []granule
+}
+
+func (e *Executor) newSharedScratch() *sharedScratch {
+	return &sharedScratch{
+		sc:    e.newScratch(),
+		bm:    make(map[BitmapDesc]*bmCached),
+		union: bitmap.New(0),
+	}
+}
+
+// reset clears the per-task bitmap cache, recycling its entries.
+func (sc *sharedScratch) reset() {
+	for k := range sc.bm {
+		delete(sc.bm, k)
+	}
+	sc.used = 0
+}
+
+func (sc *sharedScratch) entry() *bmCached {
+	if sc.used < len(sc.entries) {
+		ent := sc.entries[sc.used]
+		sc.used++
+		return ent
+	}
+	ent := &bmCached{bs: bitmap.New(0), c: &bitmap.Compressed{}}
+	sc.entries = append(sc.entries, ent)
+	sc.used++
+	return ent
+}
+
+// mask returns the k-th per-slot selection mask, growing the pool.
+func (sc *sharedScratch) mask(k int) *bitmap.Bitset {
+	for len(sc.masks) <= k {
+		sc.masks = append(sc.masks, bitmap.New(0))
+	}
+	return sc.masks[k]
+}
+
+// cachedBitmap reads one materialised bitmap fragment through the task
+// cache: the first slot needing it pays the physical read (attributed
+// to st), later slots get the cached bitset back. The hit flag lets the
+// caller count the saved physical read.
+func (sc *sharedScratch) cachedBitmap(ctx context.Context, e *Executor, id int64, desc BitmapDesc, st *IOStats) (*bmCached, bool, error) {
+	if ent, ok := sc.bm[desc]; ok {
+		return ent, true, nil
+	}
+	ent := sc.entry()
+	var err error
+	var pages int
+	_, sc.sc.bbuf, pages, err = e.bitmaps.readBitmapInto(ctx, ent.bs, sc.sc.bbuf, id, desc, st)
+	if err != nil {
+		return nil, false, err
+	}
+	ent.pages = pages
+	sc.bm[desc] = ent
+	return ent, false, nil
+}
+
+// cachedCompressed is cachedBitmap for the WAH fast path.
+func (sc *sharedScratch) cachedCompressed(ctx context.Context, e *Executor, id int64, desc BitmapDesc, st *IOStats) (*bmCached, bool, error) {
+	if ent, ok := sc.bm[desc]; ok {
+		return ent, true, nil
+	}
+	ent := sc.entry()
+	var err error
+	var pages int
+	_, sc.sc.bbuf, pages, err = e.bitmaps.readCompressedInto(ctx, ent.c, sc.sc.bbuf, id, desc, st)
+	if err != nil {
+		return nil, false, err
+	}
+	ent.pages = pages
+	sc.bm[desc] = ent
+	return ent, false, nil
+}
+
+// sharedMask computes one slot's selection mask for the fragment via the
+// task's bitmap cache. It returns nil when the query needs no bitmap in
+// this fragment (every row is relevant — the solo scanWhole path); an
+// empty mask means no row matches. Logical bitmap counters land on st
+// exactly as solo execution counts them; physically-saved reads land on
+// sh.
+func (e *Executor) sharedMask(ctx context.Context, id int64, rows int, q frag.Query, mask *bitmap.Bitset, st *IOStats, sh *kernel.SharedScanStats, sc *sharedScratch) (*bitmap.Bitset, error) {
+	if e.bitmaps.compressed {
+		return e.sharedMaskCompressed(ctx, id, rows, q, mask, st, sh, sc)
+	}
+	spec := e.store.spec
+	first := true
+	for _, pr := range q.Preds {
+		if !spec.NeedsBitmap(pr) {
+			continue
+		}
+		if e.bitmaps.icfg[pr.Dim].Kind == frag.SimpleIndexes {
+			ent, hit, err := sc.cachedBitmap(ctx, e, id, BitmapDesc{Dim: pr.Dim, Level: pr.Level, Member: pr.Member, Simple: true}, st)
+			st.BitmapIOs++
+			if err != nil {
+				return nil, err
+			}
+			st.BitmapPages += int64(ent.pages)
+			if hit {
+				sh.PhysReadsSaved++
+			}
+			if first {
+				mask.Reinit(ent.bs.Len())
+				mask.CopyFrom(ent.bs)
+			} else {
+				mask.And(ent.bs)
+			}
+			first = false
+			continue
+		}
+		layout := e.bitmaps.layouts[pr.Dim]
+		skip := e.bitmaps.skipBits[pr.Dim]
+		hi := layout.PrefixBits(pr.Level)
+		if hi <= skip {
+			dim := &e.store.star.Dims[pr.Dim]
+			return nil, fmt.Errorf("storage: predicate on %s.%s needs no bitmaps", dim.Name, dim.Levels[pr.Level].Name)
+		}
+		pattern := layout.EncodePrefix(pr.Level, pr.Member)
+		for b := skip; b < hi; b++ {
+			ent, hit, err := sc.cachedBitmap(ctx, e, id, BitmapDesc{Dim: pr.Dim, Bit: b}, st)
+			if err != nil {
+				return nil, err
+			}
+			st.BitmapIOs++
+			st.BitmapPages += int64(ent.pages)
+			if hit {
+				sh.PhysReadsSaved++
+			}
+			verbatim := pattern>>uint(hi-1-b)&1 == 1
+			if first {
+				mask.Reinit(ent.bs.Len())
+				mask.CopyFrom(ent.bs)
+				if !verbatim {
+					mask.Not()
+				}
+				first = false
+				continue
+			}
+			if verbatim {
+				mask.And(ent.bs)
+			} else {
+				mask.AndNot(ent.bs)
+			}
+		}
+	}
+	if first {
+		return nil, nil // no bitmap access: every fragment row is relevant
+	}
+	return mask, nil
+}
+
+// sharedMaskCompressed mirrors processFragmentCompressed: collect the
+// predicates' WAH operands (through the task cache), one k-way AndAll
+// plus AndNot folds, then decompress the intersection into the slot's
+// mask so the shared row walk is uniform across paths.
+func (e *Executor) sharedMaskCompressed(ctx context.Context, id int64, rows int, q frag.Query, mask *bitmap.Bitset, st *IOStats, sh *kernel.SharedScanStats, sc *sharedScratch) (*bitmap.Bitset, error) {
+	spec := e.store.spec
+	pos, neg := sc.sc.pos[:0], sc.sc.neg[:0]
+	anyBitmap := false
+	read := func(desc BitmapDesc) (*bitmap.Compressed, error) {
+		ent, hit, err := sc.cachedCompressed(ctx, e, id, desc, st)
+		if err != nil {
+			return nil, err
+		}
+		st.BitmapIOs++
+		st.BitmapPages += int64(ent.pages)
+		if hit {
+			sh.PhysReadsSaved++
+		}
+		return ent.c, nil
+	}
+	for _, pr := range q.Preds {
+		if !spec.NeedsBitmap(pr) {
+			continue
+		}
+		anyBitmap = true
+		if e.bitmaps.icfg[pr.Dim].Kind == frag.SimpleIndexes {
+			c, err := read(BitmapDesc{Dim: pr.Dim, Level: pr.Level, Member: pr.Member, Simple: true})
+			if err != nil {
+				return nil, err
+			}
+			pos = append(pos, c)
+			continue
+		}
+		layout := e.bitmaps.layouts[pr.Dim]
+		skip := e.bitmaps.skipBits[pr.Dim]
+		hi := layout.PrefixBits(pr.Level)
+		if hi <= skip {
+			dim := &e.store.star.Dims[pr.Dim]
+			return nil, fmt.Errorf("storage: predicate on %s.%s needs no bitmaps", dim.Name, dim.Levels[pr.Level].Name)
+		}
+		pattern := layout.EncodePrefix(pr.Level, pr.Member)
+		for b := skip; b < hi; b++ {
+			c, err := read(BitmapDesc{Dim: pr.Dim, Bit: b})
+			if err != nil {
+				return nil, err
+			}
+			if pattern>>uint(hi-1-b)&1 == 1 {
+				pos = append(pos, c)
+			} else {
+				neg = append(neg, c)
+			}
+		}
+	}
+	sc.sc.pos, sc.sc.neg = pos, neg
+	if !anyBitmap {
+		return nil, nil
+	}
+	var res *bitmap.Compressed
+	if len(pos) > 0 {
+		res = bitmap.AndAllInto(sc.sc.cres, pos...)
+	} else {
+		res = bitmap.CompressedOnesInto(sc.sc.cres, rows)
+	}
+	sc.sc.cres = res
+	for _, n := range neg {
+		res = bitmap.AndNotInto(sc.sc.ctmp, res, n)
+		sc.sc.cres, sc.sc.ctmp = res, sc.sc.cres
+	}
+	if !res.Any() {
+		mask.Reinit(rows)
+		return mask, nil // empty intersection: no fact page is touched
+	}
+	return res.DecompressInto(mask), nil
+}
+
+// ExecuteSharedDeltas executes K queries against one pinned snapshot in
+// a single shared pass: the union of the queries' relevant fragments is
+// dispatched as one task set (through the scheduler and the declustered
+// sharded queues exactly like solo execution), and each fragment task
+// performs one physical bitmap selection + granule read stream that
+// feeds every query needing the fragment. Per-query results — including
+// the logical I/O statistics — are byte-identical to K solo executions
+// against the same snapshot; only the physical read counts shrink.
+func (e *Executor) ExecuteSharedDeltas(ctx context.Context, qs []frag.Query, deltas kernel.Deltas, own func(int64) bool) ([]SharedResult, error) {
+	star := e.store.star
+	spec := e.store.spec
+	slots := make([]sharedSlot, len(qs))
+	taskOf := make(map[int64][]int32)
+	var unionIDs []int64
+	for s, q := range qs {
+		slots[s].q = q
+		if err := q.Validate(star); err != nil {
+			slots[s].err = err
+			continue
+		}
+		gr, err := kernel.NewGrouper(star, spec, q.GroupBy)
+		if err != nil {
+			slots[s].err = err
+			continue
+		}
+		slots[s].gr = gr
+		for _, id := range spec.FragmentIDs(q) {
+			if own != nil && !own(id) {
+				continue
+			}
+			if _, ok := taskOf[id]; !ok {
+				unionIDs = append(unionIDs, id)
+			}
+			taskOf[id] = append(taskOf[id], int32(s))
+		}
+	}
+	sortIDs(unionIDs)
+
+	tpp := TuplesPerPage(star)
+	g := e.PrefetchFact
+
+	run := func(sc *sharedScratch, ti int) (sharedTaskPart, error) {
+		sc.reset()
+		id := unionIDs[ti]
+		members := taskOf[id]
+		out := sharedTaskPart{parts: make([]slotPart, len(members))}
+		kslots := make([]kernel.Slot, len(members))
+		for k, s := range members {
+			out.parts[k].slot = int(s)
+			kslots[k] = kernel.NewSlot(slots[s].gr, id)
+		}
+		loc, ok := e.store.Loc(id)
+		if ok {
+			if err := ctx.Err(); err != nil {
+				return sharedTaskPart{}, err
+			}
+			shared := len(members) >= 2
+			rows := int(loc.Rows)
+			masks := make([]*bitmap.Bitset, len(members))
+			anyNil := false
+			for k, s := range members {
+				p := &out.parts[k]
+				m, err := e.sharedMask(ctx, id, rows, slots[s].q, sc.mask(k), &p.st, &p.shared, sc)
+				if err != nil {
+					return sharedTaskPart{}, err
+				}
+				masks[k] = m
+				if m == nil {
+					anyNil = true
+				}
+				if shared {
+					p.shared.FragmentsShared = 1
+				}
+			}
+
+			// Per-slot logical granule lists (exactly the solo readHits /
+			// scanWhole lists) drive both the logical Fact counters and the
+			// union read list; the first slot listing a granule pays its
+			// physical read, later slots record the saving.
+			granules := int(math.Ceil(float64(loc.Pages) / float64(g)))
+			if cap(sc.payer) < granules {
+				sc.payer = make([]int32, granules)
+			}
+			sc.payer = sc.payer[:granules]
+			for i := range sc.payer {
+				sc.payer[i] = -1
+			}
+			visit := func(k int, gi, count int) {
+				p := &out.parts[k]
+				p.st.FactIOs++
+				p.st.FactPages += int64(count)
+				if sc.payer[gi] == -1 {
+					sc.payer[gi] = int32(k)
+				} else {
+					p.shared.PhysReadsSaved++
+				}
+			}
+			for k := range members {
+				m := masks[k]
+				if m == nil {
+					for gi := 0; gi < granules; gi++ {
+						count := g
+						if gi*g+count > int(loc.Pages) {
+							count = int(loc.Pages) - gi*g
+						}
+						visit(k, gi, count)
+					}
+					continue
+				}
+				next := m.NextSet(0)
+				for gi := 0; gi < granules && next >= 0; gi++ {
+					rowHi := (gi + 1) * g * tpp
+					if next >= rowHi {
+						continue
+					}
+					count := g
+					if gi*g+count > int(loc.Pages) {
+						count = int(loc.Pages) - gi*g
+					}
+					visit(k, gi, count)
+					next = m.NextSet(rowHi)
+				}
+			}
+			sc.ugran = sc.ugran[:0]
+			for gi := 0; gi < granules; gi++ {
+				if sc.payer[gi] < 0 {
+					continue
+				}
+				count := g
+				if gi*g+count > int(loc.Pages) {
+					count = int(loc.Pages) - gi*g
+				}
+				sc.ugran = append(sc.ugran, granule{start: int32(gi * g), count: int32(count)})
+			}
+
+			// Row union for the masked-only walk.
+			var rowUnion *bitmap.Bitset
+			if !anyNil && len(members) > 0 {
+				rowUnion = masks[0]
+				if len(members) > 1 {
+					sc.union.Reinit(rows)
+					sc.union.CopyFrom(masks[0])
+					for _, m := range masks[1:] {
+						sc.union.Or(m)
+					}
+					rowUnion = sc.union
+				}
+			}
+
+			// One physical stream over the union granules feeds every slot.
+			// The pipe's counters land in phys: its Fact counters are the
+			// physical read set (the per-slot logical counts are already
+			// accounted above) and its pool counters are credited to the
+			// granule's paying slot.
+			var phys IOStats
+			pipe := e.startGranules(ctx, sc.sc, &phys, id, sc.ugran)
+			prev := phys
+			var readErr error
+			for range sc.ugran {
+				gr, buf, err := pipe.next()
+				if err != nil {
+					readErr = err
+					break
+				}
+				payer := &out.parts[sc.payer[int(gr.start)/g]]
+				payer.st.PoolHits += phys.PoolHits - prev.PoolHits
+				payer.st.PoolMisses += phys.PoolMisses - prev.PoolMisses
+				payer.st.PoolBytes += phys.PoolBytes - prev.PoolBytes
+				prev = phys
+				rowLo := int(gr.start) * tpp
+				rowHi := rowLo + int(gr.count)*tpp
+				if rowHi > rows {
+					rowHi = rows
+				}
+				if anyNil {
+					for r := rowLo; r < rowHi; r++ {
+						pageIn := r/tpp - int(gr.start)
+						off := pageIn*e.store.pageSize + (r%tpp)*e.store.tupleSize
+						tp, _ := e.store.decodeTuple(buf, off, sc.sc.keys)
+						for k := range kslots {
+							if masks[k] == nil || masks[k].Get(r) {
+								kslots[k].AddLeaves(tp.Keys, int64(tp.UnitsSold), int64(tp.DollarSales), int64(tp.Cost))
+							}
+						}
+					}
+					continue
+				}
+				for r := rowUnion.NextSet(rowLo); r >= 0 && r < rowHi; r = rowUnion.NextSet(r + 1) {
+					pageIn := r/tpp - int(gr.start)
+					off := pageIn*e.store.pageSize + (r%tpp)*e.store.tupleSize
+					tp, _ := e.store.decodeTuple(buf, off, sc.sc.keys)
+					for k := range kslots {
+						if masks[k].Get(r) {
+							kslots[k].AddLeaves(tp.Keys, int64(tp.UnitsSold), int64(tp.DollarSales), int64(tp.Cost))
+						}
+					}
+				}
+			}
+			if readErr != nil {
+				return sharedTaskPart{}, readErr
+			}
+			pipe.finish()
+		}
+
+		// Base rows first, then each slot's delta segments in seal order —
+		// the same fold order as solo execution.
+		for k, s := range members {
+			p := &out.parts[k]
+			p.st.RowsRead += kslots[k].Rows
+			if !deltas.Empty() {
+				if sc.sc.dsc == nil {
+					sc.sc.dsc = frag.NewDeltaScratch()
+				}
+				n, err := kernel.AddDelta(deltas, id, slots[s].q, &kslots[k].FP, kslots[k].Base, kslots[k].PerRow, sc.sc.dsc)
+				if err != nil {
+					return sharedTaskPart{}, err
+				}
+				p.st.DeltaRows += n
+			}
+			p.fp = kslots[k].FP
+		}
+		return out, nil
+	}
+
+	merge := func(a *sharedAcc, p sharedTaskPart) {
+		if a.agg == nil {
+			a.agg = make([]kernel.Aggregate, len(qs))
+			a.g = make([]*kernel.Grouped, len(qs))
+			a.st = make([]IOStats, len(qs))
+			a.shared = make([]kernel.SharedScanStats, len(qs))
+		}
+		for _, sp := range p.parts {
+			s := sp.slot
+			if slots[s].gr != nil && a.g[s] == nil {
+				a.g[s] = kernel.NewGrouped()
+			}
+			sp.fp.MergeInto(&a.agg[s], a.g[s])
+			a.st[s].Add(sp.st)
+			a.shared[s].FragmentsShared += sp.shared.FragmentsShared
+			a.shared[s].PhysReadsSaved += sp.shared.PhysReadsSaved
+		}
+	}
+
+	var a sharedAcc
+	var err error
+	ds := e.store.disks
+	declustered := ds != nil && ds.Disks() > 1
+	switch {
+	case e.Sched != nil && declustered:
+		placement := e.store.placement
+		a, err = exec.ReduceShardedOn(ctx, e.Sched, len(unionIDs),
+			func(i int) int { return placement.FactDisk(unionIDs[i]) }, ds.Disks(),
+			e.newSharedScratch, run, merge)
+	case e.Sched != nil:
+		a, err = exec.ReduceOn(ctx, e.Sched, len(unionIDs), e.newSharedScratch, run, merge)
+	case declustered:
+		placement := e.store.placement
+		a, err = exec.ReduceShardedWith(ctx, e.Workers, len(unionIDs),
+			func(i int) int { return placement.FactDisk(unionIDs[i]) }, ds.Disks(),
+			e.newSharedScratch, run, merge)
+	default:
+		a, err = exec.ReduceWith(ctx, e.Workers, len(unionIDs), e.newSharedScratch, run, merge)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]SharedResult, len(qs))
+	for s := range slots {
+		if slots[s].err != nil {
+			out[s].Err = slots[s].err
+			continue
+		}
+		var agg kernel.Aggregate
+		var grp *kernel.Grouped
+		var st IOStats
+		var sh kernel.SharedScanStats
+		if a.agg != nil {
+			agg, grp, st, sh = a.agg[s], a.g[s], a.st[s], a.shared[s]
+		}
+		sh.Batched = len(qs)
+		out[s].St = st
+		out[s].Shared = sh
+		out[s].Res = kernel.Result{Aggregate: agg}
+		out[s].Part = kernel.FragPartial{Agg: agg}
+		if gr := slots[s].gr; gr != nil {
+			out[s].Res.Groups = gr.Rows(grp)
+			out[s].Part.Groups = grp
+			if out[s].Part.Groups == nil {
+				out[s].Part.Groups = kernel.NewGrouped()
+			}
+		}
+	}
+	return out, nil
+}
+
+// sortIDs sorts fragment ids ascending — the solo executors' dispatch
+// order (FragmentIDs enumerates regions in ascending allocation order),
+// so the shared union preserves each query's own task order.
+func sortIDs(ids []int64) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

@@ -385,6 +385,12 @@ type (
 	// GroupRow is one group of a grouped result: the member index per
 	// GROUP BY level plus the group's aggregate.
 	GroupRow = kernel.Row
+	// SharedScanStats reports one execution's shared-scan batching effect
+	// (see Stats.SharedScan and WithSharedScans).
+	SharedScanStats = kernel.SharedScanStats
+	// SharedCost predicts the shared-scan physical-read reduction for a
+	// query batched against a mix (see Explain.Shared).
+	SharedCost = cost.SharedCost
 )
 
 // GenerateData builds a deterministic fact table for the schema.

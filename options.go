@@ -14,29 +14,30 @@ type Option func(*options)
 
 // options is the resolved option set of one Warehouse.
 type options struct {
-	workers     int // raw: <1 means one per CPU
-	onDisk      bool
-	dir         string
-	disks       int
-	scheme      alloc.Scheme
-	staggered   bool
-	compress    bool
-	ioDelay     time.Duration
-	ioDelaySet  bool
-	cluster     int
-	params      cost.Params
-	simCfg      simpad.Config
-	autoCompact int
-	poolBytes   int64
-	resultCache int
-	faultPlan   *storage.FaultPlan
-	retry       *storage.RetryPolicy
-	admitLimit  int
-	deadline    time.Duration
-	nodes       int
-	nodeScheme  alloc.Scheme
-	nodeAddrs   []string
-	hedge       time.Duration
+	workers      int // raw: <1 means one per CPU
+	onDisk       bool
+	dir          string
+	disks        int
+	scheme       alloc.Scheme
+	staggered    bool
+	compress     bool
+	ioDelay      time.Duration
+	ioDelaySet   bool
+	cluster      int
+	params       cost.Params
+	simCfg       simpad.Config
+	autoCompact  int
+	poolBytes    int64
+	resultCache  int
+	faultPlan    *storage.FaultPlan
+	retry        *storage.RetryPolicy
+	admitLimit   int
+	deadline     time.Duration
+	nodes        int
+	nodeScheme   alloc.Scheme
+	nodeAddrs    []string
+	hedge        time.Duration
+	sharedWindow time.Duration
 }
 
 func defaultOptions() options {
@@ -263,6 +264,29 @@ func WithHedgedRequests(d time.Duration) Option {
 			d = 0
 		}
 		o.hedge = d
+	}
+}
+
+// WithSharedScans enables shared multi-query scans: executions admitted
+// within window of each other against the same serving state (same
+// epoch and delta high-water mark) coalesce into one batch whose
+// fragment union is scanned once — a single bitmap selection + granule
+// read stream per fragment feeds every batched query's predicate and
+// aggregation slots. Results and per-query logical I/O statistics stay
+// byte-identical to solo execution; the physical savings show up in
+// Stats.SharedScan and ServingStats.Shared. The window is the latency a
+// leading query donates waiting for batch-mates (O(100µs)–O(1ms) keeps
+// it well under one physical disk access); solo queries pay exactly one
+// window. Where the result cache collapses *identical* concurrent
+// queries, shared scans coalesce merely *overlapping* ones — the two
+// compose. OpenCluster passes the window to every node, batching each
+// shard's sub-requests. Values ≤ 0 disable sharing.
+func WithSharedScans(window time.Duration) Option {
+	return func(o *options) {
+		if window < 0 {
+			window = 0
+		}
+		o.sharedWindow = window
 	}
 }
 

@@ -77,6 +77,13 @@ type Stats struct {
 	// an uncached execution and the I/O counters below are zero.
 	CacheHit bool
 	Shared   bool
+	// SharedScan reports the shared-scan batching effect on this
+	// execution (WithSharedScans): the batch it ran in, the fragments it
+	// co-scanned with batch-mates, and the physical reads it consumed
+	// from their reads instead of issuing itself. The logical I/O
+	// counters in Engine and IO are unaffected by sharing — they describe
+	// the query's own work, byte-identical to solo execution.
+	SharedScan SharedScanStats
 
 	// Engine holds the in-memory engine's work counters
 	// (fragments/rows/bitmaps).
@@ -130,6 +137,12 @@ type Explain struct {
 	// confinement-derived bytes the query touches, the expected steady-
 	// state hit rate, and the physical I/O the pool absorbs.
 	Cache CacheCost
+	// Shared predicts the shared-scan coalescing effect (zero unless the
+	// warehouse was opened WithSharedScans): the expected fraction of the
+	// query's physical reads it still pays when batched with the observed
+	// query mix (this query alone before anything ran) at the observed
+	// peak concurrency.
+	Shared SharedCost
 }
 
 // PreparedQuery is a star query bound to a Warehouse: a cheap, stateless
@@ -213,6 +226,20 @@ func (p *PreparedQuery) Explain(ctx context.Context) (Explain, error) {
 	if w.pool != nil {
 		ex.Cache = cost.EstimateCache(ex.Cost, w.pool.Budget())
 	}
+	if w.opt.sharedWindow > 0 {
+		// Predict coalescing against the mix the warehouse actually
+		// serves; before anything ran, a self-mix (worst case: full
+		// overlap only with itself).
+		mix := w.ObservedMix()
+		if len(mix) == 0 {
+			mix = []WeightedQuery{{Query: p.q, Weight: 1}}
+		}
+		k := 2
+		if pk := int(w.sched.Stats().PeakInFlight); pk > k {
+			k = pk
+		}
+		ex.Shared = cost.EstimateShared(w.spec, p.q, mix, k)
+	}
 	return ex, nil
 }
 
@@ -245,19 +272,27 @@ func (p *PreparedQuery) Execute(ctx context.Context) (Result, Stats, error) {
 	if err := w.ensureBackend(ctx); err != nil {
 		return Result{}, Stats{}, err
 	}
+	var res Result
+	var st Stats
 	if w.rcache != nil {
-		return p.executeCached(ctx)
+		res, st, err = p.executeCached(ctx)
+	} else {
+		// Pin the serving snapshot: this epoch's backend plus the delta
+		// segments sealed so far. Concurrent appends and compactions replace
+		// the warehouse's snapshot copy-on-write, so this execution's view —
+		// and result — is frozen at admission.
+		var snap snapshot
+		snap, err = w.pin()
+		if err != nil {
+			return Result{}, Stats{}, err
+		}
+		defer w.unpin(snap.b)
+		res, st, err = p.executeOn(ctx, snap)
 	}
-	// Pin the serving snapshot: this epoch's backend plus the delta
-	// segments sealed so far. Concurrent appends and compactions replace
-	// the warehouse's snapshot copy-on-write, so this execution's view —
-	// and result — is frozen at admission.
-	snap, err := w.pin()
-	if err != nil {
-		return Result{}, Stats{}, err
+	if err == nil {
+		w.recordObserved(p.q)
 	}
-	defer w.unpin(snap.b)
-	return p.executeOn(ctx, snap)
+	return res, st, err
 }
 
 // errBackendNotBuilt matches pin's failure for the cached admission path.
@@ -284,8 +319,22 @@ func (w *Warehouse) baseStats(snap snapshot) Stats {
 
 // executeOn runs the query against an already-pinned snapshot — the
 // shared tail of the plain and cached Execute paths. The caller owns the
-// pin and the in-flight registration.
+// pin and the in-flight registration. With shared scans on, the
+// execution first tries the admission batcher (so even a result-cache
+// miss leader coalesces with merely-overlapping concurrent queries); a
+// batch-wide failure falls back to solo execution here.
 func (p *PreparedQuery) executeOn(ctx context.Context, snap snapshot) (Result, Stats, error) {
+	if p.w.shared != nil {
+		res, st, handled, err := p.executeSharedOn(ctx, snap)
+		if handled {
+			return res, st, err
+		}
+	}
+	return p.executeSoloOn(ctx, snap)
+}
+
+// executeSoloOn is the direct single-query execution path.
+func (p *PreparedQuery) executeSoloOn(ctx context.Context, snap snapshot) (Result, Stats, error) {
 	w := p.w
 	st := w.baseStats(snap)
 	deltas := kernel.Deltas{Ix: w.ix, Set: snap.deltas}

@@ -1,0 +1,315 @@
+package mdhf
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"repro/internal/frag"
+	"repro/internal/kernel"
+)
+
+// sharedKey partitions shared-scan compatibility: only executions pinned
+// to the same epoch and the same delta high-water mark may batch. The
+// seal sequence is warehouse-wide and strictly monotone, so an equal
+// MaxSeq at an equal epoch means a byte-identical serving state — every
+// member of a batch would have computed against exactly the same base
+// backend and delta set solo.
+type sharedKey struct {
+	epoch int64
+	seq   uint64
+}
+
+// sharedItem is one query submitted to the admission batcher.
+type sharedItem struct {
+	q frag.Query
+}
+
+// sharedOut is one batched query's outcome: its result and fully
+// assembled Stats (Wall excepted — each member stamps its own), or its
+// per-query validation error.
+type sharedOut struct {
+	res Result
+	st  Stats
+	err error
+}
+
+// SharedServingStats is the warehouse-wide shared-scan accounting
+// surfaced in ServingStats.Shared (zero without WithSharedScans).
+type SharedServingStats struct {
+	// Batches counts multi-query batches executed (size >= 2);
+	// BatchedQueries the executions they served. SoloWindows counts
+	// admission windows that closed with a single query (no batch-mate
+	// arrived).
+	Batches        int64
+	BatchedQueries int64
+	SoloWindows    int64
+	// FragmentsShared sums, over every batched query, the fragments whose
+	// scan task also served at least one batch-mate.
+	FragmentsShared int64
+	// PhysReadsSaved counts the physical reads (bitmap and fact-granule
+	// I/Os) batching eliminated: reads a query would have issued solo but
+	// instead consumed from a batch-mate's.
+	PhysReadsSaved int64
+	// Fallbacks counts batch-wide failures whose members re-executed solo
+	// (batching is only ever a performance effect).
+	Fallbacks int64
+}
+
+// executeSharedOn routes one execution through the shared-scan batcher:
+// it donates at most one admission window waiting for batch-mates, then
+// the group leader scans the queries' fragment union once and every
+// member collects its own result. handled=false reports a batch-wide
+// failure (an I/O error, or the leader's cancellation observed by a
+// follower) — the caller falls back to solo execution on its own pinned
+// snapshot, so batching can only ever be a performance effect.
+func (p *PreparedQuery) executeSharedOn(ctx context.Context, snap snapshot) (res Result, st Stats, handled bool, err error) {
+	w := p.w
+	start := time.Now()
+	key := sharedKey{epoch: snap.epoch, seq: snap.deltas.MaxSeq()}
+	out, _, err := w.shared.Do(ctx, key, sharedItem{q: p.q}, func(items []sharedItem) ([]sharedOut, error) {
+		return w.runSharedBatch(ctx, snap, items)
+	})
+	if err != nil {
+		if ctx.Err() != nil {
+			// Our own context expired (waiting, or leading): solo retry
+			// would fail identically.
+			return Result{}, Stats{}, true, err
+		}
+		w.sharedFallbacks.Add(1)
+		return Result{}, Stats{}, false, err
+	}
+	if out.err != nil {
+		// Per-query error (validation): deterministic and correctly
+		// attributed by the batch, no point re-failing solo.
+		return Result{}, Stats{}, true, out.err
+	}
+	out.st.Wall = time.Since(start)
+	return out.res, out.st, true, nil
+}
+
+// runSharedBatch executes one sealed batch against the snapshot every
+// member pinned (the key guarantees they are interchangeable) and
+// assembles each member's Stats exactly as solo execution would have —
+// logical counters untouched, physical savings in Stats.SharedScan.
+func (w *Warehouse) runSharedBatch(ctx context.Context, snap snapshot, items []sharedItem) ([]sharedOut, error) {
+	qs := make([]frag.Query, len(items))
+	for i := range items {
+		qs[i] = items[i].q
+	}
+	deltas := kernel.Deltas{Ix: w.ix, Set: snap.deltas}
+	outs := make([]sharedOut, len(items))
+	if snap.b.engine != nil {
+		rs, err := snap.b.engine.ExecuteSharedDeltas(ctx, w.sched, qs, deltas, nil)
+		if err != nil {
+			return nil, err
+		}
+		for i, r := range rs {
+			if r.Err != nil {
+				outs[i].err = r.Err
+				continue
+			}
+			st := w.baseStats(snap)
+			st.Engine = r.St
+			st.DeltaRows = r.St.DeltaRows
+			st.SharedScan = r.Shared
+			outs[i] = sharedOut{res: r.Res, st: st}
+		}
+	} else {
+		rs, err := snap.b.be.Exec.ExecuteSharedDeltas(ctx, qs, deltas, nil)
+		if err != nil {
+			return nil, err
+		}
+		for i, r := range rs {
+			if r.Err != nil {
+				outs[i].err = r.Err
+				continue
+			}
+			st := w.baseStats(snap)
+			st.IO = r.St
+			st.DeltaRows = r.St.DeltaRows
+			if snap.b.be.Disks != nil {
+				st.Disks = snap.b.be.Disks.Stats()
+			}
+			st.SharedScan = r.Shared
+			outs[i] = sharedOut{res: r.Res, st: st}
+		}
+	}
+	w.noteSharedBatch(outs, len(items))
+	return outs, nil
+}
+
+// noteSharedBatch folds one batch's effect into the warehouse-wide
+// shared-scan counters.
+func (w *Warehouse) noteSharedBatch(outs []sharedOut, n int) {
+	if n >= 2 {
+		w.sharedBatches.Add(1)
+		w.sharedBatchedQueries.Add(int64(n))
+	} else {
+		w.sharedSoloWindows.Add(1)
+	}
+	for i := range outs {
+		w.sharedFragments.Add(int64(outs[i].st.SharedScan.FragmentsShared))
+		w.sharedPhysSaved.Add(outs[i].st.SharedScan.PhysReadsSaved)
+	}
+}
+
+// sharedServingStats snapshots the warehouse-wide shared-scan counters.
+func (w *Warehouse) sharedServingStats() SharedServingStats {
+	return SharedServingStats{
+		Batches:         w.sharedBatches.Load(),
+		BatchedQueries:  w.sharedBatchedQueries.Load(),
+		SoloWindows:     w.sharedSoloWindows.Load(),
+		FragmentsShared: w.sharedFragments.Load(),
+		PhysReadsSaved:  w.sharedPhysSaved.Load(),
+		Fallbacks:       w.sharedFallbacks.Load(),
+	}
+}
+
+// observedQueryCap bounds the per-query-text mix map; executions beyond
+// it still count in the totals but are not individually recorded.
+const observedQueryCap = 512
+
+// observedQuery is one recorded query of the observed mix.
+type observedQuery struct {
+	q     frag.Query
+	class QueryClass
+	frags int64
+	count int64
+}
+
+// ObservedQuery is one entry of the observed query mix (see
+// ServingStats.QueryMix): a query actually executed against the
+// warehouse, its classification and fragment-region size, and how often
+// it ran.
+type ObservedQuery struct {
+	// Text is the query in canonical member-index notation.
+	Text string
+	// Class is the paper's Q1-Q4 confinement classification.
+	Class QueryClass
+	// Fragments is the size of the query's confinement region (its
+	// relevant-fragment count).
+	Fragments int64
+	// Count is how many successful executions the query had.
+	Count int64
+}
+
+// QueryMixStats is the observed query mix recorded over every successful
+// Execute — the per-class and per-fragment-region view of what the
+// warehouse actually serves, and the empirical input AdviseObserved
+// feeds back into the fragmentation advisor.
+type QueryMixStats struct {
+	// Total counts every successful execution (cache hits included —
+	// the mix describes demand, not backend work).
+	Total int64
+	// ByClass breaks Total down by confinement classification.
+	ByClass map[QueryClass]int64
+	// Queries lists the distinct recorded queries, most-executed first
+	// (ties in canonical-text order).
+	Queries []ObservedQuery
+	// Dropped counts executions of distinct queries beyond the recording
+	// capacity; they are in Total and ByClass but not in Queries.
+	Dropped int64
+}
+
+// recordObserved folds one successful execution into the observed mix.
+func (w *Warehouse) recordObserved(q Query) {
+	if w.spec == nil {
+		return
+	}
+	class := w.spec.Classify(q)
+	text := frag.Format(w.star, q)
+	w.mixMu.Lock()
+	defer w.mixMu.Unlock()
+	w.mixTotal++
+	if w.mixByClass == nil {
+		w.mixByClass = make(map[QueryClass]int64)
+	}
+	w.mixByClass[class]++
+	o := w.mix[text]
+	if o == nil {
+		if len(w.mix) >= observedQueryCap {
+			w.mixDropped++
+			return
+		}
+		if w.mix == nil {
+			w.mix = make(map[string]*observedQuery)
+		}
+		o = &observedQuery{q: q, class: class, frags: w.spec.Relevant(q).Count()}
+		w.mix[text] = o
+	}
+	o.count++
+}
+
+// queryMixStats snapshots the observed mix (Warehouse.mixMu taken).
+func (w *Warehouse) queryMixStats() QueryMixStats {
+	w.mixMu.Lock()
+	defer w.mixMu.Unlock()
+	st := QueryMixStats{Total: w.mixTotal, Dropped: w.mixDropped}
+	if len(w.mixByClass) > 0 {
+		st.ByClass = make(map[QueryClass]int64, len(w.mixByClass))
+		for c, n := range w.mixByClass {
+			st.ByClass[c] = n
+		}
+	}
+	st.Queries = make([]ObservedQuery, 0, len(w.mix))
+	for text, o := range w.mix {
+		st.Queries = append(st.Queries, ObservedQuery{Text: text, Class: o.class, Fragments: o.frags, Count: o.count})
+	}
+	sort.Slice(st.Queries, func(i, j int) bool {
+		if st.Queries[i].Count != st.Queries[j].Count {
+			return st.Queries[i].Count > st.Queries[j].Count
+		}
+		return st.Queries[i].Text < st.Queries[j].Text
+	})
+	return st
+}
+
+// ObservedMix returns the recorded query mix as a weighted mix for the
+// advisor, weights normalised over the recorded executions (nil before
+// anything ran). Unlike a hand-written mix this is what the warehouse
+// actually served, so re-advising with it closes the design loop:
+// fragment for the workload you have, not the one you guessed.
+func (w *Warehouse) ObservedMix() []WeightedQuery {
+	w.mixMu.Lock()
+	defer w.mixMu.Unlock()
+	if len(w.mix) == 0 {
+		return nil
+	}
+	texts := make([]string, 0, len(w.mix))
+	var total int64
+	for text, o := range w.mix {
+		texts = append(texts, text)
+		total += o.count
+	}
+	sort.Strings(texts)
+	mix := make([]WeightedQuery, len(texts))
+	for i, text := range texts {
+		o := w.mix[text]
+		mix[i] = WeightedQuery{Name: text, Query: o.q, Weight: float64(o.count) / float64(total)}
+	}
+	return mix
+}
+
+// AdviseObserved ranks the admissible fragmentations of the warehouse's
+// schema over the *observed* query mix — the queries Execute actually
+// served, weighted by how often they ran — instead of a hand-written
+// one. It returns nil before any query has executed.
+func (w *Warehouse) AdviseObserved(th Thresholds) []Ranked {
+	mix := w.ObservedMix()
+	if len(mix) == 0 {
+		return nil
+	}
+	return w.Advise(mix, th)
+}
+
+// AdviseDisksObserved ranks disk counts and placement schemes over the
+// observed query mix (see AdviseDisks); nil before any query has
+// executed or on an advisory-only warehouse.
+func (w *Warehouse) AdviseDisksObserved(dp DiskParams, diskCounts []int) []DiskRanked {
+	mix := w.ObservedMix()
+	if len(mix) == 0 || w.spec == nil {
+		return nil
+	}
+	return AdviseDisks(w.spec, w.icfg, mix, w.opt.params, dp, diskCounts)
+}

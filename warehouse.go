@@ -146,6 +146,23 @@ type Warehouse struct {
 	compactions   atomic.Int64
 	compactedRows atomic.Int64
 
+	// shared is the admission batcher of WithSharedScans (nil when
+	// disabled); the atomics are its warehouse-wide accounting.
+	shared               *exec.Batcher[sharedKey, sharedItem, sharedOut]
+	sharedBatches        atomic.Int64
+	sharedBatchedQueries atomic.Int64
+	sharedSoloWindows    atomic.Int64
+	sharedFragments      atomic.Int64
+	sharedPhysSaved      atomic.Int64
+	sharedFallbacks      atomic.Int64
+
+	// Observed query mix (ServingStats.QueryMix, AdviseObserved).
+	mixMu      sync.Mutex
+	mixTotal   int64
+	mixDropped int64
+	mixByClass map[QueryClass]int64
+	mix        map[string]*observedQuery
+
 	dataOnce sync.Once
 	dataErr  error
 	table    *data.Table
@@ -232,6 +249,9 @@ func Open(ctx context.Context, cfg Config, opts ...Option) (*Warehouse, error) {
 	if opt.resultCache > 0 {
 		w.rcache = newResCache(opt.resultCache)
 	}
+	if opt.sharedWindow > 0 {
+		w.shared = exec.NewBatcher[sharedKey, sharedItem, sharedOut](opt.sharedWindow)
+	}
 	return w, nil
 }
 
@@ -275,6 +295,14 @@ type ServingStats struct {
 	// epoch's disk set (see DiskStats for the per-disk breakdown). Zero
 	// without a disk set; Shed (load-shedding) lives in SchedStats.
 	Faults FaultStats
+	// Shared is the shared-scan batching accounting (WithSharedScans):
+	// batches formed, physical reads saved, solo fallbacks. Zero when
+	// sharing is disabled.
+	Shared SharedServingStats
+	// QueryMix is the observed query mix over every successful Execute —
+	// per-class counts and the most-executed queries with their fragment
+	// regions. AdviseObserved feeds it back into the advisor.
+	QueryMix QueryMixStats
 }
 
 // FaultStats is the warehouse-wide fault-tolerance accounting: the sum of
@@ -301,6 +329,8 @@ func (w *Warehouse) ServingStats() ServingStats {
 		AppendedRows:  w.appendedRows.Load(),
 		Compactions:   w.compactions.Load(),
 		CompactedRows: w.compactedRows.Load(),
+		Shared:        w.sharedServingStats(),
+		QueryMix:      w.queryMixStats(),
 	}
 	w.mu.Lock()
 	st.Epoch = w.cur.epoch
